@@ -1,0 +1,72 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary accepts:
+//   --full        paper-scale budgets (hours); default is a fast mode that
+//                 preserves the figures' qualitative shape in minutes
+//   --seed N      RNG seed (default 1)
+// and prints the same rows/series the paper reports, as ASCII tables.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "progen/chstone_like.hpp"
+#include "progen/random_program.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace autophase::bench {
+
+struct BenchArgs {
+  bool full = false;
+  std::uint64_t seed = 1;
+  int programs = -1;  // --programs override where applicable
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      }
+      if (std::strcmp(argv[i], "--programs") == 0 && i + 1 < argc) {
+        args.programs = std::atoi(argv[++i]);
+      }
+    }
+    return args;
+  }
+};
+
+inline std::string pct(double fraction) { return strf("%+.1f%%", fraction * 100.0); }
+
+/// Improvement over -O3 as the paper plots it.
+inline double improvement(std::uint64_t o3, std::uint64_t cycles) {
+  return o3 == 0 ? 0.0
+                 : (static_cast<double>(o3) - static_cast<double>(cycles)) /
+                       static_cast<double>(o3);
+}
+
+/// Builds the random-program corpus used for generalisation training.
+inline std::vector<std::unique_ptr<ir::Module>> random_corpus(std::size_t count,
+                                                              std::uint64_t seed) {
+  std::vector<std::unique_ptr<ir::Module>> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    corpus.push_back(progen::generate_filtered_program(seed * 7919 + i));
+  }
+  return corpus;
+}
+
+inline std::vector<const ir::Module*> as_pointers(
+    const std::vector<std::unique_ptr<ir::Module>>& modules) {
+  std::vector<const ir::Module*> out;
+  out.reserve(modules.size());
+  for (const auto& m : modules) out.push_back(m.get());
+  return out;
+}
+
+}  // namespace autophase::bench

@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks of the substrate itself: the components
+// on AutoPhase's critical path (Fig. 4 block diagram) — IR cloning, feature
+// extraction, HLS scheduling, cycle profiling, pass application, module
+// fingerprinting — and the end-to-end environment step.
+#include <benchmark/benchmark.h>
+
+#include "features/features.hpp"
+#include "hls/cycle_estimator.hpp"
+#include "ir/clone.hpp"
+#include "ir/printer.hpp"
+#include "passes/pass.hpp"
+#include "passes/pipelines.hpp"
+#include "progen/chstone_like.hpp"
+#include "progen/random_program.hpp"
+#include "rl/env.hpp"
+
+namespace {
+
+using namespace autophase;
+
+void BM_CloneModule(benchmark::State& state) {
+  auto m = progen::build_chstone_like("gsm");
+  for (auto _ : state) {
+    auto copy = ir::clone_module(*m);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_CloneModule);
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  auto m = progen::build_chstone_like("gsm");
+  for (auto _ : state) {
+    auto fv = features::extract_features(*m);
+    benchmark::DoNotOptimize(fv);
+  }
+}
+BENCHMARK(BM_ExtractFeatures);
+
+void BM_ScheduleModule(benchmark::State& state) {
+  auto m = progen::build_chstone_like("matmul");
+  for (auto _ : state) {
+    auto sched = hls::schedule_module(*m);
+    benchmark::DoNotOptimize(sched);
+  }
+}
+BENCHMARK(BM_ScheduleModule);
+
+void BM_InterpretAndProfile(benchmark::State& state) {
+  auto m = progen::build_chstone_like("matmul");
+  for (auto _ : state) {
+    auto r = interp::run_module(*m);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InterpretAndProfile);
+
+void BM_CycleEstimateEndToEnd(benchmark::State& state) {
+  auto m = progen::build_chstone_like("matmul");
+  for (auto _ : state) {
+    auto est = hls::profile_cycles(*m);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_CycleEstimateEndToEnd);
+
+void BM_ModuleFingerprint(benchmark::State& state) {
+  auto m = progen::build_chstone_like("gsm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::module_fingerprint(*m));
+  }
+}
+BENCHMARK(BM_ModuleFingerprint);
+
+void BM_PassMem2Reg(benchmark::State& state) {
+  auto original = progen::build_chstone_like("gsm");
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = ir::clone_module(*original);
+    state.ResumeTiming();
+    passes::apply_pass(*m, passes::PassRegistry::instance().index_of("-mem2reg"));
+  }
+}
+BENCHMARK(BM_PassMem2Reg);
+
+void BM_O3Pipeline(benchmark::State& state) {
+  auto original = progen::build_chstone_like("gsm");
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = ir::clone_module(*original);
+    state.ResumeTiming();
+    passes::run_o3(*m);
+  }
+}
+BENCHMARK(BM_O3Pipeline);
+
+void BM_RandomProgramGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto m = progen::generate_filtered_program(seed++);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_RandomProgramGeneration);
+
+void BM_EnvStep(benchmark::State& state) {
+  auto m = progen::build_chstone_like("sha");
+  rl::EnvConfig cfg;
+  cfg.observation = rl::ObservationMode::kBoth;
+  rl::PhaseOrderEnv env({m.get()}, cfg);
+  env.reset();
+  std::size_t action = 0;
+  int steps = 0;
+  for (auto _ : state) {
+    const auto r = env.step({action % env.action_arity()});
+    ++action;
+    if (r.done || ++steps >= 44) {
+      steps = 0;
+      state.PauseTiming();
+      env.reset();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(r.reward);
+  }
+}
+BENCHMARK(BM_EnvStep);
+
+/// Ablation (DESIGN.md §5.2): evaluation caching. Steps replay the same
+/// prefix constantly; the fingerprint cache turns most of them into hits.
+void BM_EnvStepCacheCold(benchmark::State& state) {
+  auto m = progen::build_chstone_like("sha");
+  Rng rng(7);
+  rl::EnvConfig cfg;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rl::PhaseOrderEnv env({m.get()}, cfg);  // fresh cache each episode
+    env.reset();
+    state.ResumeTiming();
+    for (int i = 0; i < 8; ++i) {
+      env.step({static_cast<std::size_t>(rng.uniform_int(0, 44))});
+    }
+  }
+}
+BENCHMARK(BM_EnvStepCacheCold);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Reproduces Table 3: the observation and action spaces used by each deep
+// RL algorithm, with the live environment dimensions of this implementation.
+#include "bench/bench_util.hpp"
+#include "rl/env.hpp"
+
+int main() {
+  using namespace autophase;
+  auto program = progen::build_chstone_like("gsm");
+
+  auto dims = [&](rl::ObservationMode obs) {
+    rl::EnvConfig cfg;
+    cfg.observation = obs;
+    rl::PhaseOrderEnv env({program.get()}, cfg);
+    return std::make_pair(env.observation_size(), env.action_arity());
+  };
+  const auto feat = dims(rl::ObservationMode::kProgramFeatures);
+  const auto hist = dims(rl::ObservationMode::kActionHistogram);
+  const auto both = dims(rl::ObservationMode::kBoth);
+  rl::EnvConfig multi_cfg;
+  multi_cfg.observation = rl::ObservationMode::kBoth;
+  rl::MultiActionEnv multi({program.get()}, multi_cfg);
+
+  TextTable table({"algorithm", "deep RL algo", "observation space", "obs dim",
+                   "action space", "act dim"});
+  table.add_row({"RL-PPO1", "PPO", "Program Features", std::to_string(feat.first),
+                 "Single-Action", strf("1 x %zu", feat.second)});
+  table.add_row({"RL-PPO2", "PPO", "Action History", std::to_string(hist.first),
+                 "Single-Action", strf("1 x %zu", hist.second)});
+  table.add_row({"RL-PPO3", "PPO", "Action History + Program Features",
+                 std::to_string(multi.observation_size()), "Multiple-Action",
+                 strf("%zu x %zu", multi.action_groups(), multi.action_arity())});
+  table.add_row({"RL-A3C", "A3C", "Program Features", std::to_string(feat.first),
+                 "Single-Action", strf("1 x %zu", feat.second)});
+  table.add_row({"RL-ES", "ES", "Program Features", std::to_string(feat.first),
+                 "Single-Action", strf("1 x %zu", feat.second)});
+  (void)both;
+  std::printf(
+      "Table 3: observation and action spaces of the deep RL algorithms\n%s\n"
+      "policy network: 256x256 fully connected (paper section 6.2)\n",
+      table.render().c_str());
+  return 0;
+}

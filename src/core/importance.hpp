@@ -1,0 +1,53 @@
+// §4 of the paper: quantify the correlation of passes with program features
+// (Fig. 5) and with previously applied passes (Fig. 6) using random forests,
+// then filter the state/action spaces to the important subsets (used by the
+// RL-filtered-norm1/2 agents of §6.2).
+//
+// Data collection: episodes of a high-exploration policy over random
+// programs produce (features, pass-histogram, action, improved?) tuples; for
+// each pass two binary forests predict "applying it improves the circuit",
+// one from program features and one from the histogram. Mean-decrease-in-
+// Gini importances fill one heat-map row per pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+
+namespace autophase::core {
+
+struct ImportanceConfig {
+  int num_programs = 20;      // the paper trains on 100 random programs
+  int target_samples = 20000; // the paper gathers 150,000 tuples
+  int episode_length = 45;
+  ml::ForestConfig forest{};
+  std::uint64_t seed = 7;
+};
+
+struct ImportanceResult {
+  /// Fig. 5: rows = Table-1 passes (45), cols = Table-2 features (56);
+  /// each row sums to 1 (or is all-zero when a pass never fired).
+  std::vector<std::vector<double>> feature_importance;
+  /// Fig. 6: rows = candidate pass, cols = previously-applied-pass counts.
+  std::vector<std::vector<double>> pass_importance;
+  /// Held-out accuracy of the feature forests, per pass (explainability
+  /// sanity check).
+  std::vector<double> forest_accuracy;
+  std::size_t total_samples = 0;
+};
+
+ImportanceResult run_importance_analysis(const ImportanceConfig& config);
+
+struct FilteredSpaces {
+  std::vector<int> features;  // indices into the 56 Table-2 features
+  std::vector<int> actions;   // Table-1 pass indices
+};
+
+/// Keeps the `top_features` features by aggregate importance and the
+/// `top_actions` passes by aggregate history-importance (the filtering step
+/// that §6.2 shows speeds up learning dramatically).
+FilteredSpaces filter_spaces(const ImportanceResult& importance, int top_features = 24,
+                             int top_actions = 16);
+
+}  // namespace autophase::core

@@ -1,0 +1,196 @@
+#include "hls/scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace autophase::hls {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+struct IssueState {
+  int cycle = 0;          // issue cycle
+  double finish = 0.0;    // in-cycle finish time for combinational results
+  int available = 0;      // first cycle the result is usable
+  bool combinational = true;
+};
+
+/// Per-cycle unit usage within a block.
+class ResourceTracker {
+ public:
+  explicit ResourceTracker(const ResourceConstraints& rc) : rc_(rc) {}
+
+  /// Earliest cycle >= `from` at which a unit of `cls` can issue.
+  int earliest(ResourceClass cls, int from, int initiation_interval) {
+    if (cls == ResourceClass::kNone) return from;
+    for (int c = from;; ++c) {
+      if (fits(cls, c, initiation_interval)) return c;
+    }
+  }
+
+  void commit(ResourceClass cls, int cycle, int initiation_interval) {
+    if (cls == ResourceClass::kNone) return;
+    auto& usage = usage_for(cls);
+    for (int c = cycle; c < cycle + initiation_interval; ++c) {
+      if (static_cast<std::size_t>(c) >= usage.size()) usage.resize(static_cast<std::size_t>(c) + 1, 0);
+      ++usage[static_cast<std::size_t>(c)];
+    }
+  }
+
+ private:
+  bool fits(ResourceClass cls, int cycle, int initiation_interval) {
+    const int limit = limit_for(cls);
+    auto& usage = usage_for(cls);
+    for (int c = cycle; c < cycle + initiation_interval; ++c) {
+      const int used =
+          static_cast<std::size_t>(c) < usage.size() ? usage[static_cast<std::size_t>(c)] : 0;
+      if (used >= limit) return false;
+    }
+    return true;
+  }
+
+  int limit_for(ResourceClass cls) const {
+    switch (cls) {
+      case ResourceClass::kMemoryPort: return rc_.memory_ports;
+      case ResourceClass::kMultiplier: return rc_.multipliers;
+      case ResourceClass::kDivider: return rc_.dividers;
+      case ResourceClass::kNone: return 1 << 30;
+    }
+    return 1;
+  }
+
+  std::vector<int>& usage_for(ResourceClass cls) {
+    switch (cls) {
+      case ResourceClass::kMemoryPort: return mem_;
+      case ResourceClass::kMultiplier: return mul_;
+      default: return div_;
+    }
+  }
+
+  ResourceConstraints rc_;
+  std::vector<int> mem_;
+  std::vector<int> mul_;
+  std::vector<int> div_;
+};
+
+BlockSchedule schedule_block(const BasicBlock& bb, const ResourceConstraints& rc) {
+  BlockSchedule out;
+  std::unordered_map<const Instruction*, IssueState> issued;
+  ResourceTracker resources(rc);
+  int max_complete = 0;  // last cycle any op occupies
+  bool needs_state = false;
+
+  for (Instruction* inst :
+       const_cast<BasicBlock&>(bb).instructions()) {
+    if (inst->is_phi()) continue;  // phis resolve on the state-transition edge
+
+    const OpTiming t = op_timing(*inst);
+
+    // Ready time: all same-block operands must have produced their results.
+    int ready_cycle = 0;
+    double ready_time = 0.0;
+    for (const ir::Value* op : inst->operands()) {
+      const Instruction* def = ir::as_instruction(op);
+      if (def == nullptr || def->parent() != &bb || def->is_phi()) continue;
+      const auto it = issued.find(def);
+      if (it == issued.end()) continue;  // defensive: non-SSA order
+      const IssueState& s = it->second;
+      if (s.combinational) {
+        if (s.cycle > ready_cycle) {
+          ready_cycle = s.cycle;
+          ready_time = s.finish;
+        } else if (s.cycle == ready_cycle) {
+          ready_time = std::max(ready_time, s.finish);
+        }
+      } else {
+        if (s.available > ready_cycle) {
+          ready_cycle = s.available;
+          ready_time = 0.0;
+        }
+      }
+    }
+
+    IssueState s;
+    if (t.latency == 0) {
+      // Combinational: chain into the current state if the delay fits.
+      const double delay = std::min(t.delay_ns, rc.clock_period_ns);
+      if (ready_time + delay <= rc.clock_period_ns) {
+        s.cycle = ready_cycle;
+        s.finish = ready_time + delay;
+      } else {
+        s.cycle = ready_cycle + 1;
+        s.finish = delay;
+      }
+      s.available = s.cycle;
+      s.combinational = true;
+      max_complete = std::max(max_complete, s.cycle);
+      // Pure zero-delay wiring (casts, unconditional br) does not force a
+      // state by itself; anything with real delay or a return does.
+      if (delay > 0.0 || inst->opcode() == Opcode::kRet) needs_state = true;
+    } else {
+      // Multi-cycle: issue at a cycle boundary with a free unit.
+      const int min_cycle = ready_time > 0.0 ? ready_cycle + 1 : ready_cycle;
+      const int cycle = resources.earliest(t.resource, min_cycle, t.initiation_interval);
+      resources.commit(t.resource, cycle, t.initiation_interval);
+      s.cycle = cycle;
+      s.available = cycle + t.latency;
+      s.combinational = false;
+      // The block's FSM must remain in flight until the op completes.
+      max_complete = std::max(max_complete, cycle + t.latency - 1);
+      needs_state = true;
+    }
+    issued[inst] = s;
+    out.issue_cycle[inst] = s.cycle;
+  }
+
+  // A block containing only phis, zero-delay wiring, and an unconditional
+  // branch folds into the FSM transition (0 states). Anything with real
+  // delay, a memory/unit op, a multi-way branch, or a return needs states.
+  out.states = needs_state ? std::max(1, max_complete + 1) : 0;
+  return out;
+}
+
+}  // namespace
+
+FunctionSchedule schedule_function(const ir::Function& f, const ResourceConstraints& rc) {
+  FunctionSchedule out;
+  out.function = &f;
+  for (BasicBlock* bb : const_cast<ir::Function&>(f).blocks()) {
+    BlockSchedule bs = schedule_block(*bb, rc);
+    out.total_states += bs.states;
+    out.blocks.emplace(bb, std::move(bs));
+  }
+  return out;
+}
+
+ModuleSchedule schedule_module(const ir::Module& m, const ResourceConstraints& rc) {
+  ModuleSchedule out;
+  for (const ir::Function* f : m.functions()) {
+    out.functions.emplace(f, schedule_function(*f, rc));
+  }
+  return out;
+}
+
+double estimate_area(const ir::Module& m) {
+  double area = 0.0;
+  for (const ir::Function* f : m.functions()) {
+    for (const ir::BasicBlock* bb : const_cast<ir::Function*>(f)->blocks()) {
+      for (const Instruction* inst : bb->instructions()) {
+        area += op_area(*inst);
+        if (inst->opcode() == Opcode::kAlloca) {
+          area += 0.05 * static_cast<double>(inst->alloca_count() *
+                                             inst->allocated_type()->size_in_bytes());
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m.global_count(); ++i) {
+    area += 0.05 * static_cast<double>(m.global(i)->size_in_bytes());
+  }
+  return area;
+}
+
+}  // namespace autophase::hls

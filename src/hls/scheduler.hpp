@@ -1,0 +1,53 @@
+// Resource-constrained list scheduler with operation chaining.
+//
+// Per basic block: instructions are scheduled in SSA order; combinational
+// ops chain within one FSM state until the clock period is exhausted;
+// multi-cycle ops (memory / multiplier / divider / call) are issued at cycle
+// boundaries subject to unit availability. The number of FSM states a block
+// needs is the quantity LegUp's profiler multiplies by dynamic block counts
+// (Huang et al., FCCM'13) — that product is our cycle estimate.
+//
+// Blocks containing only phis + an unconditional branch cost 0 states (FSM
+// transition folding), so edge-splitting helper blocks are free until real
+// code lands in them.
+#pragma once
+
+#include <unordered_map>
+
+#include "hls/timing.hpp"
+#include "ir/module.hpp"
+
+namespace autophase::hls {
+
+struct BlockSchedule {
+  /// FSM states this block occupies per execution.
+  int states = 0;
+  /// Issue cycle of every instruction (for RTL emission / debugging).
+  std::unordered_map<const ir::Instruction*, int> issue_cycle;
+};
+
+struct FunctionSchedule {
+  const ir::Function* function = nullptr;
+  std::unordered_map<const ir::BasicBlock*, BlockSchedule> blocks;
+  /// Sum of block states (static FSM size).
+  int total_states = 0;
+};
+
+struct ModuleSchedule {
+  std::unordered_map<const ir::Function*, FunctionSchedule> functions;
+
+  [[nodiscard]] int states_of(const ir::BasicBlock* bb) const {
+    const auto fit = functions.find(bb->parent());
+    if (fit == functions.end()) return 0;
+    const auto bit = fit->second.blocks.find(bb);
+    return bit == fit->second.blocks.end() ? 0 : bit->second.states;
+  }
+};
+
+FunctionSchedule schedule_function(const ir::Function& f, const ResourceConstraints& rc);
+ModuleSchedule schedule_module(const ir::Module& m, const ResourceConstraints& rc = {});
+
+/// Total datapath area estimate (sum of op areas + BRAM for allocas/globals).
+double estimate_area(const ir::Module& m);
+
+}  // namespace autophase::hls

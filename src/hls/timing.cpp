@@ -1,0 +1,99 @@
+#include "hls/timing.hpp"
+
+namespace autophase::hls {
+
+namespace {
+bool has_constant_operand1(const ir::Instruction& inst) {
+  return inst.operand_count() > 1 && ir::as_constant_int(inst.operand(1)) != nullptr;
+}
+}  // namespace
+
+OpTiming op_timing(const ir::Instruction& inst) {
+  using ir::Opcode;
+  OpTiming t;
+  switch (inst.opcode()) {
+    case Opcode::kAdd:
+    case Opcode::kSub: t.delay_ns = 2.0; break;
+    case Opcode::kICmp: t.delay_ns = 1.3; break;
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor: t.delay_ns = 0.7; break;
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr: t.delay_ns = has_constant_operand1(inst) ? 0.2 : 1.5; break;
+    case Opcode::kSelect: t.delay_ns = 0.9; break;
+    case Opcode::kZExt:
+    case Opcode::kTrunc:
+    case Opcode::kBitCast: t.delay_ns = 0.0; break;
+    case Opcode::kSExt: t.delay_ns = 0.1; break;
+    case Opcode::kGep: t.delay_ns = has_constant_operand1(inst) ? 0.5 : 2.6; break;
+    case Opcode::kMul:
+      t.latency = 2;
+      t.resource = ResourceClass::kMultiplier;
+      break;
+    case Opcode::kSDiv:
+    case Opcode::kUDiv:
+    case Opcode::kSRem:
+    case Opcode::kURem:
+      t.latency = 8;
+      t.initiation_interval = 8;  // iterative divider, not pipelined
+      t.resource = ResourceClass::kDivider;
+      break;
+    case Opcode::kLoad:
+      t.latency = 2;  // BRAM: address cycle + data cycle, pipelined
+      t.resource = ResourceClass::kMemoryPort;
+      break;
+    case Opcode::kStore:
+      t.latency = 1;
+      t.resource = ResourceClass::kMemoryPort;
+      break;
+    case Opcode::kMemSet:
+    case Opcode::kMemCpy:
+      t.latency = 2;  // burst issue; per-element cycles added dynamically
+      t.resource = ResourceClass::kMemoryPort;
+      break;
+    case Opcode::kCall:
+      t.latency = 2;  // FSM handshake; callee cycles accumulate dynamically
+      break;
+    case Opcode::kCondBr:
+    case Opcode::kSwitch: t.delay_ns = 0.3; break;  // next-state mux
+    case Opcode::kPhi:
+    case Opcode::kAlloca:
+    case Opcode::kBr:
+    case Opcode::kRet:
+    case Opcode::kUnreachable: t.delay_ns = 0.0; break;
+  }
+  return t;
+}
+
+double op_area(const ir::Instruction& inst) {
+  using ir::Opcode;
+  switch (inst.opcode()) {
+    case Opcode::kAdd:
+    case Opcode::kSub: return 1.0;
+    case Opcode::kICmp: return 0.6;
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor: return 0.3;
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr: return has_constant_operand1(inst) ? 0.0 : 1.2;
+    case Opcode::kSelect: return 0.4;
+    case Opcode::kMul: return 4.0;
+    case Opcode::kSDiv:
+    case Opcode::kUDiv:
+    case Opcode::kSRem:
+    case Opcode::kURem: return 16.0;
+    case Opcode::kLoad:
+    case Opcode::kStore: return 1.0;  // port muxing
+    case Opcode::kMemSet:
+    case Opcode::kMemCpy: return 2.0;  // burst engine
+    case Opcode::kGep: return has_constant_operand1(inst) ? 0.1 : 1.5;
+    case Opcode::kPhi: return 0.5;  // state mux
+    case Opcode::kCall: return 0.5;
+    case Opcode::kAlloca: return 0.0;  // BRAM allocation counted separately
+    default: return 0.1;
+  }
+}
+
+}  // namespace autophase::hls

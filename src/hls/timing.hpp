@@ -1,0 +1,50 @@
+// Operation-level timing / resource model for the HLS scheduler.
+//
+// Mirrors the LegUp flow the paper uses: the target clock frequency is a
+// compiler constraint (200 MHz by default, §3.2 of the paper), combinational
+// ops chain inside one FSM state while their summed delay fits in the clock
+// period, and multi-cycle ops (memory, multiply, divide, call) occupy
+// pipeline latency plus a shared functional unit.
+#pragma once
+
+#include "ir/instruction.hpp"
+
+namespace autophase::hls {
+
+enum class ResourceClass { kNone, kMemoryPort, kMultiplier, kDivider };
+
+struct OpTiming {
+  /// Combinational delay in ns (chained ops accumulate it within a state).
+  double delay_ns = 0.0;
+  /// 0 = combinational; otherwise result is available `latency` cycles after
+  /// issue and the op occupies its unit according to `initiation_interval`.
+  int latency = 0;
+  /// Cycles between consecutive issues to the same unit (pipelining).
+  int initiation_interval = 1;
+  ResourceClass resource = ResourceClass::kNone;
+};
+
+struct ResourceConstraints {
+  double clock_period_ns = 5.0;  // 200 MHz, as in the paper's experiments
+  int memory_ports = 2;          // dual-port BRAM
+  int multipliers = 2;
+  int dividers = 1;
+
+  /// Target frequency helper (MHz).
+  [[nodiscard]] double frequency_mhz() const noexcept { return 1000.0 / clock_period_ns; }
+  static ResourceConstraints at_frequency_mhz(double mhz) {
+    ResourceConstraints rc;
+    rc.clock_period_ns = 1000.0 / mhz;
+    return rc;
+  }
+};
+
+/// Timing descriptor for one instruction (context-sensitive: shifts/geps by
+/// constants are cheaper wiring).
+OpTiming op_timing(const ir::Instruction& inst);
+
+/// Rough area cost in normalized LUT-ish units (used for the paper's
+/// "different objectives" discussion: reward = -area).
+double op_area(const ir::Instruction& inst);
+
+}  // namespace autophase::hls

@@ -1,0 +1,19 @@
+// Verilog RTL emission: the final step of the paper's toolchain ("the HLS
+// compiler is used to compile the LLVM IR to hardware RTL" after the RL
+// agent converges). Emits one FSM+datapath module per IR function with the
+// schedule's state assignment; enough structure for downstream synthesis
+// sanity checks and for the quickstart example to show real RTL.
+#pragma once
+
+#include <string>
+
+#include "hls/scheduler.hpp"
+
+namespace autophase::hls {
+
+std::string emit_verilog(const ir::Function& f, const FunctionSchedule& schedule,
+                         const ResourceConstraints& rc);
+
+std::string emit_verilog_module(const ir::Module& m, const ResourceConstraints& rc = {});
+
+}  // namespace autophase::hls

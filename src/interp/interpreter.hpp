@@ -1,0 +1,78 @@
+// IR interpreter. Plays two roles from the paper's toolchain:
+//   1. the "software trace" profiler feeding LegUp-style cycle estimation
+//      (per-basic-block execution counts, dynamic call counts, dynamic
+//      element counts for variable-latency mem intrinsics);
+//   2. the golden functional model for semantics-preservation property tests
+//      (every Table-1 pass must preserve run().return_value and the global
+//      memory checksum).
+//
+// For speed the module is compiled to a dense register-slot bytecode once at
+// construction; executing costs tens of nanoseconds per dynamic instruction.
+//
+// Defined semantics (no UB, matching hardware which does not trap):
+//   * integer overflow wraps (two's complement);
+//   * division / remainder by zero yields 0;
+//   * shift amounts are taken modulo the bit width;
+//   * out-of-bounds memory access aborts execution with an error Status.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "ir/module.hpp"
+#include "support/status.hpp"
+
+namespace autophase::interp {
+
+/// Execution profile consumed by the HLS cycle estimator.
+struct Profile {
+  /// Dynamic execution count per basic block.
+  std::unordered_map<const ir::BasicBlock*, std::uint64_t> block_counts;
+  /// Number of dynamic call instructions executed (call handshake overhead).
+  std::uint64_t dynamic_calls = 0;
+  /// Total elements processed per memset/memcpy site (variable latency).
+  std::unordered_map<const ir::Instruction*, std::uint64_t> mem_intrinsic_elems;
+};
+
+struct ExecutionResult {
+  std::int64_t return_value = 0;
+  std::uint64_t instructions_executed = 0;
+  /// FNV-1a hash over the name + final contents of every global variable the
+  /// execution actually wrote to. Restricting to dynamically-written globals
+  /// makes the checksum a sound equivalence oracle: passes may delete
+  /// never-referenced globals (-globaldce), but no correct pass can remove a
+  /// global the program writes.
+  std::uint64_t memory_checksum = 0;
+  Profile profile;
+};
+
+struct InterpreterOptions {
+  std::uint64_t max_instructions = 20'000'000;
+  std::size_t max_call_depth = 2048;
+  std::size_t memory_bytes = 1u << 22;  // 4 MiB arena
+};
+
+class Interpreter {
+ public:
+  /// Compiles `module` to bytecode. The module must stay alive and
+  /// unmodified while this interpreter is used.
+  explicit Interpreter(const ir::Module& module, InterpreterOptions options = {});
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Executes `main` (which by convention takes no arguments). Thread-safe
+  /// for concurrent calls on distinct Interpreter instances only.
+  Result<ExecutionResult> run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience: compile + run.
+Result<ExecutionResult> run_module(const ir::Module& module, InterpreterOptions options = {});
+
+}  // namespace autophase::interp

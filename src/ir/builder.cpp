@@ -1,0 +1,88 @@
+#include "ir/builder.hpp"
+
+#include <cassert>
+
+namespace autophase::ir {
+
+Instruction* IRBuilder::append(std::unique_ptr<Instruction> inst) {
+  assert(block_ != nullptr && "no insert point set");
+  return block_->push_back(std::move(inst));
+}
+
+Value* IRBuilder::binary(Opcode op, Value* a, Value* b, std::string name) {
+  return append(Instruction::binary(op, a, b, std::move(name)));
+}
+
+Value* IRBuilder::icmp(ICmpPred pred, Value* a, Value* b, std::string name) {
+  return append(Instruction::icmp(pred, a, b, std::move(name)));
+}
+
+Value* IRBuilder::zext(Value* v, Type* to, std::string name) {
+  return append(Instruction::cast(Opcode::kZExt, v, to, std::move(name)));
+}
+
+Value* IRBuilder::sext(Value* v, Type* to, std::string name) {
+  return append(Instruction::cast(Opcode::kSExt, v, to, std::move(name)));
+}
+
+Value* IRBuilder::trunc(Value* v, Type* to, std::string name) {
+  return append(Instruction::cast(Opcode::kTrunc, v, to, std::move(name)));
+}
+
+Value* IRBuilder::bitcast(Value* v, Type* to, std::string name) {
+  return append(Instruction::cast(Opcode::kBitCast, v, to, std::move(name)));
+}
+
+Value* IRBuilder::select(Value* cond, Value* if_true, Value* if_false, std::string name) {
+  return append(Instruction::select(cond, if_true, if_false, std::move(name)));
+}
+
+Instruction* IRBuilder::phi(Type* type, std::string name) {
+  return append(Instruction::phi(type, std::move(name)));
+}
+
+Instruction* IRBuilder::alloca_scalar(Type* element_type, std::string name) {
+  return append(Instruction::alloca_inst(element_type, 1, std::move(name)));
+}
+
+Instruction* IRBuilder::alloca_array(Type* element_type, std::size_t count, std::string name) {
+  return append(Instruction::alloca_inst(element_type, count, std::move(name)));
+}
+
+Value* IRBuilder::load(Value* pointer, std::string name) {
+  return append(Instruction::load(pointer, std::move(name)));
+}
+
+Instruction* IRBuilder::store(Value* value, Value* pointer) {
+  return append(Instruction::store(value, pointer));
+}
+
+Value* IRBuilder::gep(Value* pointer, Value* index, std::string name) {
+  return append(Instruction::gep(pointer, index, std::move(name)));
+}
+
+Instruction* IRBuilder::mem_set(Value* dst, Value* value, Value* count) {
+  return append(Instruction::mem_set(dst, value, count));
+}
+
+Instruction* IRBuilder::mem_cpy(Value* dst, Value* src, Value* count) {
+  return append(Instruction::mem_cpy(dst, src, count));
+}
+
+Value* IRBuilder::call(Function* callee, std::vector<Value*> args, std::string name) {
+  return append(Instruction::call(callee, std::move(args), std::move(name)));
+}
+
+Instruction* IRBuilder::br(BasicBlock* target) { return append(Instruction::br(target)); }
+
+Instruction* IRBuilder::cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false) {
+  return append(Instruction::cond_br(cond, if_true, if_false));
+}
+
+Instruction* IRBuilder::switch_inst(Value* value, BasicBlock* default_dest) {
+  return append(Instruction::switch_inst(value, default_dest));
+}
+
+Instruction* IRBuilder::ret(Value* value) { return append(Instruction::ret(value)); }
+
+}  // namespace autophase::ir

@@ -1,0 +1,112 @@
+#include "ir/clone.hpp"
+
+#include <cassert>
+
+namespace autophase::ir {
+
+Value* CloneContext::map_value(Value* v) const {
+  const auto it = values.find(v);
+  if (it != values.end()) return it->second;
+  if (dest != nullptr) {
+    if (const ConstantInt* ci = as_constant_int(v)) return dest->get_int(ci->type(), ci->value());
+    if (v->value_kind() == ValueKind::kUndef) return dest->get_undef(v->type());
+  }
+  return v;
+}
+
+BasicBlock* CloneContext::map_block(BasicBlock* bb) const {
+  const auto it = blocks.find(bb);
+  return it == blocks.end() ? bb : it->second;
+}
+
+Function* CloneContext::map_function(Function* f) const {
+  const auto it = functions.find(f);
+  return it == functions.end() ? f : it->second;
+}
+
+void remap_instruction(Instruction* inst, const CloneContext& ctx) {
+  for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+    Value* mapped = ctx.map_value(inst->operand(i));
+    if (mapped != inst->operand(i)) inst->set_operand(i, mapped);
+  }
+  if (inst->is_terminator()) {
+    for (std::size_t i = 0; i < inst->successor_count(); ++i) {
+      BasicBlock* mapped = ctx.map_block(inst->successor(i));
+      if (mapped != inst->successor(i)) inst->set_successor(i, mapped);
+    }
+  }
+  if (inst->is_phi()) {
+    for (std::size_t i = 0; i < inst->incoming_count(); ++i) {
+      BasicBlock* old = inst->incoming_block(i);
+      BasicBlock* mapped = ctx.map_block(old);
+      if (mapped != old) inst->replace_incoming_block(old, mapped);
+    }
+  }
+  if (inst->opcode() == Opcode::kCall) {
+    inst->set_callee(ctx.map_function(inst->callee()));
+  }
+}
+
+std::vector<BasicBlock*> clone_blocks(Function& dest_func, std::span<BasicBlock* const> blocks,
+                                      CloneContext& ctx, const std::string& suffix) {
+  std::vector<BasicBlock*> out;
+  out.reserve(blocks.size());
+  for (BasicBlock* bb : blocks) {
+    BasicBlock* copy = dest_func.create_block(bb->name() + suffix);
+    ctx.blocks[bb] = copy;
+    out.push_back(copy);
+  }
+  std::vector<Instruction*> cloned;
+  for (BasicBlock* bb : blocks) {
+    BasicBlock* copy = ctx.blocks.at(bb);
+    for (Instruction* inst : bb->instructions()) {
+      Instruction* inst_copy = copy->push_back(inst->clone());
+      ctx.values[inst] = inst_copy;
+      cloned.push_back(inst_copy);
+    }
+  }
+  // Remap after all clones exist (phis and branches reference forward).
+  for (Instruction* inst : cloned) remap_instruction(inst, ctx);
+  return out;
+}
+
+std::unique_ptr<Module> clone_module(const Module& src) {
+  auto dest = std::make_unique<Module>(src.name());
+  CloneContext ctx;
+  ctx.dest = dest.get();
+
+  for (std::size_t i = 0; i < src.global_count(); ++i) {
+    const GlobalVariable* g = src.global(i);
+    GlobalVariable* copy = dest->create_global(g->element_type(), g->element_count(), g->name(),
+                                               g->init(), g->is_constant_data());
+    ctx.values[g] = copy;
+  }
+
+  // Two phases: signatures first so call instructions can remap.
+  for (std::size_t i = 0; i < src.function_count(); ++i) {
+    const Function* f = src.function(i);
+    std::vector<Type*> param_types;
+    std::vector<std::string> param_names;
+    for (std::size_t a = 0; a < f->arg_count(); ++a) {
+      param_types.push_back(f->arg(a)->type());
+      param_names.push_back(f->arg(a)->name());
+    }
+    Function* copy = dest->create_function(f->name(), f->return_type(), param_types, param_names);
+    copy->attrs() = f->attrs();
+    ctx.functions[f] = copy;
+    for (std::size_t a = 0; a < f->arg_count(); ++a) ctx.values[f->arg(a)] = copy->arg(a);
+  }
+
+  for (std::size_t i = 0; i < src.function_count(); ++i) {
+    const Function* f = src.function(i);
+    Function* copy = ctx.functions.at(f);
+    // const_cast: blocks() is a read-only snapshot; Function lacks a const
+    // overload to keep the API small.
+    auto blocks = const_cast<Function*>(f)->blocks();
+    clone_blocks(*copy, blocks, ctx, "");
+  }
+
+  return dest;
+}
+
+}  // namespace autophase::ir

@@ -1,0 +1,45 @@
+// Cloning machinery: whole-module deep clones (the RL environment restores
+// the original program at every episode reset) and block-range clones with
+// value remapping (inliner, loop unroller, loop unswitch, partial inliner).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "ir/module.hpp"
+
+namespace autophase::ir {
+
+/// Remapping state threaded through a clone. `dest` is only set for
+/// cross-module clones, in which case constants are re-interned there.
+struct CloneContext {
+  Module* dest = nullptr;
+  std::unordered_map<const Value*, Value*> values;
+  std::unordered_map<const BasicBlock*, BasicBlock*> blocks;
+  std::unordered_map<const Function*, Function*> functions;
+
+  /// Mapped value; constants re-interned into `dest` when set; identity for
+  /// anything unmapped.
+  Value* map_value(Value* v) const;
+  BasicBlock* map_block(BasicBlock* bb) const;
+  Function* map_function(Function* f) const;
+};
+
+/// Rewrites operands, successors, phi incoming blocks, and callee of a
+/// (cloned) instruction through the context.
+void remap_instruction(Instruction* inst, const CloneContext& ctx);
+
+/// Clones `blocks` into `dest_func` (appended, in order, names suffixed).
+/// ctx.values/ctx.blocks gain the mappings; instructions are fully remapped
+/// through ctx (so pre-seeding ctx.values lets callers substitute e.g.
+/// arguments for parameters). References to blocks outside the cloned set
+/// are left as-is for the caller to retarget.
+std::vector<BasicBlock*> clone_blocks(Function& dest_func, std::span<BasicBlock* const> blocks,
+                                      CloneContext& ctx, const std::string& suffix);
+
+/// Deep copy of a module (functions, globals, attributes, bodies).
+std::unique_ptr<Module> clone_module(const Module& src);
+
+}  // namespace autophase::ir

@@ -1,0 +1,71 @@
+// Pure constant evaluation shared by the interpreter and the constant-
+// folding passes, so compile-time folding and run-time semantics can never
+// diverge. All operations follow the IR's defined (non-trapping) semantics:
+// wrap-around overflow, division by zero yields 0, shift amounts mod width.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/instruction.hpp"
+
+namespace autophase::ir {
+
+inline std::int64_t sext_to_64(std::uint64_t v, int bits) noexcept {
+  if (bits >= 64) return static_cast<std::int64_t>(v);
+  const int s = 64 - bits;
+  return static_cast<std::int64_t>(v << s) >> s;
+}
+
+inline std::uint64_t zext_mask(std::int64_t v, int bits) noexcept {
+  if (bits >= 64) return static_cast<std::uint64_t>(v);
+  return static_cast<std::uint64_t>(v) & ((1ULL << bits) - 1);
+}
+
+inline std::int64_t fold_binary_op(Opcode op, std::int64_t a, std::int64_t b, int bits) noexcept {
+  const std::uint64_t ua = static_cast<std::uint64_t>(a);
+  const std::uint64_t ub = static_cast<std::uint64_t>(b);
+  const std::uint64_t za = zext_mask(a, bits);
+  const std::uint64_t zb = zext_mask(b, bits);
+  const std::uint64_t sh = bits > 0 ? zb % static_cast<std::uint64_t>(bits) : 0;
+  switch (op) {
+    case Opcode::kAdd: return sext_to_64(ua + ub, bits);
+    case Opcode::kSub: return sext_to_64(ua - ub, bits);
+    case Opcode::kMul: return sext_to_64(ua * ub, bits);
+    case Opcode::kSDiv:
+      if (b == 0) return 0;
+      if (b == -1) return sext_to_64(static_cast<std::uint64_t>(-a), bits);
+      return sext_to_64(static_cast<std::uint64_t>(a / b), bits);
+    case Opcode::kUDiv: return zb == 0 ? 0 : sext_to_64(za / zb, bits);
+    case Opcode::kSRem:
+      if (b == 0 || b == -1) return 0;
+      return sext_to_64(static_cast<std::uint64_t>(a % b), bits);
+    case Opcode::kURem: return zb == 0 ? 0 : sext_to_64(za % zb, bits);
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kShl: return sext_to_64(za << sh, bits);
+    case Opcode::kLShr: return sext_to_64(za >> sh, bits);
+    case Opcode::kAShr: return sext_to_64(static_cast<std::uint64_t>(a >> sh), bits);
+    default: return 0;
+  }
+}
+
+inline bool fold_icmp_op(ICmpPred pred, std::int64_t a, std::int64_t b, int bits) noexcept {
+  const std::uint64_t za = zext_mask(a, bits);
+  const std::uint64_t zb = zext_mask(b, bits);
+  switch (pred) {
+    case ICmpPred::kEq: return a == b;
+    case ICmpPred::kNe: return a != b;
+    case ICmpPred::kSlt: return a < b;
+    case ICmpPred::kSle: return a <= b;
+    case ICmpPred::kSgt: return a > b;
+    case ICmpPred::kSge: return a >= b;
+    case ICmpPred::kUlt: return za < zb;
+    case ICmpPred::kUle: return za <= zb;
+    case ICmpPred::kUgt: return za > zb;
+    case ICmpPred::kUge: return za >= zb;
+  }
+  return false;
+}
+
+}  // namespace autophase::ir

@@ -1,0 +1,85 @@
+// Function: arguments + owned basic blocks + inferred attributes. The first
+// block is the entry block. Functions are owned by a Module.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "ir/value.hpp"
+
+namespace autophase::ir {
+
+class Module;
+
+/// Attributes inferred by -functionattrs / -prune-eh and consumed by the
+/// scalar optimisations (CSE/GVN/LICM/ADCE treat readnone calls as pure).
+struct FunctionAttrs {
+  bool readnone = false;  ///< touches no memory (pure function of its args)
+  bool readonly = false;  ///< may read but never writes memory
+  bool nounwind = false;  ///< cannot unwind (always true after -prune-eh)
+};
+
+class Function {
+ public:
+  Function(Module* parent, std::string name, Type* return_type,
+           const std::vector<Type*>& param_types, std::vector<std::string> param_names = {});
+  ~Function();
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  [[nodiscard]] Module* parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] Type* return_type() const noexcept { return return_type_; }
+
+  // ---- Arguments ----
+  [[nodiscard]] std::size_t arg_count() const noexcept { return args_.size(); }
+  [[nodiscard]] Argument* arg(std::size_t i) const noexcept { return args_[i].get(); }
+  [[nodiscard]] std::vector<Argument*> args() const;
+  /// Removes a formal parameter (caller must already have rewritten all call
+  /// sites); reindexes the remaining arguments.
+  void remove_arg(std::size_t i);
+
+  // ---- Blocks ----
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  [[nodiscard]] BasicBlock* entry() const noexcept {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  [[nodiscard]] BasicBlock* block(std::size_t i) const noexcept { return blocks_[i].get(); }
+  /// Snapshot of block pointers (safe to iterate during mutation).
+  [[nodiscard]] std::vector<BasicBlock*> blocks() const;
+
+  /// Create and append a block.
+  BasicBlock* create_block(std::string name);
+  /// Create a block placed immediately after `after` (keeps printing and
+  /// scheduling order intuitive).
+  BasicBlock* create_block_after(BasicBlock* after, std::string name);
+  /// Unlink and destroy a block. The block's instructions are destroyed;
+  /// callers must already have removed external references (branches to it,
+  /// phi incoming entries, users of its values).
+  void erase_block(BasicBlock* bb);
+  [[nodiscard]] int index_of(const BasicBlock* bb) const noexcept;
+  /// Move `bb` to position `index` in the block order (printing/scheduling
+  /// cosmetics only; CFG semantics are edge-based).
+  void move_block(BasicBlock* bb, std::size_t index);
+
+  // ---- Attributes ----
+  [[nodiscard]] const FunctionAttrs& attrs() const noexcept { return attrs_; }
+  [[nodiscard]] FunctionAttrs& attrs() noexcept { return attrs_; }
+
+  /// Total instruction count across blocks (inliner cost metric).
+  [[nodiscard]] std::size_t instruction_count() const noexcept;
+
+ private:
+  Module* parent_;
+  std::string name_;
+  Type* return_type_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  FunctionAttrs attrs_;
+};
+
+}  // namespace autophase::ir

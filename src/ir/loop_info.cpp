@@ -1,0 +1,192 @@
+#include "ir/loop_info.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace autophase::ir {
+
+bool Loop::contains(const BasicBlock* bb) const noexcept {
+  return std::find(blocks_.begin(), blocks_.end(), bb) != blocks_.end();
+}
+
+bool Loop::contains(const Loop* other) const noexcept {
+  return other != nullptr && contains(other->header_);
+}
+
+int Loop::depth() const noexcept {
+  int d = 1;
+  for (const Loop* l = parent_; l != nullptr; l = l->parent_) ++d;
+  return d;
+}
+
+BasicBlock* Loop::preheader() const {
+  BasicBlock* candidate = nullptr;
+  for (BasicBlock* p : header_->unique_predecessors()) {
+    if (contains(p)) continue;
+    if (candidate != nullptr && candidate != p) return nullptr;  // multiple outside preds
+    candidate = p;
+  }
+  if (candidate == nullptr) return nullptr;
+  const auto succs = candidate->successors();
+  if (succs.size() != 1 || succs[0] != header_) return nullptr;
+  return candidate;
+}
+
+std::vector<BasicBlock*> Loop::latches() const {
+  std::vector<BasicBlock*> out;
+  for (BasicBlock* p : header_->unique_predecessors()) {
+    if (contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+BasicBlock* Loop::latch() const {
+  const auto ls = latches();
+  return ls.size() == 1 ? ls.front() : nullptr;
+}
+
+std::vector<BasicBlock*> Loop::exiting_blocks() const {
+  std::vector<BasicBlock*> out;
+  for (BasicBlock* bb : blocks_) {
+    for (BasicBlock* s : bb->successors()) {
+      if (!contains(s)) {
+        out.push_back(bb);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<BasicBlock*> Loop::exit_blocks() const {
+  std::vector<BasicBlock*> out;
+  for (BasicBlock* bb : blocks_) {
+    for (BasicBlock* s : bb->successors()) {
+      if (!contains(s) && std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<BasicBlock*, BasicBlock*>> Loop::exit_edges() const {
+  std::vector<std::pair<BasicBlock*, BasicBlock*>> out;
+  for (BasicBlock* bb : blocks_) {
+    for (BasicBlock* s : bb->successors()) {
+      if (!contains(s)) out.emplace_back(bb, s);
+    }
+  }
+  return out;
+}
+
+bool Loop::has_dedicated_exits() const {
+  for (BasicBlock* exit : exit_blocks()) {
+    for (BasicBlock* p : exit->unique_predecessors()) {
+      if (!contains(p)) return false;
+    }
+  }
+  return true;
+}
+
+LoopInfo::LoopInfo(Function& f, const DominatorTree& dt) {
+  (void)f;  // the dominator tree carries the reachable-block order
+  // 1. Find back edges tail->header (header dominates tail), grouped by header.
+  //    Use a map ordered by RPO position for determinism.
+  std::map<int, BasicBlock*> header_order;  // rpo index -> header
+  std::unordered_map<BasicBlock*, std::vector<BasicBlock*>> backedges;
+  const auto& rpo = dt.rpo();
+  std::unordered_map<const BasicBlock*, int> rpo_index;
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = static_cast<int>(i);
+
+  for (BasicBlock* bb : rpo) {
+    for (BasicBlock* succ : bb->successors()) {
+      if (dt.is_reachable(succ) && dt.dominates(succ, bb)) {
+        backedges[succ].push_back(bb);
+        header_order.emplace(rpo_index.at(succ), succ);
+      }
+    }
+  }
+
+  // 2. For each header, collect the natural loop: header + all blocks that
+  //    reach a latch without passing through the header. The header is
+  //    seeded into the membership set first so the reverse walk never
+  //    expands through it (self-loop latches included).
+  for (const auto& [order, header] : header_order) {
+    (void)order;
+    std::vector<BasicBlock*> blocks{header};
+    std::unordered_set<BasicBlock*> in_loop{header};
+    std::vector<BasicBlock*> worklist;
+    for (BasicBlock* latch : backedges.at(header)) {
+      if (dt.is_reachable(latch) && in_loop.insert(latch).second) worklist.push_back(latch);
+    }
+    while (!worklist.empty()) {
+      BasicBlock* bb = worklist.back();
+      worklist.pop_back();
+      blocks.push_back(bb);
+      for (BasicBlock* p : bb->unique_predecessors()) {
+        if (dt.is_reachable(p) && in_loop.insert(p).second) worklist.push_back(p);
+      }
+    }
+    // Keep header first, rest in deterministic (RPO) order.
+    std::sort(blocks.begin() + 1, blocks.end(), [&](BasicBlock* a, BasicBlock* b) {
+      return rpo_index.at(a) < rpo_index.at(b);
+    });
+    loops_.push_back(std::make_unique<Loop>(header, std::move(blocks)));
+  }
+
+  // 3. Build the nesting forest by block-set containment. Sort by size so a
+  //    loop's parent is the smallest strictly-containing loop.
+  std::vector<Loop*> by_size;
+  for (const auto& l : loops_) by_size.push_back(l.get());
+  std::sort(by_size.begin(), by_size.end(),
+            [](const Loop* a, const Loop* b) { return a->blocks().size() < b->blocks().size(); });
+  for (std::size_t i = 0; i < by_size.size(); ++i) {
+    Loop* inner = by_size[i];
+    for (std::size_t j = i + 1; j < by_size.size(); ++j) {
+      Loop* outer = by_size[j];
+      if (outer != inner && outer->contains(inner->header())) {
+        inner->parent_ = outer;
+        outer->subloops_.push_back(inner);
+        break;
+      }
+    }
+    if (inner->parent_ == nullptr) top_level_.push_back(inner);
+  }
+
+  // 4. Innermost-loop map: smallest loop containing each block.
+  for (Loop* l : by_size) {
+    for (BasicBlock* bb : l->blocks()) {
+      if (!innermost_.contains(bb)) innermost_[bb] = l;
+    }
+  }
+}
+
+std::vector<Loop*> LoopInfo::all_loops() const {
+  std::vector<Loop*> out;
+  std::vector<Loop*> stack(top_level_.rbegin(), top_level_.rend());
+  while (!stack.empty()) {
+    Loop* l = stack.back();
+    stack.pop_back();
+    out.push_back(l);
+    for (auto it = l->subloops().rbegin(); it != l->subloops().rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<Loop*> LoopInfo::loops_innermost_first() const {
+  auto out = all_loops();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Loop* LoopInfo::loop_for(const BasicBlock* bb) const {
+  const auto it = innermost_.find(bb);
+  return it == innermost_.end() ? nullptr : it->second;
+}
+
+int LoopInfo::depth_of(const BasicBlock* bb) const {
+  const Loop* l = loop_for(bb);
+  return l == nullptr ? 0 : l->depth();
+}
+
+}  // namespace autophase::ir

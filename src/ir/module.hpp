@@ -1,0 +1,71 @@
+// Module: the compilation unit. Owns functions, global variables, and the
+// per-module constant pool (ConstantInt / Undef are interned per module so
+// pointer equality is value equality within a module).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace autophase::ir {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  /// Functions must be destroyed before the globals / constants their
+  /// instructions reference (instruction teardown unregisters from operand
+  /// use lists).
+  ~Module() { functions_.clear(); }
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ---- Functions ----
+  Function* create_function(std::string name, Type* return_type,
+                            const std::vector<Type*>& param_types,
+                            std::vector<std::string> param_names = {});
+  [[nodiscard]] std::size_t function_count() const noexcept { return functions_.size(); }
+  [[nodiscard]] Function* function(std::size_t i) const noexcept { return functions_[i].get(); }
+  [[nodiscard]] std::vector<Function*> functions() const;
+  [[nodiscard]] Function* find_function(const std::string& name) const noexcept;
+  /// Entry point; by convention the function named "main".
+  [[nodiscard]] Function* main() const noexcept { return find_function("main"); }
+  /// Destroys a function (no remaining call sites allowed).
+  void erase_function(Function* f);
+
+  // ---- Globals ----
+  GlobalVariable* create_global(Type* element_type, std::size_t element_count, std::string name,
+                                std::vector<std::int64_t> init = {}, bool is_constant_data = false);
+  [[nodiscard]] std::size_t global_count() const noexcept { return globals_.size(); }
+  [[nodiscard]] GlobalVariable* global(std::size_t i) const noexcept { return globals_[i].get(); }
+  [[nodiscard]] std::vector<GlobalVariable*> globals() const;
+  void erase_global(GlobalVariable* g);
+
+  // ---- Constants (interned per module) ----
+  ConstantInt* get_int(Type* type, std::int64_t value);
+  ConstantInt* get_i1(bool value) { return get_int(Type::i1(), value ? 1 : 0); }
+  ConstantInt* get_i32(std::int64_t value) { return get_int(Type::i32(), value); }
+  ConstantInt* get_i64(std::int64_t value) { return get_int(Type::i64(), value); }
+  Undef* get_undef(Type* type);
+
+  /// Total instruction count across all functions.
+  [[nodiscard]] std::size_t instruction_count() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::map<std::pair<Type*, std::int64_t>, std::unique_ptr<ConstantInt>> int_constants_;
+  std::map<Type*, std::unique_ptr<Undef>> undefs_;
+};
+
+}  // namespace autophase::ir

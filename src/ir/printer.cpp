@@ -1,0 +1,190 @@
+#include "ir/printer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+
+namespace autophase::ir {
+
+namespace {
+
+class FunctionPrinter {
+ public:
+  explicit FunctionPrinter(const Function& f) : f_(f) {
+    // Assign deterministic labels: arguments first, then instructions in
+    // block order. User-provided names are kept but suffixed with the slot
+    // so labels stay unique even after name-mangling passes.
+    unsigned slot = 0;
+    for (std::size_t i = 0; i < f.arg_count(); ++i) assign(f.arg(i), slot++);
+    unsigned block_slot = 0;
+    for (BasicBlock* bb : f.blocks()) {
+      block_labels_[bb] = label_for(bb->name(), block_slot++);
+      for (Instruction* inst : bb->instructions()) {
+        if (!inst->type()->is_void()) assign(inst, slot++);
+      }
+    }
+  }
+
+  std::string print() {
+    std::ostringstream os;
+    os << "define " << f_.return_type()->to_string() << " @" << f_.name() << "(";
+    for (std::size_t i = 0; i < f_.arg_count(); ++i) {
+      if (i != 0) os << ", ";
+      os << f_.arg(i)->type()->to_string() << " %" << value_labels_.at(f_.arg(i));
+    }
+    os << ")";
+    const auto& attrs = f_.attrs();
+    if (attrs.readnone) os << " readnone";
+    if (attrs.readonly) os << " readonly";
+    if (attrs.nounwind) os << " nounwind";
+    os << " {\n";
+    for (BasicBlock* bb : f_.blocks()) {
+      os << block_labels_.at(bb) << ":";
+      if (!bb->predecessors().empty()) {
+        // Sorted so the print (and hence the module fingerprint) does not
+        // depend on predecessor-list bookkeeping order, which cloning and
+        // edge rewiring legitimately permute.
+        std::vector<std::string> preds;
+        for (BasicBlock* p : bb->predecessors()) preds.push_back(block_labels_.at(p));
+        std::sort(preds.begin(), preds.end());
+        os << "  ; preds:";
+        for (const auto& p : preds) os << " " << p;
+      }
+      os << "\n";
+      for (Instruction* inst : bb->instructions()) print_inst(os, inst);
+    }
+    os << "}\n";
+    return os.str();
+  }
+
+ private:
+  void assign(const Value* v, unsigned slot) {
+    value_labels_[v] = label_for(v->name(), slot);
+  }
+
+  static std::string label_for(const std::string& name, unsigned slot) {
+    return name.empty() ? std::to_string(slot) : name + "." + std::to_string(slot);
+  }
+
+  std::string ref(const Value* v) const {
+    switch (v->value_kind()) {
+      case ValueKind::kConstantInt:
+        return v->type()->to_string() + " " +
+               std::to_string(static_cast<const ConstantInt*>(v)->value());
+      case ValueKind::kUndef: return v->type()->to_string() + " undef";
+      case ValueKind::kGlobalVariable: return v->type()->to_string() + " @" + v->name();
+      default: break;
+    }
+    const auto it = value_labels_.find(v);
+    return v->type()->to_string() + " %" + (it != value_labels_.end() ? it->second : "?");
+  }
+
+  std::string blabel(const BasicBlock* bb) const {
+    const auto it = block_labels_.find(bb);
+    return "%" + (it != block_labels_.end() ? it->second : std::string("?"));
+  }
+
+  void print_inst(std::ostringstream& os, const Instruction* inst) const {
+    os << "  ";
+    if (!inst->type()->is_void()) os << "%" << value_labels_.at(inst) << " = ";
+    switch (inst->opcode()) {
+      case Opcode::kICmp:
+        os << "icmp " << icmp_pred_name(inst->icmp_pred()) << " " << ref(inst->operand(0)) << ", "
+           << ref(inst->operand(1));
+        break;
+      case Opcode::kAlloca:
+        os << "alloca " << inst->allocated_type()->to_string() << ", count "
+           << inst->alloca_count();
+        break;
+      case Opcode::kPhi: {
+        os << "phi " << inst->type()->to_string();
+        for (std::size_t i = 0; i < inst->incoming_count(); ++i) {
+          os << (i == 0 ? " " : ", ") << "[ " << ref(inst->incoming_value(i)) << ", "
+             << blabel(inst->incoming_block(i)) << " ]";
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        os << "call @" << inst->callee()->name() << "(";
+        for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+          if (i != 0) os << ", ";
+          os << ref(inst->operand(i));
+        }
+        os << ")";
+        break;
+      }
+      case Opcode::kBr: os << "br label " << blabel(inst->successor(0)); break;
+      case Opcode::kCondBr:
+        os << "condbr " << ref(inst->operand(0)) << ", label " << blabel(inst->successor(0))
+           << ", label " << blabel(inst->successor(1));
+        break;
+      case Opcode::kSwitch: {
+        os << "switch " << ref(inst->operand(0)) << ", default " << blabel(inst->successor(0))
+           << " [";
+        for (std::size_t c = 0; c < inst->switch_case_count(); ++c) {
+          if (c != 0) os << ", ";
+          os << static_cast<const ConstantInt*>(inst->operand(1 + c))->value() << " -> "
+             << blabel(inst->successor(1 + c));
+        }
+        os << "]";
+        break;
+      }
+      case Opcode::kRet:
+        os << "ret";
+        if (inst->operand_count() > 0) os << " " << ref(inst->operand(0));
+        break;
+      default: {
+        os << opcode_name(inst->opcode());
+        if (inst->is_cast()) os << " to " << inst->type()->to_string();
+        for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+          os << (i == 0 ? " " : ", ") << ref(inst->operand(i));
+        }
+        break;
+      }
+    }
+    os << "\n";
+  }
+
+  const Function& f_;
+  std::unordered_map<const Value*, std::string> value_labels_;
+  std::unordered_map<const BasicBlock*, std::string> block_labels_;
+};
+
+}  // namespace
+
+std::string print_function(const Function& function) {
+  return FunctionPrinter(function).print();
+}
+
+std::string print_module(const Module& module) {
+  std::ostringstream os;
+  os << "; module '" << module.name() << "'\n";
+  for (std::size_t i = 0; i < module.global_count(); ++i) {
+    const GlobalVariable* g = module.global(i);
+    os << "@" << g->name() << " = global [" << g->element_count() << " x "
+       << g->element_type()->to_string() << "]";
+    if (g->is_constant_data()) os << " constant";
+    const auto& init = g->init();
+    if (!init.empty()) {
+      os << " {";
+      for (std::size_t j = 0; j < init.size(); ++j) {
+        if (j != 0) os << ",";
+        os << init[j];
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < module.function_count(); ++i) {
+    os << "\n" << print_function(*module.function(i));
+  }
+  return os.str();
+}
+
+std::uint64_t module_fingerprint(const Module& module) {
+  return fnv1a(print_module(module));
+}
+
+}  // namespace autophase::ir

@@ -1,0 +1,20 @@
+// Textual IR printing. Deterministic: value labels derive from per-function
+// slot numbers (optionally combined with user names), so the printed form is
+// stable and usable as a cache fingerprint for module evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace autophase::ir {
+
+std::string print_module(const Module& module);
+std::string print_function(const Function& function);
+
+/// FNV-1a hash of print_module — the canonical module fingerprint used by
+/// the evaluation cache.
+std::uint64_t module_fingerprint(const Module& module);
+
+}  // namespace autophase::ir

@@ -1,0 +1,28 @@
+#include "ir/value.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ir/instruction.hpp"
+
+namespace autophase::ir {
+
+void Value::remove_user(Instruction* user) {
+  if (!tracks_users()) return;
+  const auto it = std::find(users_.begin(), users_.end(), user);
+  assert(it != users_.end() && "use-list out of sync");
+  users_.erase(it);  // stable erase keeps deterministic iteration order
+}
+
+void Value::replace_all_uses_with(Value* replacement) {
+  assert(replacement != this && "self-replacement");
+  assert(tracks_users() && "cannot RAUW a constant");
+  // Each replace_uses_of call removes this value's entries from users_, so
+  // loop until the use list drains.
+  while (!users_.empty()) {
+    Instruction* user = users_.back();
+    user->replace_uses_of(this, replacement);
+  }
+}
+
+}  // namespace autophase::ir

@@ -1,0 +1,194 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+#include "support/str.hpp"
+
+namespace autophase::ir {
+
+namespace {
+
+Status fail(const Function& f, const std::string& what) {
+  return Status::error("verifier: function '" + f.name() + "': " + what);
+}
+
+}  // namespace
+
+Status verify_function(Function& f) {
+  if (f.block_count() == 0) return fail(f, "no blocks");
+  if (f.entry()->empty()) return fail(f, "empty entry block");
+
+  // --- Block structure ---
+  for (BasicBlock* bb : f.blocks()) {
+    if (bb->empty()) return fail(f, "empty block '" + bb->name() + "'");
+    const auto insts = bb->instructions();
+    bool seen_non_phi = false;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      Instruction* inst = insts[i];
+      if (inst->parent() != bb) return fail(f, "instruction parent link broken");
+      const bool last = i + 1 == insts.size();
+      if (inst->is_terminator() != last) {
+        return fail(f, last ? "block '" + bb->name() + "' does not end with a terminator"
+                            : "terminator in the middle of block '" + bb->name() + "'");
+      }
+      if (inst->is_phi()) {
+        if (seen_non_phi) return fail(f, "phi after non-phi in block '" + bb->name() + "'");
+      } else {
+        seen_non_phi = true;
+      }
+    }
+  }
+
+  // --- Predecessor lists match successor slots (multiset equality) ---
+  std::map<const BasicBlock*, std::multiset<const BasicBlock*>> expected_preds;
+  for (BasicBlock* bb : f.blocks()) expected_preds[bb] = {};
+  for (BasicBlock* bb : f.blocks()) {
+    Instruction* term = bb->terminator();
+    for (std::size_t i = 0; i < term->successor_count(); ++i) {
+      BasicBlock* s = term->successor(i);
+      if (s->parent() != &f) return fail(f, "branch to block of another function");
+      expected_preds[s].insert(bb);
+    }
+  }
+  for (BasicBlock* bb : f.blocks()) {
+    std::multiset<const BasicBlock*> got(bb->predecessors().begin(), bb->predecessors().end());
+    if (got != expected_preds[bb]) {
+      return fail(f, "predecessor list out of sync for block '" + bb->name() + "'");
+    }
+  }
+
+  // --- Per-instruction typing ---
+  for (BasicBlock* bb : f.blocks()) {
+    for (Instruction* inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+        if (inst->operand(i) == nullptr) return fail(f, "null operand");
+      }
+      switch (inst->opcode()) {
+        case Opcode::kICmp:
+          if (inst->operand(0)->type() != inst->operand(1)->type()) {
+            return fail(f, "icmp operand type mismatch");
+          }
+          break;
+        case Opcode::kStore:
+          if (!inst->operand(1)->type()->is_pointer() ||
+              inst->operand(1)->type()->pointee() != inst->operand(0)->type()) {
+            return fail(f, "store type mismatch");
+          }
+          break;
+        case Opcode::kLoad:
+          if (!inst->operand(0)->type()->is_pointer() ||
+              inst->operand(0)->type()->pointee() != inst->type()) {
+            return fail(f, "load type mismatch");
+          }
+          break;
+        case Opcode::kGep:
+          if (!inst->operand(0)->type()->is_pointer() || !inst->operand(1)->type()->is_int() ||
+              inst->type() != inst->operand(0)->type()) {
+            return fail(f, "gep type mismatch");
+          }
+          break;
+        case Opcode::kCall: {
+          const Function* callee = inst->callee();
+          if (callee == nullptr) return fail(f, "call without callee");
+          if (callee->parent() != f.parent()) return fail(f, "cross-module call");
+          if (inst->operand_count() != callee->arg_count()) {
+            return fail(f, "call arity mismatch to '" + callee->name() + "'");
+          }
+          for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+            if (inst->operand(i)->type() != callee->arg(i)->type()) {
+              return fail(f, "call argument type mismatch to '" + callee->name() + "'");
+            }
+          }
+          if (inst->type() != callee->return_type()) return fail(f, "call return type mismatch");
+          break;
+        }
+        case Opcode::kRet:
+          if (f.return_type()->is_void()) {
+            if (inst->operand_count() != 0) return fail(f, "ret with value in void function");
+          } else {
+            if (inst->operand_count() != 1 || inst->operand(0)->type() != f.return_type()) {
+              return fail(f, "ret type mismatch");
+            }
+          }
+          break;
+        case Opcode::kCondBr:
+          if (inst->operand(0)->type() != Type::i1()) return fail(f, "condbr on non-i1");
+          break;
+        case Opcode::kSwitch:
+          for (std::size_t c = 0; c < inst->switch_case_count(); ++c) {
+            const ConstantInt* cv = as_constant_int(inst->operand(1 + c));
+            if (cv == nullptr || cv->type() != inst->operand(0)->type()) {
+              return fail(f, "switch case type mismatch");
+            }
+          }
+          break;
+        default:
+          if (inst->is_binary()) {
+            if (inst->operand(0)->type() != inst->type() ||
+                inst->operand(1)->type() != inst->type() || !inst->type()->is_int()) {
+              return fail(f, strf("binary op '%s' type mismatch", opcode_name(inst->opcode())));
+            }
+          }
+          break;
+      }
+    }
+  }
+
+  // --- Phi incoming blocks match predecessors ---
+  for (BasicBlock* bb : f.blocks()) {
+    const auto preds = bb->unique_predecessors();
+    for (Instruction* phi : bb->phis()) {
+      if (phi->incoming_count() != preds.size()) {
+        return fail(f, strf("phi in '%s' has %zu entries for %zu predecessors",
+                            bb->name().c_str(), phi->incoming_count(), preds.size()));
+      }
+      std::unordered_set<const BasicBlock*> seen;
+      for (std::size_t i = 0; i < phi->incoming_count(); ++i) {
+        BasicBlock* in = phi->incoming_block(i);
+        if (!seen.insert(in).second) return fail(f, "duplicate phi incoming block");
+        if (std::find(preds.begin(), preds.end(), in) == preds.end()) {
+          return fail(f, "phi incoming from non-predecessor in block '" + bb->name() + "'");
+        }
+        if (phi->incoming_value(i)->type() != phi->type()) return fail(f, "phi type mismatch");
+      }
+    }
+  }
+
+  // --- SSA dominance (reachable code only) ---
+  DominatorTree dt(f);
+  for (BasicBlock* bb : f.blocks()) {
+    if (!dt.is_reachable(bb)) continue;
+    for (Instruction* inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+        const Instruction* def = as_instruction(inst->operand(i));
+        if (def == nullptr) continue;
+        if (def->parent() == nullptr || def->parent()->parent() != &f) {
+          return fail(f, "operand defined outside function");
+        }
+        if (!dt.is_reachable(def->parent())) continue;
+        if (!dt.value_dominates(def, inst, i)) {
+          return fail(f, "use of '" + std::string(opcode_name(def->opcode())) +
+                             "' result not dominated by its definition in block '" +
+                             bb->name() + "'");
+        }
+      }
+    }
+  }
+
+  return Status::ok();
+}
+
+Status verify_module(Module& m) {
+  if (m.main() == nullptr) return Status::error("verifier: module has no 'main'");
+  for (Function* f : m.functions()) {
+    if (Status s = verify_function(*f); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+}  // namespace autophase::ir

@@ -1,0 +1,25 @@
+// Structural + SSA verifier. Run after every pass in debug / property tests:
+// any pass that leaves the module ill-formed is a bug in the pass, never an
+// acceptable intermediate state.
+#pragma once
+
+#include "ir/module.hpp"
+#include "support/status.hpp"
+
+namespace autophase::ir {
+
+/// Checks, per function:
+///  - non-empty entry block; every block ends with exactly one terminator
+///    (and no terminator appears mid-block);
+///  - phis only at block head; phi incoming blocks exactly match the
+///    block's unique predecessors;
+///  - operand types are consistent (binary ops, icmp, store, gep, call
+///    signatures, ret type);
+///  - predecessor lists match terminator successor slots (with multiplicity);
+///  - every use is dominated by its definition (SSA), for reachable code;
+///  - call sites reference functions of the same module with matching arity.
+Status verify_function(Function& f);
+
+Status verify_module(Module& m);
+
+}  // namespace autophase::ir

@@ -1,0 +1,101 @@
+#include "ml/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autophase::ml {
+
+std::vector<double> softmax(const double* logits, std::size_t n) {
+  std::vector<double> out(n);
+  const double mx = *std::max_element(logits, logits + n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::exp(logits[i] - mx);
+    sum += out[i];
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+double log_prob(const double* logits, std::size_t n, std::size_t index) {
+  const double mx = *std::max_element(logits, logits + n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += std::exp(logits[i] - mx);
+  return logits[index] - mx - std::log(sum);
+}
+
+double entropy(const double* logits, std::size_t n) {
+  const auto p = softmax(logits, n);
+  double h = 0.0;
+  for (const double pi : p) {
+    if (pi > 1e-12) h -= pi * std::log(pi);
+  }
+  return h;
+}
+
+std::size_t sample(const double* logits, std::size_t n, Rng& rng) {
+  const auto p = softmax(logits, n);
+  double x = rng.uniform();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x < p[i]) return i;
+    x -= p[i];
+  }
+  return n - 1;
+}
+
+std::size_t argmax(const double* logits, std::size_t n) {
+  return static_cast<std::size_t>(std::max_element(logits, logits + n) - logits);
+}
+
+void log_prob_grad(const double* logits, std::size_t n, std::size_t index, double* out) {
+  const auto p = softmax(logits, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = (i == index ? 1.0 : 0.0) - p[i];
+}
+
+void entropy_grad(const double* logits, std::size_t n, double* out) {
+  // dH/dz_i = -p_i * (log p_i + H)... expanded: p_i*(H + log p_i) * -1.
+  const auto p = softmax(logits, n);
+  double h = 0.0;
+  for (const double pi : p) {
+    if (pi > 1e-12) h -= pi * std::log(pi);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double logp = p[i] > 1e-12 ? std::log(p[i]) : -27.6;
+    out[i] = -p[i] * (logp + h);
+  }
+}
+
+std::vector<std::size_t> FactoredCategorical::sample_all(const double* logits, Rng& rng) const {
+  std::vector<std::size_t> out(groups);
+  for (std::size_t g = 0; g < groups; ++g) out[g] = sample(logits + g * arity, arity, rng);
+  return out;
+}
+
+std::vector<std::size_t> FactoredCategorical::argmax_all(const double* logits) const {
+  std::vector<std::size_t> out(groups);
+  for (std::size_t g = 0; g < groups; ++g) out[g] = argmax(logits + g * arity, arity);
+  return out;
+}
+
+double FactoredCategorical::log_prob_all(const double* logits,
+                                         const std::vector<std::size_t>& choices) const {
+  double lp = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) lp += log_prob(logits + g * arity, arity, choices[g]);
+  return lp;
+}
+
+double FactoredCategorical::entropy_all(const double* logits) const {
+  double h = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) h += entropy(logits + g * arity, arity);
+  return h;
+}
+
+void FactoredCategorical::log_prob_grad_all(const double* logits,
+                                            const std::vector<std::size_t>& choices,
+                                            double* out) const {
+  for (std::size_t g = 0; g < groups; ++g) {
+    log_prob_grad(logits + g * arity, arity, choices[g], out + g * arity);
+  }
+}
+
+}  // namespace autophase::ml

@@ -1,0 +1,51 @@
+// Categorical policy heads: softmax over logits for the single-action
+// formulations (RL-PPO1/2, RL-A3C, RL-ES) and a factored categorical of 45
+// independent 3-way choices for RL-PPO3's multi-action space (§5.2).
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace autophase::ml {
+
+/// Numerically-stable softmax of a logit row.
+std::vector<double> softmax(const double* logits, std::size_t n);
+
+/// log(softmax(logits)[index]).
+double log_prob(const double* logits, std::size_t n, std::size_t index);
+
+/// Softmax entropy.
+double entropy(const double* logits, std::size_t n);
+
+/// Samples an index from softmax(logits).
+std::size_t sample(const double* logits, std::size_t n, Rng& rng);
+
+/// argmax (greedy / inference action).
+std::size_t argmax(const double* logits, std::size_t n);
+
+/// dLogProb/dLogits for the chosen index: onehot(index) - softmax(logits).
+/// Written into `out` (size n).
+void log_prob_grad(const double* logits, std::size_t n, std::size_t index, double* out);
+
+/// dEntropy/dLogits written into `out`.
+void entropy_grad(const double* logits, std::size_t n, double* out);
+
+/// A product of `groups` independent categoricals with `arity` choices each,
+/// laid out as consecutive logit blocks. Log-probs/entropies sum over
+/// groups; sampling/grad operate per block.
+struct FactoredCategorical {
+  std::size_t groups;
+  std::size_t arity;
+
+  [[nodiscard]] std::size_t logit_count() const noexcept { return groups * arity; }
+
+  std::vector<std::size_t> sample_all(const double* logits, Rng& rng) const;
+  std::vector<std::size_t> argmax_all(const double* logits) const;
+  double log_prob_all(const double* logits, const std::vector<std::size_t>& choices) const;
+  double entropy_all(const double* logits) const;
+  void log_prob_grad_all(const double* logits, const std::vector<std::size_t>& choices,
+                         double* out) const;
+};
+
+}  // namespace autophase::ml

@@ -1,0 +1,77 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+
+namespace autophase::ml {
+
+Matrix Matrix::randn(Rng& rng, std::size_t rows, std::size_t cols, double stddev) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.normal(0.0, stddev);
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::add_scaled(const Matrix& other, double s) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i] * s;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* orow = out.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double av = arow[k];
+      if (av == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row(k);
+    const double* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* orow = out.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace autophase::ml

@@ -1,0 +1,52 @@
+#include "ml/optimizer.hpp"
+
+#include <cmath>
+
+namespace autophase::ml {
+
+namespace {
+
+/// Returns the multiplier that clips `grads` to `max_norm` (1.0 when inside).
+double clip_scale(const Gradients& grads, double max_norm) {
+  if (max_norm <= 0.0) return 1.0;
+  const double norm = grads.l2_norm();
+  return norm > max_norm ? max_norm / norm : 1.0;
+}
+
+}  // namespace
+
+Adam::Adam(const Mlp& model, Config config)
+    : config_(config), m_(model.make_gradients()), v_(model.make_gradients()) {}
+
+void Adam::step(Mlp& model, const Gradients& grads) {
+  ++t_;
+  const double clip = clip_scale(grads, config_.max_grad_norm);
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+
+  Gradients update = model.make_gradients();
+  auto update_block = [&](Matrix& m, Matrix& v, const Matrix& g, Matrix& out) {
+    for (std::size_t i = 0; i < m.data().size(); ++i) {
+      const double gi = g.data()[i] * clip;
+      m.data()[i] = config_.beta1 * m.data()[i] + (1.0 - config_.beta1) * gi;
+      v.data()[i] = config_.beta2 * v.data()[i] + (1.0 - config_.beta2) * gi * gi;
+      const double mhat = m.data()[i] / bc1;
+      const double vhat = v.data()[i] / bc2;
+      out.data()[i] = mhat / (std::sqrt(vhat) + config_.epsilon);
+    }
+  };
+  for (std::size_t l = 0; l < update.weights.size(); ++l) {
+    update_block(m_.weights[l], v_.weights[l], grads.weights[l], update.weights[l]);
+    update_block(m_.biases[l], v_.biases[l], grads.biases[l], update.biases[l]);
+  }
+  model.apply_delta(update, -config_.lr);
+}
+
+void Sgd::step(Mlp& model, const Gradients& grads) const {
+  const double clip = clip_scale(grads, config_.max_grad_norm);
+  Gradients g = grads;
+  g.scale(clip);
+  model.apply_delta(g, -config_.lr);
+}
+
+}  // namespace autophase::ml

@@ -1,0 +1,46 @@
+// Optimisers for the policy/value networks: Adam (used by PPO as in RLlib's
+// defaults) and plain SGD (used by the A3C workers' shared updates).
+#pragma once
+
+#include "ml/mlp.hpp"
+
+namespace autophase::ml {
+
+class Adam {
+ public:
+  struct Config {
+    double lr = 5e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double max_grad_norm = 10.0;  ///< global-norm clip; <=0 disables
+  };
+
+  Adam(const Mlp& model, Config config);
+
+  /// Applies one descent step for loss gradients `grads` (minimisation).
+  void step(Mlp& model, const Gradients& grads);
+
+ private:
+  Config config_;
+  Gradients m_;
+  Gradients v_;
+  std::size_t t_ = 0;
+};
+
+class Sgd {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double max_grad_norm = 10.0;
+  };
+
+  explicit Sgd(Config config) : config_(config) {}
+
+  void step(Mlp& model, const Gradients& grads) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace autophase::ml

@@ -1,0 +1,165 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autophase::ml {
+
+namespace {
+
+double gini(double ones, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = ones / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+int DecisionTree::build(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+                        std::vector<std::size_t>& indices, int depth, const ForestConfig& config,
+                        Rng& rng, std::vector<double>& importance) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double ones = 0.0;
+  for (const std::size_t i : indices) ones += y[i];
+  const double total = static_cast<double>(indices.size());
+  nodes_[static_cast<std::size_t>(node_id)].prob_one = total > 0 ? ones / total : 0.5;
+
+  const double node_gini = gini(ones, total);
+  if (depth >= config.max_depth || node_gini <= 1e-9 ||
+      indices.size() < 2 * static_cast<std::size_t>(config.min_samples_leaf)) {
+    return node_id;
+  }
+
+  const std::size_t d = x.empty() ? 0 : x[0].size();
+  int features_per_split = config.features_per_split;
+  if (features_per_split <= 0) {
+    features_per_split = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(d))));
+  }
+
+  // Candidate features: random subset without replacement.
+  std::vector<std::size_t> feats(d);
+  for (std::size_t i = 0; i < d; ++i) feats[i] = i;
+  rng.shuffle(feats);
+  feats.resize(std::min<std::size_t>(static_cast<std::size_t>(features_per_split), d));
+
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<double> values;
+  for (const std::size_t f : feats) {
+    values.clear();
+    for (const std::size_t i : indices) values.push_back(x[i][f]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) continue;
+    // Up to 16 quantile thresholds (midpoints between adjacent uniques).
+    const std::size_t candidates = std::min<std::size_t>(16, values.size() - 1);
+    for (std::size_t c = 0; c < candidates; ++c) {
+      const std::size_t pos = (c + 1) * (values.size() - 1) / (candidates + 1);
+      const double threshold = 0.5 * (values[pos] + values[pos + 1]);
+      double left_ones = 0;
+      double left_total = 0;
+      for (const std::size_t i : indices) {
+        if (x[i][f] <= threshold) {
+          left_total += 1.0;
+          left_ones += y[i];
+        }
+      }
+      const double right_total = total - left_total;
+      const double right_ones = ones - left_ones;
+      if (left_total < config.min_samples_leaf || right_total < config.min_samples_leaf) continue;
+      const double child =
+          (left_total * gini(left_ones, left_total) + right_total * gini(right_ones, right_total)) /
+          total;
+      const double gain = node_gini - child;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  importance[static_cast<std::size_t>(best_feature)] += best_gain * total;
+
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  for (const std::size_t i : indices) {
+    (x[i][static_cast<std::size_t>(best_feature)] <= best_threshold ? left : right).push_back(i);
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const int l = build(x, y, left, depth + 1, config, rng, importance);
+  const int r = build(x, y, right, depth + 1, config, rng, importance);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = l;
+  node.right = r;
+  return node_id;
+}
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+                       const std::vector<std::size_t>& sample_indices, const ForestConfig& config,
+                       Rng& rng, std::vector<double>& importance) {
+  nodes_.clear();
+  std::vector<std::size_t> indices = sample_indices;
+  build(x, y, indices, 0, config, rng, importance);
+}
+
+double DecisionTree::predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) return 0.5;
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    cur = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].prob_one;
+}
+
+void RandomForest::fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y) {
+  trees_.clear();
+  const std::size_t n = x.size();
+  const std::size_t d = n > 0 ? x[0].size() : 0;
+  importances_.assign(d, 0.0);
+  if (n == 0) return;
+
+  Rng rng(config_.seed);
+  trees_.resize(static_cast<std::size_t>(config_.num_trees));
+  std::vector<std::size_t> bootstrap(n);
+  for (auto& tree : trees_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bootstrap[i] = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    tree.fit(x, y, bootstrap, config_, rng, importances_);
+  }
+  double sum = 0.0;
+  for (const double v : importances_) sum += v;
+  if (sum > 0.0) {
+    for (double& v : importances_) v /= sum;
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& row) const {
+  if (trees_.empty()) return 0.5;
+  double acc = 0.0;
+  for (const auto& t : trees_) acc += t.predict(row);
+  return acc / static_cast<double>(trees_.size());
+}
+
+double RandomForest::accuracy(const std::vector<std::vector<double>>& x,
+                              const std::vector<int>& y) const {
+  if (x.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    correct += (predict(x[i]) >= 0.5 ? 1 : 0) == y[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+}  // namespace autophase::ml

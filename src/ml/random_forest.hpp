@@ -1,0 +1,78 @@
+// Random forest (Breiman 2001) for the paper's §4 importance analysis: for
+// each pass, a binary classifier predicts whether applying it improves the
+// circuit, and the mean-decrease-in-Gini feature importances fill one row of
+// the Fig. 5 / Fig. 6 heat maps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace autophase::ml {
+
+struct ForestConfig {
+  int num_trees = 40;
+  int max_depth = 10;
+  int min_samples_leaf = 4;
+  /// Features considered per split; <=0 means sqrt(num_features).
+  int features_per_split = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on rows X (n x d) with binary labels y; `rng` drives feature
+  /// subsampling. `importance` (size d) accumulates Gini decreases.
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+           const std::vector<std::size_t>& sample_indices, const ForestConfig& config, Rng& rng,
+           std::vector<double>& importance);
+
+  /// P(label == 1).
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 = leaf
+    double threshold = 0.0;
+    double prob_one = 0.5;  // leaf payload
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+            std::vector<std::size_t>& indices, int depth, const ForestConfig& config, Rng& rng,
+            std::vector<double>& importance);
+
+  std::vector<Node> nodes_;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  /// Fits `num_trees` trees on bootstrap samples.
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y);
+
+  /// Mean P(label == 1) across trees.
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+
+  /// Accuracy on a labelled set.
+  [[nodiscard]] double accuracy(const std::vector<std::vector<double>>& x,
+                                const std::vector<int>& y) const;
+
+  /// Normalised mean-decrease-in-impurity importances (sums to 1 when any
+  /// split happened; all-zero otherwise). This is what colours one heat-map
+  /// row in Figs. 5/6.
+  [[nodiscard]] const std::vector<double>& feature_importances() const noexcept {
+    return importances_;
+  }
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> importances_;
+};
+
+}  // namespace autophase::ml

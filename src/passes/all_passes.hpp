@@ -1,0 +1,69 @@
+// Factory functions for every Table-1 pass. Grouped by implementation file:
+//   scalar.cpp     - SSA-value optimisations
+//   cfg_passes.cpp - control-flow shaping / lowering / no-op legacy passes
+//   mem.cpp        - memory-to-register promotion family
+//   loops.cpp      - loop canonicalisation and transforms
+//   ipo.cpp        - interprocedural passes
+#pragma once
+
+#include <memory>
+
+#include "passes/pass.hpp"
+
+namespace autophase::passes {
+
+// scalar.cpp
+std::unique_ptr<Pass> create_instcombine();
+std::unique_ptr<Pass> create_reassociate();
+std::unique_ptr<Pass> create_early_cse();
+std::unique_ptr<Pass> create_gvn();
+std::unique_ptr<Pass> create_sccp();
+std::unique_ptr<Pass> create_adce();
+std::unique_ptr<Pass> create_dse();
+std::unique_ptr<Pass> create_sink();
+std::unique_ptr<Pass> create_correlated_propagation();
+std::unique_ptr<Pass> create_jump_threading();
+std::unique_ptr<Pass> create_codegenprepare();
+std::unique_ptr<Pass> create_memcpyopt();
+std::unique_ptr<Pass> create_lower_expect();
+std::unique_ptr<Pass> create_tailcallelim();
+
+// cfg_passes.cpp
+std::unique_ptr<Pass> create_simplifycfg();
+std::unique_ptr<Pass> create_break_crit_edges();
+std::unique_ptr<Pass> create_lowerswitch();
+std::unique_ptr<Pass> create_strip();
+std::unique_ptr<Pass> create_strip_nondebug();
+std::unique_ptr<Pass> create_lowerinvoke();
+std::unique_ptr<Pass> create_loweratomic();
+
+// mem.cpp
+std::unique_ptr<Pass> create_mem2reg();
+std::unique_ptr<Pass> create_sroa();
+std::unique_ptr<Pass> create_scalarrepl();
+std::unique_ptr<Pass> create_scalarrepl_ssa();
+
+// loops.cpp
+std::unique_ptr<Pass> create_loop_simplify();
+std::unique_ptr<Pass> create_loop_rotate();
+std::unique_ptr<Pass> create_licm();
+std::unique_ptr<Pass> create_loop_unroll();
+std::unique_ptr<Pass> create_loop_deletion();
+std::unique_ptr<Pass> create_loop_idiom();
+std::unique_ptr<Pass> create_loop_reduce();
+std::unique_ptr<Pass> create_indvars();
+std::unique_ptr<Pass> create_loop_unswitch();
+std::unique_ptr<Pass> create_lcssa();
+
+// ipo.cpp
+std::unique_ptr<Pass> create_inline();
+std::unique_ptr<Pass> create_partial_inliner();
+std::unique_ptr<Pass> create_globalopt();
+std::unique_ptr<Pass> create_globaldce();
+std::unique_ptr<Pass> create_deadargelim();
+std::unique_ptr<Pass> create_ipsccp();
+std::unique_ptr<Pass> create_functionattrs();
+std::unique_ptr<Pass> create_prune_eh();
+std::unique_ptr<Pass> create_constmerge();
+
+}  // namespace autophase::passes

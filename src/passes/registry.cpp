@@ -1,0 +1,111 @@
+#include <array>
+#include <cassert>
+#include <functional>
+
+#include "passes/all_passes.hpp"
+#include "passes/pass.hpp"
+
+namespace autophase::passes {
+
+struct PassRegistry::Entry {
+  std::string_view name;
+  std::unique_ptr<Pass> (*factory)();
+};
+
+PassRegistry::PassRegistry() {
+  // Exact Table-1 indexing, including the duplicate -functionattrs at 19/40
+  // and the pseudo-action -terminate at 45.
+  entries_ = {
+      {"-correlated-propagation", &create_correlated_propagation},  // 0
+      {"-scalarrepl", &create_scalarrepl},                          // 1
+      {"-lowerinvoke", &create_lowerinvoke},                        // 2
+      {"-strip", &create_strip},                                    // 3
+      {"-strip-nondebug", &create_strip_nondebug},                  // 4
+      {"-sccp", &create_sccp},                                      // 5
+      {"-globalopt", &create_globalopt},                            // 6
+      {"-gvn", &create_gvn},                                        // 7
+      {"-jump-threading", &create_jump_threading},                  // 8
+      {"-globaldce", &create_globaldce},                            // 9
+      {"-loop-unswitch", &create_loop_unswitch},                    // 10
+      {"-scalarrepl-ssa", &create_scalarrepl_ssa},                  // 11
+      {"-loop-reduce", &create_loop_reduce},                        // 12
+      {"-break-crit-edges", &create_break_crit_edges},              // 13
+      {"-loop-deletion", &create_loop_deletion},                    // 14
+      {"-reassociate", &create_reassociate},                        // 15
+      {"-lcssa", &create_lcssa},                                    // 16
+      {"-codegenprepare", &create_codegenprepare},                  // 17
+      {"-memcpyopt", &create_memcpyopt},                            // 18
+      {"-functionattrs", &create_functionattrs},                    // 19
+      {"-loop-idiom", &create_loop_idiom},                          // 20
+      {"-lowerswitch", &create_lowerswitch},                        // 21
+      {"-constmerge", &create_constmerge},                          // 22
+      {"-loop-rotate", &create_loop_rotate},                        // 23
+      {"-partial-inliner", &create_partial_inliner},                // 24
+      {"-inline", &create_inline},                                  // 25
+      {"-early-cse", &create_early_cse},                            // 26
+      {"-indvars", &create_indvars},                                // 27
+      {"-adce", &create_adce},                                      // 28
+      {"-loop-simplify", &create_loop_simplify},                    // 29
+      {"-instcombine", &create_instcombine},                        // 30
+      {"-simplifycfg", &create_simplifycfg},                        // 31
+      {"-dse", &create_dse},                                        // 32
+      {"-loop-unroll", &create_loop_unroll},                        // 33
+      {"-lower-expect", &create_lower_expect},                      // 34
+      {"-tailcallelim", &create_tailcallelim},                      // 35
+      {"-licm", &create_licm},                                      // 36
+      {"-sink", &create_sink},                                      // 37
+      {"-mem2reg", &create_mem2reg},                                // 38
+      {"-prune-eh", &create_prune_eh},                              // 39
+      {"-functionattrs", &create_functionattrs},                    // 40 (Table-1 duplicate)
+      {"-ipsccp", &create_ipsccp},                                  // 41
+      {"-deadargelim", &create_deadargelim},                        // 42
+      {"-sroa", &create_sroa},                                      // 43
+      {"-loweratomic", &create_loweratomic},                        // 44
+      {"-terminate", nullptr},                                      // 45 (episode end)
+  };
+  assert(entries_.size() == static_cast<std::size_t>(kNumActions));
+}
+
+const PassRegistry& PassRegistry::instance() {
+  static const auto* registry = new PassRegistry();
+  return *registry;
+}
+
+std::string_view PassRegistry::name(int index) const {
+  assert(index >= 0 && index < kNumActions);
+  return entries_[static_cast<std::size_t>(index)].name;
+}
+
+int PassRegistry::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const std::string_view n = entries_[i].name;
+    if (n == name || (n.size() == name.size() + 1 && n.substr(1) == name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::unique_ptr<Pass> PassRegistry::create(int index) const {
+  assert(index >= 0 && index < kNumPasses);
+  return entries_[static_cast<std::size_t>(index)].factory();
+}
+
+std::unique_ptr<Pass> PassRegistry::create(std::string_view name) const {
+  const int idx = index_of(name);
+  assert(idx >= 0 && idx < kNumPasses);
+  return create(idx);
+}
+
+bool apply_pass(ir::Module& module, int index) {
+  if (index == kTerminateAction) return false;
+  return PassRegistry::instance().create(index)->run(module);
+}
+
+bool apply_pass_sequence(ir::Module& module, const std::vector<int>& indices) {
+  bool changed = false;
+  for (const int idx : indices) changed |= apply_pass(module, idx);
+  return changed;
+}
+
+}  // namespace autophase::passes

@@ -1,0 +1,639 @@
+#include "progen/chstone_like.hpp"
+
+#include <cassert>
+
+#include "progen/codegen.hpp"
+
+namespace autophase::progen {
+
+namespace {
+
+using ir::Function;
+using ir::ICmpPred;
+using ir::Type;
+using ir::Value;
+
+/// Deterministic pseudo-random table data (tiny LCG, host-side).
+std::vector<std::int64_t> table(std::size_t n, std::uint32_t seed, std::int64_t mask) {
+  std::vector<std::int64_t> out(n);
+  std::uint32_t x = seed * 2654435761u + 1u;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    out[i] = static_cast<std::int64_t>((x >> 8) & static_cast<std::uint32_t>(mask));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// matmul: 8x8 integer matrix multiply (triple loop nest), then checksum.
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_matmul() {
+  auto m = std::make_unique<ir::Module>("matmul");
+  constexpr std::int64_t kN = 8;
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+
+  Value* a = g.array(Type::i32(), kN * kN, "A");
+  Value* bb = g.array(Type::i32(), kN * kN, "B");
+  Value* c = g.array(Type::i32(), kN * kN, "C");
+  Value* i = g.local_i32("i");
+  Value* j = g.local_i32("j");
+  Value* k = g.local_i32("k");
+  Value* sum = g.local_i32("sum");
+
+  auto at = [&](Value* base, Value* row, Value* col) {
+    Value* idx = b.add(b.mul(row, m->get_i32(kN)), col);
+    return g.elem(base, idx);
+  };
+
+  // Init: A[i][j] = i*3 + j; B[i][j] = i - 2*j.
+  g.count_loop(i, 0, kN, [&] {
+    g.count_loop(j, 0, kN, [&] {
+      Value* iv = g.get(i);
+      Value* jv = g.get(j);
+      g.set(at(a, iv, jv), b.add(b.mul(iv, m->get_i32(3)), jv));
+      g.set(at(bb, iv, jv), b.sub(iv, b.mul(jv, m->get_i32(2))));
+    });
+  });
+
+  // C = A * B.
+  g.count_loop(i, 0, kN, [&] {
+    g.count_loop(j, 0, kN, [&] {
+      g.set(sum, 0);
+      g.count_loop(k, 0, kN, [&] {
+        Value* prod = b.mul(g.get(at(a, g.get(i), g.get(k))), g.get(at(bb, g.get(k), g.get(j))));
+        g.set(sum, b.add(g.get(sum), prod));
+      });
+      g.set(at(c, g.get(i), g.get(j)), g.get(sum));
+    });
+  });
+
+  // Checksum.
+  Value* acc = g.local_i32("acc");
+  g.set(acc, 0);
+  g.count_loop(i, 0, kN * kN, [&] {
+    g.set(acc, b.xor_(b.add(g.get(acc), g.get(acc)), g.get(g.elem(c, g.get(i)))));
+  });
+  g.ret(g.get(acc));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// aes: sbox substitution + round-key xor + byte rotation over a 16B state.
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_aes() {
+  auto m = std::make_unique<ir::Module>("aes");
+  ir::GlobalVariable* sbox =
+      m->create_global(Type::i32(), 256, "sbox", table(256, 0xae5, 0xff), true);
+  ir::GlobalVariable* rkey =
+      m->create_global(Type::i32(), 16, "rkey", table(16, 0x4e7, 0xff), true);
+
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+
+  Value* state = g.array(Type::i32(), 16, "state");
+  Value* i = g.local_i32("i");
+  Value* r = g.local_i32("r");
+
+  g.count_loop(i, 0, 16, [&] {
+    g.set(g.elem(state, g.get(i)), b.and_(b.mul(g.get(i), m->get_i32(17)), m->get_i32(255)));
+  });
+
+  g.count_loop(r, 0, 10, [&] {
+    // SubBytes + AddRoundKey.
+    g.count_loop(i, 0, 16, [&] {
+      Value* s = g.get(g.elem(state, g.get(i)));
+      Value* sub = g.get(g.elem_masked(sbox, s, 256));
+      Value* key = g.get(g.elem_masked(rkey, b.add(g.get(r), g.get(i)), 16));
+      g.set(g.elem(state, g.get(i)), b.and_(b.xor_(sub, key), m->get_i32(255)));
+    });
+    // ShiftRows-ish rotation: state[i] ^= state[(i+4) & 15] << 1 (mod 256).
+    g.count_loop(i, 0, 16, [&] {
+      Value* other = g.get(g.elem_masked(state, b.add(g.get(i), m->get_i32(4)), 16));
+      Value* rot = b.and_(b.shl(other, m->get_i32(1)), m->get_i32(255));
+      Value* cur = g.get(g.elem(state, g.get(i)));
+      g.set(g.elem(state, g.get(i)), b.xor_(cur, rot));
+    });
+  });
+
+  Value* acc = g.local_i32("acc");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 16, [&] {
+    g.set(acc, b.add(b.mul(g.get(acc), m->get_i32(257)), g.get(g.elem(state, g.get(i)))));
+  });
+  g.ret(g.get(acc));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// blowfish: feistel rounds with P-array and S-box lookups over data blocks.
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_blowfish() {
+  auto m = std::make_unique<ir::Module>("blowfish");
+  ir::GlobalVariable* parr =
+      m->create_global(Type::i32(), 18, "P", table(18, 0xb1f, 0xffff), true);
+  ir::GlobalVariable* sbox =
+      m->create_global(Type::i32(), 256, "S", table(256, 0x5b0, 0xffff), true);
+
+  // feistel F function: combines S-box lookups of the word's bytes.
+  Function* ff = m->create_function("feistel", Type::i32(), {Type::i32()}, {"x"});
+  {
+    CodeGen g(*m, *ff);
+    auto& b = g.b();
+    Value* x = g.local_i32("xl");
+    g.set(x, ff->arg(0));
+    Value* hi = g.get(g.elem_masked(sbox, b.lshr(g.get(x), m->get_i32(8)), 256));
+    Value* lo = g.get(g.elem_masked(sbox, g.get(x), 256));
+    Value* mixed = b.xor_(b.add(hi, lo), b.lshr(g.get(x), m->get_i32(4)));
+    g.ret(b.and_(mixed, m->get_i32(0xffff)));
+  }
+
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* data = g.array(Type::i32(), 16, "data");
+  Value* i = g.local_i32("i");
+  Value* r = g.local_i32("r");
+  Value* left = g.local_i32("L");
+  Value* right = g.local_i32("R");
+
+  g.count_loop(i, 0, 16, [&] {
+    g.set(g.elem(data, g.get(i)), b.mul(g.get(i), m->get_i32(2654435)));
+  });
+
+  // Encrypt 8 two-word blocks.
+  g.count_loop(i, 0, 8, [&] {
+    Value* base = b.mul(g.get(i), m->get_i32(2));
+    g.set(left, g.get(g.elem(data, base)));
+    g.set(right, g.get(g.elem(data, b.add(base, m->get_i32(1)))));
+    g.count_loop(r, 0, 16, [&] {
+      Value* p = g.get(g.elem_masked(parr, g.get(r), 32));  // 18 entries; mask keeps in 32
+      Value* l1 = b.xor_(g.get(left), p);
+      Value* fr = b.call(ff, {l1});
+      Value* r1 = b.xor_(g.get(right), fr);
+      g.set(left, r1);  // swap
+      g.set(right, l1);
+    });
+    g.set(g.elem(data, base), g.get(left));
+    g.set(g.elem(data, b.add(base, m->get_i32(1))), g.get(right));
+  });
+
+  Value* acc = g.local_i32("acc");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 16, [&] {
+    g.set(acc, b.xor_(b.add(g.get(acc), g.get(acc)), g.get(g.elem(data, g.get(i)))));
+  });
+  g.ret(g.get(acc));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// dhrystone: records-and-branches integer mix with helper procedures and a
+// switch, string-compare-style i8 loops.
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_dhrystone() {
+  auto m = std::make_unique<ir::Module>("dhrystone");
+
+  // proc_cmp: lexicographic compare of two 16-char buffers.
+  Function* cmp = m->create_function("str_cmp", Type::i32(),
+                                     {Type::pointer_to(Type::i8()), Type::pointer_to(Type::i8())},
+                                     {"s1", "s2"});
+  {
+    CodeGen g(*m, *cmp);
+    auto& b = g.b();
+    Value* i = g.local_i32("i");
+    Value* res = g.local_i32("res");
+    g.set(res, 0);
+    g.count_loop(i, 0, 16, [&] {
+      Value* idx = g.get(i);
+      Value* c1 = b.sext(g.get(b.gep(cmp->arg(0), idx)), Type::i32());
+      Value* c2 = b.sext(g.get(b.gep(cmp->arg(1), idx)), Type::i32());
+      Value* diff = b.sub(c1, c2);
+      Value* is_zero = b.icmp_eq(g.get(res), m->get_i32(0));
+      Value* nonzero = b.icmp_ne(diff, m->get_i32(0));
+      g.if_then(b.and_(is_zero, nonzero), [&] { g.set(res, diff); });
+    });
+    g.ret(g.get(res));
+  }
+
+  // proc_classify: branchy classification used in the main loop.
+  Function* classify = m->create_function("classify", Type::i32(), {Type::i32()}, {"v"});
+  {
+    CodeGen g(*m, *classify);
+    auto& b = g.b();
+    Value* out = g.local_i32("out");
+    g.set(out, 0);
+    Value* v = classify->arg(0);
+    g.if_then_else(
+        b.icmp_slt(v, m->get_i32(10)),
+        [&] { g.set(out, b.mul(v, m->get_i32(3))); },
+        [&] {
+          g.if_then_else(b.icmp_slt(v, m->get_i32(100)),
+                         [&] { g.set(out, b.add(v, m->get_i32(7))); },
+                         [&] { g.set(out, b.lshr(v, m->get_i32(2))); });
+        });
+    g.ret(g.get(out));
+  }
+
+  // tail_sum: strict tail recursion (call immediately followed by ret, no
+  // allocas) — the exact shape -tailcallelim converts into a loop.
+  Function* tail_sum =
+      m->create_function("tail_sum", Type::i32(), {Type::i32(), Type::i32()}, {"n", "acc"});
+  {
+    ir::IRBuilder tb(*m);
+    ir::BasicBlock* entry = tail_sum->create_block("entry");
+    ir::BasicBlock* base = tail_sum->create_block("base");
+    ir::BasicBlock* rec = tail_sum->create_block("rec");
+    tb.set_insert_point(entry);
+    Value* done = tb.icmp(ICmpPred::kSle, tail_sum->arg(0), m->get_i32(0));
+    tb.cond_br(done, base, rec);
+    tb.set_insert_point(base);
+    tb.ret(tail_sum->arg(1));
+    tb.set_insert_point(rec);
+    Value* acc2 = tb.add(tail_sum->arg(1), tail_sum->arg(0));
+    Value* n2 = tb.sub(tail_sum->arg(0), m->get_i32(1));
+    Value* r = tb.call(tail_sum, {n2, acc2});
+    tb.ret(r);
+  }
+
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* s1 = g.array(Type::i8(), 16, "s1");
+  Value* s2 = g.array(Type::i8(), 16, "s2");
+  Value* i = g.local_i32("i");
+  Value* run = g.local_i32("run");
+  Value* int_glob = g.local_i32("int_glob");
+  Value* acc = g.local_i32("acc");
+
+  g.count_loop(i, 0, 16, [&] {
+    Value* ch = b.trunc(b.add(g.get(i), m->get_i32(65)), Type::i8());
+    g.set(g.elem(s1, g.get(i)), ch);
+    Value* ch2 = b.trunc(b.add(b.mul(g.get(i), m->get_i32(2)), m->get_i32(65)), Type::i8());
+    g.set(g.elem(s2, g.get(i)), ch2);
+  });
+
+  g.set(int_glob, 5);
+  g.set(acc, 0);
+  g.count_loop(run, 0, 40, [&] {
+    Value* cls = b.call(classify, {b.add(g.get(run), g.get(int_glob))});
+    g.set(acc, b.add(g.get(acc), cls));
+    Value* sel = b.and_(g.get(run), m->get_i32(3));
+    g.switch_cases(
+        sel,
+        {{0, [&] { g.set(int_glob, b.add(g.get(int_glob), m->get_i32(1))); }},
+         {1, [&] { g.set(int_glob, b.xor_(g.get(int_glob), g.get(acc))); }},
+         {2, [&] { g.set(int_glob, b.and_(g.get(int_glob), m->get_i32(0x7fff))); }}},
+        [&] { g.set(int_glob, b.sub(g.get(int_glob), m->get_i32(2))); });
+    g.if_then(b.icmp_sgt(g.get(acc), m->get_i32(4000)),
+              [&] { g.set(acc, b.srem(g.get(acc), m->get_i32(977))); });
+  });
+
+  Value* c = b.call(cmp, {s1, s2});
+  Value* ts = b.call(tail_sum, {m->get_i32(50), m->get_i32(0)});
+  g.ret(b.add(b.mul(g.get(acc), m->get_i32(31)),
+              b.add(b.add(c, ts), g.get(int_glob))));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// gsm: saturated multiply-accumulate over 40-sample windows (LPC-style).
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_gsm() {
+  auto m = std::make_unique<ir::Module>("gsm");
+
+  // Saturating add with early-exit guards (partial-inliner shape).
+  Function* sat = m->create_function("sat_add", Type::i32(), {Type::i32(), Type::i32()},
+                                     {"a", "b"});
+  {
+    CodeGen g(*m, *sat);
+    auto& b = g.b();
+    Value* s = g.local_i32("s");
+    g.set(s, b.add(sat->arg(0), sat->arg(1)));
+    g.if_then(b.icmp_sgt(g.get(s), m->get_i32(32767)), [&] { g.set(s, 32767); });
+    g.if_then(b.icmp_slt(g.get(s), m->get_i32(-32768)), [&] { g.set(s, -32768); });
+    g.ret(g.get(s));
+  }
+
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* samples = g.array(Type::i32(), 64, "samples");
+  Value* weights = g.array(Type::i32(), 8, "weights");
+  Value* i = g.local_i32("i");
+  Value* k = g.local_i32("k");
+  Value* acc = g.local_i32("acc");
+  Value* out = g.local_i32("out");
+
+  g.count_loop(i, 0, 64, [&] {
+    Value* x = b.sub(b.mul(g.get(i), m->get_i32(113)), m->get_i32(1700));
+    g.set(g.elem(samples, g.get(i)), b.srem(x, m->get_i32(32768)));
+  });
+  g.count_loop(i, 0, 8, [&] {
+    g.set(g.elem(weights, g.get(i)), b.sub(m->get_i32(4), g.get(i)));
+  });
+
+  g.set(out, 0);
+  g.count_loop(i, 0, 40, [&] {
+    g.set(acc, 0);
+    g.count_loop(k, 0, 8, [&] {
+      Value* s = g.get(g.elem_masked(samples, b.add(g.get(i), g.get(k)), 64));
+      Value* w = g.get(g.elem(weights, g.get(k)));
+      Value* prod = b.ashr(b.mul(s, w), m->get_i32(2));
+      g.set(acc, b.call(sat, {g.get(acc), prod}));
+    });
+    g.set(out, b.call(sat, {g.get(out), b.ashr(g.get(acc), m->get_i32(3))}));
+  });
+  g.ret(g.get(out));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// adpcm: step-size table quantiser with heavy branching and clamping.
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_adpcm() {
+  auto m = std::make_unique<ir::Module>("adpcm");
+  ir::GlobalVariable* steps =
+      m->create_global(Type::i32(), 32, "step_table", table(32, 0xadc, 0x3fff), true);
+
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* pcm = g.array(Type::i32(), 64, "pcm");
+  Value* i = g.local_i32("i");
+  Value* valpred = g.local_i32("valpred");
+  Value* index = g.local_i32("index");
+  Value* acc = g.local_i32("acc");
+
+  g.count_loop(i, 0, 64, [&] {
+    Value* x = b.mul(g.get(i), m->get_i32(321));
+    g.set(g.elem(pcm, g.get(i)), b.sub(b.and_(x, m->get_i32(4095)), m->get_i32(2048)));
+  });
+
+  g.set(valpred, 0);
+  g.set(index, 4);
+  g.set(acc, 0);
+  g.count_loop(i, 0, 64, [&] {
+    Value* step = g.get(g.elem_masked(steps, g.get(index), 32));
+    Value* diff = b.sub(g.get(g.elem(pcm, g.get(i))), g.get(valpred));
+    Value* code = g.local_i32("code");
+    g.set(code, 0);
+    Value* adiff = g.local_i32("adiff");
+    g.if_then_else(b.icmp_slt(diff, m->get_i32(0)),
+                   [&] {
+                     g.set(code, 8);
+                     g.set(adiff, b.sub(m->get_i32(0), diff));
+                   },
+                   [&] { g.set(adiff, diff); });
+    // 3-bit magnitude quantisation against step, step/2, step/4.
+    g.if_then(b.icmp_sge(g.get(adiff), step), [&] {
+      g.set(code, b.or_(g.get(code), m->get_i32(4)));
+      g.set(adiff, b.sub(g.get(adiff), step));
+    });
+    Value* half = b.ashr(step, m->get_i32(1));
+    g.if_then(b.icmp_sge(g.get(adiff), half), [&] {
+      g.set(code, b.or_(g.get(code), m->get_i32(2)));
+      g.set(adiff, b.sub(g.get(adiff), half));
+    });
+    Value* quarter = b.ashr(step, m->get_i32(2));
+    g.if_then(b.icmp_sge(g.get(adiff), quarter),
+              [&] { g.set(code, b.or_(g.get(code), m->get_i32(1))); });
+
+    // Reconstruct and clamp the predictor.
+    Value* delta = b.mul(b.and_(g.get(code), m->get_i32(7)), b.ashr(step, m->get_i32(2)));
+    g.if_then_else(
+        b.icmp_ne(b.and_(g.get(code), m->get_i32(8)), m->get_i32(0)),
+        [&] { g.set(valpred, b.sub(g.get(valpred), delta)); },
+        [&] { g.set(valpred, b.add(g.get(valpred), delta)); });
+    g.if_then(b.icmp_sgt(g.get(valpred), m->get_i32(32767)), [&] { g.set(valpred, 32767); });
+    g.if_then(b.icmp_slt(g.get(valpred), m->get_i32(-32768)), [&] { g.set(valpred, -32768); });
+
+    // Index update with clamping.
+    g.if_then_else(b.icmp_sge(b.and_(g.get(code), m->get_i32(7)), m->get_i32(4)),
+                   [&] { g.set(index, b.add(g.get(index), m->get_i32(2))); },
+                   [&] { g.set(index, b.sub(g.get(index), m->get_i32(1))); });
+    g.if_then(b.icmp_slt(g.get(index), m->get_i32(0)), [&] { g.set(index, 0); });
+    g.if_then(b.icmp_sgt(g.get(index), m->get_i32(31)), [&] { g.set(index, 31); });
+
+    g.set(acc, b.add(b.xor_(g.get(acc), g.get(valpred)), g.get(code)));
+  });
+  g.ret(g.get(acc));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// mpeg2: 8x8 IDCT-style butterflies (row pass + column pass with constants).
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_mpeg2() {
+  auto m = std::make_unique<ir::Module>("mpeg2");
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* block = g.array(Type::i32(), 64, "block");
+  Value* i = g.local_i32("i");
+  Value* r = g.local_i32("r");
+
+  g.count_loop(i, 0, 64, [&] {
+    Value* x = b.sub(b.mul(g.get(i), m->get_i32(97)), m->get_i32(3000));
+    g.set(g.elem(block, g.get(i)), b.srem(x, m->get_i32(256)));
+  });
+
+  auto butterfly = [&](Value* p0, Value* p1, std::int64_t w0, std::int64_t w1) {
+    Value* a = g.get(p0);
+    Value* c = g.get(p1);
+    Value* t0 = b.ashr(b.add(b.mul(a, m->get_i32(w0)), b.mul(c, m->get_i32(w1))),
+                       m->get_i32(8));
+    Value* t1 = b.ashr(b.sub(b.mul(a, m->get_i32(w1)), b.mul(c, m->get_i32(w0))),
+                       m->get_i32(8));
+    g.set(p0, t0);
+    g.set(p1, t1);
+  };
+
+  // Row pass.
+  g.count_loop(r, 0, 8, [&] {
+    Value* base = b.mul(g.get(r), m->get_i32(8));
+    butterfly(g.elem(block, base), g.elem(block, b.add(base, m->get_i32(4))), 362, 196);
+    butterfly(g.elem(block, b.add(base, m->get_i32(1))),
+              g.elem(block, b.add(base, m->get_i32(5))), 473, 97);
+    butterfly(g.elem(block, b.add(base, m->get_i32(2))),
+              g.elem(block, b.add(base, m->get_i32(6))), 256, 256);
+    butterfly(g.elem(block, b.add(base, m->get_i32(3))),
+              g.elem(block, b.add(base, m->get_i32(7))), 338, 145);
+  });
+  // Column pass.
+  g.count_loop(r, 0, 8, [&] {
+    butterfly(g.elem(block, g.get(r)), g.elem(block, b.add(g.get(r), m->get_i32(32))), 362,
+              196);
+    butterfly(g.elem(block, b.add(g.get(r), m->get_i32(8))),
+              g.elem(block, b.add(g.get(r), m->get_i32(40))), 473, 97);
+    butterfly(g.elem(block, b.add(g.get(r), m->get_i32(16))),
+              g.elem(block, b.add(g.get(r), m->get_i32(48))), 256, 256);
+    butterfly(g.elem(block, b.add(g.get(r), m->get_i32(24))),
+              g.elem(block, b.add(g.get(r), m->get_i32(56))), 338, 145);
+  });
+  // Clamp pass + checksum.
+  Value* acc = g.local_i32("acc");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 64, [&] {
+    Value* p = g.elem(block, g.get(i));
+    g.if_then(b.icmp_sgt(g.get(p), m->get_i32(255)), [&] { g.set(p, 255); });
+    g.if_then(b.icmp_slt(g.get(p), m->get_i32(-256)), [&] { g.set(p, -256); });
+    g.set(acc, b.add(b.mul(g.get(acc), m->get_i32(17)), g.get(p)));
+  });
+  g.ret(g.get(acc));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// qsort: recursive quicksort over 32 elements (tail-recursive second half).
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_qsort() {
+  auto m = std::make_unique<ir::Module>("qsort");
+  ir::GlobalVariable* data = m->create_global(Type::i32(), 32, "data", {}, false);
+
+  Function* qs = m->create_function("quicksort", Type::void_ty(),
+                                    {Type::i32(), Type::i32()}, {"lo", "hi"});
+  {
+    CodeGen g(*m, *qs);
+    auto& b = g.b();
+    Value* lo_p = g.local_i32("lo_p");
+    Value* hi_p = g.local_i32("hi_p");
+    g.set(lo_p, qs->arg(0));
+    g.set(hi_p, qs->arg(1));
+
+    g.if_then(b.icmp_slt(g.get(lo_p), g.get(hi_p)), [&] {
+      // Lomuto partition with data[hi] as pivot.
+      Value* pivot = g.local_i32("pivot");
+      g.set(pivot, g.get(g.elem_masked(data, g.get(hi_p), 32)));
+      Value* store_idx = g.local_i32("si");
+      g.set(store_idx, g.get(lo_p));
+      Value* j = g.local_i32("j");
+      g.count_loop(j, g.get(lo_p), g.get(hi_p), 1, [&] {
+        Value* v = g.get(g.elem_masked(data, g.get(j), 32));
+        g.if_then(b.icmp_slt(v, g.get(pivot)), [&] {
+          // swap data[si], data[j]
+          Value* si_v = g.get(g.elem_masked(data, g.get(store_idx), 32));
+          g.set(g.elem_masked(data, g.get(store_idx), 32), v);
+          g.set(g.elem_masked(data, g.get(j), 32), si_v);
+          g.set(store_idx, b.add(g.get(store_idx), m->get_i32(1)));
+        });
+      });
+      Value* si_v = g.get(g.elem_masked(data, g.get(store_idx), 32));
+      g.set(g.elem_masked(data, g.get(store_idx), 32),
+            g.get(g.elem_masked(data, g.get(hi_p), 32)));
+      g.set(g.elem_masked(data, g.get(hi_p), 32), si_v);
+
+      // Recurse left, then tail-recurse right.
+      b.call(qs, {g.get(lo_p), b.sub(g.get(store_idx), m->get_i32(1))});
+      b.call(qs, {b.add(g.get(store_idx), m->get_i32(1)), g.get(hi_p)});
+    });
+    g.ret_void();
+  }
+
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* i = g.local_i32("i");
+  g.count_loop(i, 0, 32, [&] {
+    Value* x = b.and_(b.mul(g.get(i), m->get_i32(2654435761)), m->get_i32(1023));
+    g.set(g.elem_masked(data, g.get(i), 32), x);
+  });
+  b.call(f->parent()->find_function("quicksort"), {m->get_i32(0), m->get_i32(31)});
+  // Verify sortedness + checksum.
+  Value* acc = g.local_i32("acc");
+  Value* ok = g.local_i32("ok");
+  g.set(acc, 0);
+  g.set(ok, 1);
+  g.count_loop(i, 0, 31, [&] {
+    Value* a = g.get(g.elem_masked(data, g.get(i), 32));
+    Value* c = g.get(g.elem_masked(data, b.add(g.get(i), m->get_i32(1)), 32));
+    g.if_then(b.icmp_sgt(a, c), [&] { g.set(ok, 0); });
+    // Keep the checksum positive and small so the sortedness flag is
+    // recoverable from the i32 return value.
+    g.set(acc, b.and_(b.add(b.mul(g.get(acc), m->get_i32(13)), a), m->get_i32(0xfffff)));
+  });
+  g.ret(b.add(b.mul(g.get(ok), m->get_i32(1000003)), g.get(acc)));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// sha: rotate/xor message-schedule rounds over a 16-word buffer.
+// ---------------------------------------------------------------------------
+std::unique_ptr<ir::Module> build_sha() {
+  auto m = std::make_unique<ir::Module>("sha");
+  ir::GlobalVariable* kconst =
+      m->create_global(Type::i32(), 4, "K",
+                       {0x5a827999, 0x6ed9eba1, -0x70e44324, -0x359d3e2a}, true);
+
+  Function* f = m->create_function("main", Type::i32(), {});
+  CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* w = g.array(Type::i32(), 16, "w");
+  Value* i = g.local_i32("i");
+  Value* t = g.local_i32("t");
+  Value* a = g.local_i32("a");
+  Value* e = g.local_i32("e");
+
+  g.count_loop(i, 0, 16, [&] {
+    g.set(g.elem(w, g.get(i)), b.mul(g.get(i), m->get_i32(0x9e3779)));
+  });
+
+  auto rotl = [&](Value* x, std::int64_t k) {
+    return b.or_(b.shl(x, m->get_i32(k)), b.lshr(x, m->get_i32(32 - k)));
+  };
+
+  g.set(a, 0x67452301);
+  g.set(e, -0x3c2d1e10);
+  g.count_loop(t, 0, 64, [&] {
+    Value* idx = b.and_(g.get(t), m->get_i32(15));
+    // Schedule expansion: w[t&15] = rotl1(w[(t+13)&15] ^ w[(t+8)&15] ^ w[t&15]).
+    Value* w13 = g.get(g.elem_masked(w, b.add(g.get(t), m->get_i32(13)), 16));
+    Value* w8 = g.get(g.elem_masked(w, b.add(g.get(t), m->get_i32(8)), 16));
+    Value* wt = g.get(g.elem(w, idx));
+    Value* mixed = rotl(b.xor_(b.xor_(w13, w8), wt), 1);
+    g.set(g.elem(w, idx), mixed);
+    // Round function.
+    Value* kv = g.get(g.elem_masked(kconst, b.lshr(g.get(t), m->get_i32(4)), 4));
+    Value* tmp = b.add(b.add(rotl(g.get(a), 5), b.xor_(g.get(e), g.get(a))),
+                       b.add(mixed, kv));
+    g.set(e, g.get(a));
+    g.set(a, tmp);
+  });
+  g.ret(b.xor_(g.get(a), g.get(e)));
+  return m;
+}
+
+}  // namespace
+
+const std::vector<std::string>& chstone_benchmark_names() {
+  static const std::vector<std::string> names = {"adpcm", "aes",    "blowfish",
+                                                 "dhrystone", "gsm",    "matmul",
+                                                 "mpeg2",     "qsort",  "sha"};
+  return names;
+}
+
+std::unique_ptr<ir::Module> build_chstone_like(const std::string& name) {
+  if (name == "adpcm") return build_adpcm();
+  if (name == "aes") return build_aes();
+  if (name == "blowfish") return build_blowfish();
+  if (name == "dhrystone") return build_dhrystone();
+  if (name == "gsm") return build_gsm();
+  if (name == "matmul") return build_matmul();
+  if (name == "mpeg2") return build_mpeg2();
+  if (name == "qsort") return build_qsort();
+  if (name == "sha") return build_sha();
+  assert(false && "unknown benchmark name");
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<ir::Module>> build_all_chstone_like() {
+  std::vector<std::unique_ptr<ir::Module>> out;
+  for (const std::string& name : chstone_benchmark_names()) {
+    out.push_back(build_chstone_like(name));
+  }
+  return out;
+}
+
+}  // namespace autophase::progen

@@ -1,0 +1,30 @@
+// The nine "real benchmark" programs of the paper's evaluation (adapted, as
+// the paper's were, from CHStone and the LegUp examples): adpcm, aes,
+// blowfish, dhrystone, gsm, matmul, mpeg2, qsort, sha.
+//
+// Substitution note (DESIGN.md §2): these are hand-built IR kernels that
+// mimic each benchmark's dominant computation structure — table lookups and
+// xor rounds for aes, feistel rounds for blowfish, a triple loop nest for
+// matmul, branchy fixed-point quantisation for adpcm, and so on — rather
+// than bit-exact CHStone sources (no C frontend exists in this offline
+// reproduction). Each returns a self-checking checksum from main().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace autophase::progen {
+
+/// Benchmark names in the paper's order.
+const std::vector<std::string>& chstone_benchmark_names();
+
+/// Builds one benchmark module by name; asserts on unknown names.
+std::unique_ptr<ir::Module> build_chstone_like(const std::string& name);
+
+/// Builds all nine benchmarks.
+std::vector<std::unique_ptr<ir::Module>> build_all_chstone_like();
+
+}  // namespace autophase::progen

@@ -1,0 +1,174 @@
+#include "rl/a3c.hpp"
+
+#include <cmath>
+#include <thread>
+
+namespace autophase::rl {
+
+namespace {
+
+ml::MlpConfig net_config(std::size_t input, const std::vector<std::size_t>& hidden,
+                         std::size_t output) {
+  ml::MlpConfig c;
+  c.input = input;
+  c.hidden = hidden;
+  c.output = output;
+  return c;
+}
+
+ml::Matrix row_matrix(const std::vector<double>& v) {
+  ml::Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.row(0));
+  return m;
+}
+
+Rng make_seed_rng(std::uint64_t seed) { return Rng(seed); }
+
+}  // namespace
+
+A3cTrainer::A3cTrainer(std::function<Env*()> env_factory, A3cConfig config)
+    : env_factory_(std::move(env_factory)),
+      config_(config),
+      actor_([&] {
+        // Probe an env once for the spaces.
+        Env* env = env_factory_();
+        dist_ = ml::FactoredCategorical{env->action_groups(), env->action_arity()};
+        Rng rng = make_seed_rng(config.seed);
+        return ml::Mlp(net_config(env->observation_size(), config.hidden, dist_.logit_count()),
+                       rng);
+      }()),
+      critic_([&] {
+        Env* env = env_factory_();
+        Rng rng = make_seed_rng(config.seed + 1);
+        return ml::Mlp(net_config(env->observation_size(), config.hidden, 1), rng);
+      }()) {
+  actor_opt_ = std::make_unique<ml::Adam>(actor_, ml::Adam::Config{.lr = config.learning_rate});
+  critic_opt_ = std::make_unique<ml::Adam>(critic_, ml::Adam::Config{.lr = config.learning_rate});
+}
+
+std::vector<std::size_t> A3cTrainer::act_greedy(const std::vector<double>& observation) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const ml::Matrix logits = actor_.forward(row_matrix(observation));
+  return dist_.argmax_all(logits.row(0));
+}
+
+void A3cTrainer::worker_loop(int worker_id) {
+  Env* env = env_factory_();
+  Rng rng(config_.seed * 7919 + static_cast<std::uint64_t>(worker_id) * 104729 + 13);
+
+  // Local snapshots (synced from the shared nets before each n-step batch).
+  ml::Mlp local_actor = [&] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return actor_;
+  }();
+  ml::Mlp local_critic = [&] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return critic_;
+  }();
+
+  std::vector<double> obs = env->reset();
+  double episode_return = 0.0;
+
+  while (true) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (global_steps_ >= config_.total_steps) return;
+      local_actor = actor_;
+      local_critic = critic_;
+    }
+
+    // Collect up to n_step transitions with the local policy.
+    struct Step {
+      std::vector<double> obs;
+      std::vector<std::size_t> action;
+      double reward;
+    };
+    std::vector<Step> steps;
+    bool terminal = false;
+    for (int i = 0; i < config_.n_step && !terminal; ++i) {
+      const ml::Matrix logits = local_actor.forward(row_matrix(obs));
+      const auto action = dist_.sample_all(logits.row(0), rng);
+      const StepResult sr = env->step(action);
+      steps.push_back({obs, action, sr.reward});
+      episode_return += sr.reward;
+      terminal = sr.done;
+      obs = sr.done ? env->reset() : sr.observation;
+      if (sr.done) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        episode_returns_.push_back(episode_return);
+        episode_return = 0.0;
+      }
+    }
+    if (steps.empty()) continue;
+
+    // n-step returns with critic bootstrap.
+    double bootstrap = 0.0;
+    if (!terminal) bootstrap = local_critic.forward(row_matrix(obs)).at(0, 0);
+    std::vector<double> returns(steps.size());
+    double acc = bootstrap;
+    for (std::size_t i = steps.size(); i-- > 0;) {
+      acc = steps[i].reward + config_.gamma * acc;
+      returns[i] = acc;
+    }
+
+    // Local gradients.
+    ml::Gradients actor_grads = local_actor.make_gradients();
+    ml::Gradients critic_grads = local_critic.make_gradients();
+    const std::size_t logit_count = dist_.logit_count();
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const ml::Matrix x = row_matrix(steps[i].obs);
+      ml::ForwardCache acache;
+      const ml::Matrix logits = local_actor.forward(x, &acache);
+      ml::ForwardCache ccache;
+      const ml::Matrix value = local_critic.forward(x, &ccache);
+      const double advantage = returns[i] - value.at(0, 0);
+
+      std::vector<double> lp_grad(logit_count, 0.0);
+      dist_.log_prob_grad_all(logits.row(0), steps[i].action, lp_grad.data());
+      std::vector<double> ent_grad(logit_count, 0.0);
+      for (std::size_t g = 0; g < dist_.groups; ++g) {
+        ml::entropy_grad(logits.row(0) + g * dist_.arity, dist_.arity,
+                         ent_grad.data() + g * dist_.arity);
+      }
+      ml::Matrix dlogits(1, logit_count);
+      for (std::size_t j = 0; j < logit_count; ++j) {
+        dlogits.at(0, j) = -(advantage * lp_grad[j] + config_.entropy_coef * ent_grad[j]);
+      }
+      local_actor.backward(acache, dlogits, actor_grads);
+
+      ml::Matrix dvalue(1, 1);
+      dvalue.at(0, 0) = 2.0 * (value.at(0, 0) - returns[i]);
+      local_critic.backward(ccache, dvalue, critic_grads);
+    }
+    actor_grads.scale(1.0 / static_cast<double>(steps.size()));
+    critic_grads.scale(1.0 / static_cast<double>(steps.size()));
+
+    // Apply asynchronously to the shared parameters.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      actor_opt_->step(actor_, actor_grads);
+      critic_opt_->step(critic_, critic_grads);
+      global_steps_ += static_cast<int>(steps.size());
+    }
+  }
+}
+
+double A3cTrainer::train() {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    threads.emplace_back([this, w] { worker_loop(w); });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (episode_returns_.empty()) return 0.0;
+  const std::size_t tail = std::max<std::size_t>(1, episode_returns_.size() / 4);
+  double sum = 0.0;
+  for (std::size_t i = episode_returns_.size() - tail; i < episode_returns_.size(); ++i) {
+    sum += episode_returns_[i];
+  }
+  return sum / static_cast<double>(tail);
+}
+
+}  // namespace autophase::rl

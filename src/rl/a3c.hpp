@@ -1,0 +1,62 @@
+// Asynchronous Advantage Actor-Critic (Mnih et al. 2016): worker threads
+// with private environments compute n-step advantage gradients on local
+// snapshots of the actor/critic and apply them to the shared networks under
+// a lock (the Hogwild-with-lock variant; deterministic per worker, ordering
+// across workers is scheduler-dependent exactly as in the original).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "ml/distributions.hpp"
+#include "ml/mlp.hpp"
+#include "ml/optimizer.hpp"
+#include "rl/env.hpp"
+
+namespace autophase::rl {
+
+struct A3cConfig {
+  int workers = 4;
+  int total_steps = 4096;  // summed across workers
+  int n_step = 8;
+  double gamma = 0.99;
+  double learning_rate = 5e-4;
+  double entropy_coef = 0.01;
+  std::vector<std::size_t> hidden = {256, 256};
+  std::uint64_t seed = 1;
+};
+
+class A3cTrainer {
+ public:
+  /// `env_factory` supplies one private environment per call (two probe
+  /// calls during construction + one per worker). The caller retains
+  /// ownership and must keep every returned environment alive until after
+  /// train() — callers typically want them anyway, to read best_cycles().
+  A3cTrainer(std::function<Env*()> env_factory, A3cConfig config);
+
+  /// Runs all workers to completion; returns mean episode reward over the
+  /// last quarter of training.
+  double train();
+
+  std::vector<std::size_t> act_greedy(const std::vector<double>& observation) const;
+
+  [[nodiscard]] const ml::Mlp& policy() const noexcept { return actor_; }
+
+ private:
+  void worker_loop(int worker_id);
+
+  std::function<Env*()> env_factory_;
+  A3cConfig config_;
+  ml::FactoredCategorical dist_{1, 1};
+
+  mutable std::mutex mutex_;  // guards actor_/critic_/opt_/counters
+  ml::Mlp actor_;
+  ml::Mlp critic_;
+  std::unique_ptr<ml::Adam> actor_opt_;
+  std::unique_ptr<ml::Adam> critic_opt_;
+  int global_steps_ = 0;
+  std::vector<double> episode_returns_;
+};
+
+}  // namespace autophase::rl

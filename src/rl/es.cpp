@@ -1,0 +1,106 @@
+#include "rl/es.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autophase::rl {
+
+namespace {
+
+ml::MlpConfig net_config(std::size_t input, const std::vector<std::size_t>& hidden,
+                         std::size_t output) {
+  ml::MlpConfig c;
+  c.input = input;
+  c.hidden = hidden;
+  c.output = output;
+  return c;
+}
+
+ml::Matrix row_matrix(const std::vector<double>& v) {
+  ml::Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.row(0));
+  return m;
+}
+
+}  // namespace
+
+EsTrainer::EsTrainer(Env& env, EsConfig config)
+    : env_(env),
+      config_(config),
+      rng_(config.seed),
+      dist_{env.action_groups(), env.action_arity()},
+      policy_(net_config(env.observation_size(), config.hidden, dist_.logit_count()), rng_) {}
+
+std::vector<std::size_t> EsTrainer::act_greedy(const std::vector<double>& observation) const {
+  const ml::Matrix logits = policy_.forward(row_matrix(observation));
+  return dist_.argmax_all(logits.row(0));
+}
+
+double EsTrainer::evaluate(const std::vector<double>& params, std::uint64_t action_seed) {
+  policy_.assign(params);
+  Rng action_rng(action_seed);
+  std::vector<double> obs = env_.reset();
+  double total = 0.0;
+  for (int guard = 0; guard < 4096; ++guard) {
+    const ml::Matrix logits = policy_.forward(row_matrix(obs));
+    const auto action = dist_.sample_all(logits.row(0), action_rng);
+    const StepResult sr = env_.step(action);
+    total += sr.reward;
+    if (sr.done) break;
+    obs = sr.observation;
+  }
+  return total;
+}
+
+double EsTrainer::train() {
+  const std::size_t dim = policy_.parameter_count();
+  std::vector<double> theta = policy_.flatten();
+  double best_fitness = -1e300;
+
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    const int pairs = config_.population_pairs;
+    std::vector<std::vector<double>> noise(static_cast<std::size_t>(pairs));
+    std::vector<double> fitness(static_cast<std::size_t>(2 * pairs));
+
+    const std::uint64_t action_seed = rng_.next();  // shared across the population
+    for (int p = 0; p < pairs; ++p) {
+      auto& eps = noise[static_cast<std::size_t>(p)];
+      eps.resize(dim);
+      for (double& e : eps) e = rng_.normal();
+      std::vector<double> plus = theta;
+      std::vector<double> minus = theta;
+      for (std::size_t i = 0; i < dim; ++i) {
+        plus[i] += config_.sigma * eps[i];
+        minus[i] -= config_.sigma * eps[i];
+      }
+      fitness[static_cast<std::size_t>(2 * p)] = evaluate(plus, action_seed);
+      fitness[static_cast<std::size_t>(2 * p + 1)] = evaluate(minus, action_seed);
+    }
+    best_fitness = std::max(best_fitness, *std::max_element(fitness.begin(), fitness.end()));
+
+    // Centered-rank shaping.
+    std::vector<std::size_t> order(fitness.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
+    std::vector<double> shaped(fitness.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      shaped[order[rank]] =
+          static_cast<double>(rank) / static_cast<double>(order.size() - 1) - 0.5;
+    }
+
+    // theta += lr / (n * sigma) * sum_i shaped_i * eps_i (antithetic pairs).
+    const double scale =
+        config_.learning_rate / (static_cast<double>(2 * pairs) * config_.sigma);
+    for (int p = 0; p < pairs; ++p) {
+      const double w =
+          shaped[static_cast<std::size_t>(2 * p)] - shaped[static_cast<std::size_t>(2 * p + 1)];
+      const auto& eps = noise[static_cast<std::size_t>(p)];
+      for (std::size_t i = 0; i < dim; ++i) theta[i] += scale * w * eps[i];
+    }
+  }
+  policy_.assign(theta);
+  return best_fitness;
+}
+
+}  // namespace autophase::rl

@@ -1,0 +1,45 @@
+// Evolution Strategies (Salimans et al. 2017) as the RL-ES agent: the
+// policy network's weights are perturbed with antithetic Gaussian noise,
+// fitness is the episode return, and the update is the rank-shaped
+// noise-weighted average — "similar to the A3C agent ... but updates the
+// policy network using the evolution strategy instead of backpropagation".
+#pragma once
+
+#include "ml/distributions.hpp"
+#include "ml/mlp.hpp"
+#include "rl/env.hpp"
+
+namespace autophase::rl {
+
+struct EsConfig {
+  int iterations = 40;
+  int population_pairs = 8;  // antithetic pairs per iteration
+  double sigma = 0.05;
+  double learning_rate = 0.05;
+  std::vector<std::size_t> hidden = {256, 256};
+  std::uint64_t seed = 1;
+};
+
+class EsTrainer {
+ public:
+  EsTrainer(Env& env, EsConfig config);
+
+  /// Runs the full ES loop; returns the best fitness seen.
+  double train();
+
+  std::vector<std::size_t> act_greedy(const std::vector<double>& observation) const;
+
+  [[nodiscard]] const ml::Mlp& policy() const noexcept { return policy_; }
+
+ private:
+  /// One full episode under the given flat parameters; returns total reward.
+  double evaluate(const std::vector<double>& params, std::uint64_t action_seed);
+
+  Env& env_;
+  EsConfig config_;
+  Rng rng_;
+  ml::FactoredCategorical dist_;
+  ml::Mlp policy_;
+};
+
+}  // namespace autophase::rl

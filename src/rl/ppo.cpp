@@ -1,0 +1,175 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autophase::rl {
+
+PpoConfig vanilla_pg_config() {
+  PpoConfig c;
+  c.epochs = 1;
+  c.clip = 1e9;  // no clipping: plain policy-gradient surrogate
+  c.gae_lambda = 1.0;
+  return c;
+}
+
+namespace {
+
+ml::MlpConfig net_config(std::size_t input, const std::vector<std::size_t>& hidden,
+                         std::size_t output) {
+  ml::MlpConfig c;
+  c.input = input;
+  c.hidden = hidden;
+  c.output = output;
+  return c;
+}
+
+ml::Matrix row_matrix(const std::vector<double>& v) {
+  ml::Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.row(0));
+  return m;
+}
+
+}  // namespace
+
+PpoTrainer::PpoTrainer(Env& env, PpoConfig config)
+    : env_(env),
+      config_(config),
+      rng_(config.seed),
+      dist_{env.action_groups(), env.action_arity()},
+      policy_(net_config(env.observation_size(), config.hidden, dist_.logit_count()), rng_),
+      value_(net_config(env.observation_size(), config.hidden, 1), rng_),
+      policy_opt_(policy_, {.lr = config.learning_rate}),
+      value_opt_(value_, {.lr = config.learning_rate}) {}
+
+double PpoTrainer::value_of(const std::vector<double>& observation) const {
+  const ml::Matrix out = value_.forward(row_matrix(observation));
+  return out.at(0, 0);
+}
+
+std::vector<std::size_t> PpoTrainer::act_greedy(const std::vector<double>& observation) const {
+  const ml::Matrix logits = policy_.forward(row_matrix(observation));
+  return dist_.argmax_all(logits.row(0));
+}
+
+std::vector<std::size_t> PpoTrainer::act_sample(const std::vector<double>& observation) {
+  const ml::Matrix logits = policy_.forward(row_matrix(observation));
+  return dist_.sample_all(logits.row(0), rng_);
+}
+
+IterationStats PpoTrainer::iterate() {
+  RolloutBuffer buffer;
+  if (need_reset_) {
+    obs_ = env_.reset();
+    need_reset_ = false;
+  }
+  for (int step = 0; step < config_.steps_per_iteration; ++step) {
+    const ml::Matrix logits = policy_.forward(row_matrix(obs_));
+    const auto action = dist_.sample_all(logits.row(0), rng_);
+    Transition t;
+    t.observation = obs_;
+    t.action = action;
+    t.log_prob = dist_.log_prob_all(logits.row(0), action);
+    t.value = value_of(obs_);
+    const StepResult sr = env_.step(action);
+    t.reward = sr.reward;
+    t.done = sr.done;
+    buffer.transitions.push_back(std::move(t));
+    obs_ = sr.done ? env_.reset() : sr.observation;
+  }
+  const double last_value = value_of(obs_);
+  buffer.compute_gae(config_.gamma, config_.gae_lambda,
+                     buffer.transitions.back().done ? 0.0 : last_value);
+  const double reward_mean = buffer.episode_reward_mean();
+  buffer.normalize_advantages();
+  update(buffer);
+
+  IterationStats stats;
+  stats.iteration = iteration_++;
+  stats.episode_reward_mean = reward_mean;
+  stats.policy_entropy = last_entropy_;
+  stats.env_samples = env_.sample_count();
+  return stats;
+}
+
+void PpoTrainer::update(RolloutBuffer& buffer) {
+  const std::size_t n = buffer.transitions.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  const std::size_t logit_count = dist_.logit_count();
+  double entropy_acc = 0.0;
+  std::size_t entropy_samples = 0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < n; start += static_cast<std::size_t>(config_.minibatch_size)) {
+      const std::size_t end = std::min(n, start + static_cast<std::size_t>(config_.minibatch_size));
+      const std::size_t batch = end - start;
+
+      // Assemble the minibatch.
+      ml::Matrix obs(batch, buffer.transitions[0].observation.size());
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto& t = buffer.transitions[order[start + b]];
+        std::copy(t.observation.begin(), t.observation.end(), obs.row(b));
+      }
+
+      // ---- Policy update ----
+      ml::ForwardCache pcache;
+      const ml::Matrix logits = policy_.forward(obs, &pcache);
+      ml::Matrix dlogits(batch, logit_count);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto& t = buffer.transitions[order[start + b]];
+        const double adv = buffer.advantages[order[start + b]];
+        const double new_lp = dist_.log_prob_all(logits.row(b), t.action);
+        const double ratio = std::exp(new_lp - t.log_prob);
+        // Clipped surrogate: gradient flows only when unclipped is active.
+        const bool clipped = (adv >= 0.0 && ratio > 1.0 + config_.clip) ||
+                             (adv < 0.0 && ratio < 1.0 - config_.clip);
+        std::vector<double> lp_grad(logit_count, 0.0);
+        dist_.log_prob_grad_all(logits.row(b), t.action, lp_grad.data());
+        std::vector<double> ent_grad(logit_count, 0.0);
+        for (std::size_t g = 0; g < dist_.groups; ++g) {
+          ml::entropy_grad(logits.row(b) + g * dist_.arity, dist_.arity,
+                           ent_grad.data() + g * dist_.arity);
+        }
+        const double policy_scale = clipped ? 0.0 : ratio * adv;
+        for (std::size_t j = 0; j < logit_count; ++j) {
+          // Minimise -(surrogate + entropy bonus).
+          dlogits.at(b, j) = -(policy_scale * lp_grad[j] + config_.entropy_coef * ent_grad[j]) /
+                             static_cast<double>(batch);
+        }
+        entropy_acc += dist_.entropy_all(logits.row(b));
+        ++entropy_samples;
+      }
+      ml::Gradients pgrads = policy_.make_gradients();
+      policy_.backward(pcache, dlogits, pgrads);
+      policy_opt_.step(policy_, pgrads);
+
+      // ---- Value update (MSE to GAE returns) ----
+      ml::ForwardCache vcache;
+      const ml::Matrix values = value_.forward(obs, &vcache);
+      ml::Matrix dvalues(batch, 1);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double target = buffer.returns[order[start + b]];
+        dvalues.at(b, 0) = 2.0 * (values.at(b, 0) - target) / static_cast<double>(batch);
+      }
+      ml::Gradients vgrads = value_.make_gradients();
+      value_.backward(vcache, dvalues, vgrads);
+      value_opt_.step(value_, vgrads);
+    }
+  }
+  last_entropy_ = entropy_samples > 0 ? entropy_acc / static_cast<double>(entropy_samples) : 0.0;
+}
+
+std::vector<IterationStats> PpoTrainer::train(
+    const std::function<void(const IterationStats&)>& on_iteration) {
+  std::vector<IterationStats> stats;
+  for (int i = 0; i < config_.iterations; ++i) {
+    stats.push_back(iterate());
+    if (on_iteration) on_iteration(stats.back());
+  }
+  return stats;
+}
+
+}  // namespace autophase::rl

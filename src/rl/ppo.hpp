@@ -1,0 +1,82 @@
+// Proximal Policy Optimization (Schulman et al. 2017) with the clipped
+// surrogate objective, GAE, minibatch epochs, entropy bonus, and a separate
+// value network — the paper's main agent (RL-PPO1/2/3 differ only in the
+// environment's observation/action spaces and reward wiring, Table 3).
+// Setting epochs=1, clip very large and gae_lambda=1 degrades PPO to
+// vanilla policy gradient (§2.2), exposed as vanilla_pg_config().
+#pragma once
+
+#include <functional>
+
+#include "ml/distributions.hpp"
+#include "ml/mlp.hpp"
+#include "ml/optimizer.hpp"
+#include "rl/env.hpp"
+#include "rl/rollout.hpp"
+
+namespace autophase::rl {
+
+struct PpoConfig {
+  int iterations = 20;
+  int steps_per_iteration = 256;  // rollout length (across episodes)
+  int minibatch_size = 64;
+  int epochs = 4;
+  double gamma = 0.99;
+  double gae_lambda = 0.95;
+  double clip = 0.2;
+  double entropy_coef = 0.01;
+  double learning_rate = 5e-4;
+  std::vector<std::size_t> hidden = {256, 256};
+  std::uint64_t seed = 1;
+};
+
+/// Vanilla PG preset (background §2.2).
+PpoConfig vanilla_pg_config();
+
+struct IterationStats {
+  int iteration = 0;
+  double episode_reward_mean = 0.0;
+  std::size_t env_samples = 0;  // cumulative simulator calls
+  double policy_entropy = 0.0;
+};
+
+class PpoTrainer {
+ public:
+  PpoTrainer(Env& env, PpoConfig config);
+
+  /// One PPO iteration: collect `steps_per_iteration` transitions, then run
+  /// minibatch-epoch updates. Returns stats for learning curves (Fig. 8).
+  IterationStats iterate();
+
+  /// Full training run; optional per-iteration callback.
+  std::vector<IterationStats> train(
+      const std::function<void(const IterationStats&)>& on_iteration = nullptr);
+
+  /// Greedy action(s) for an observation (inference / Fig. 9).
+  std::vector<std::size_t> act_greedy(const std::vector<double>& observation) const;
+  /// Stochastic action(s) (exploration).
+  std::vector<std::size_t> act_sample(const std::vector<double>& observation);
+
+  [[nodiscard]] const ml::Mlp& policy() const noexcept { return policy_; }
+
+ private:
+  double value_of(const std::vector<double>& observation) const;
+  void update(RolloutBuffer& buffer);
+
+  Env& env_;
+  PpoConfig config_;
+  Rng rng_;
+  ml::FactoredCategorical dist_;
+  ml::Mlp policy_;
+  ml::Mlp value_;
+  ml::Adam policy_opt_;
+  ml::Adam value_opt_;
+  int iteration_ = 0;
+
+  // Rollout continuity between iterations.
+  std::vector<double> obs_;
+  bool need_reset_ = true;
+  double last_entropy_ = 0.0;
+};
+
+}  // namespace autophase::rl

@@ -1,0 +1,52 @@
+#include "rl/rollout.hpp"
+
+#include <cmath>
+
+namespace autophase::rl {
+
+void RolloutBuffer::compute_gae(double gamma, double lambda, double last_value) {
+  const std::size_t n = transitions.size();
+  advantages.assign(n, 0.0);
+  returns.assign(n, 0.0);
+  double next_value = last_value;
+  double next_advantage = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const Transition& t = transitions[i];
+    const double not_done = t.done ? 0.0 : 1.0;
+    const double delta = t.reward + gamma * next_value * not_done - t.value;
+    next_advantage = delta + gamma * lambda * not_done * next_advantage;
+    advantages[i] = next_advantage;
+    returns[i] = advantages[i] + t.value;
+    next_value = t.value;
+  }
+}
+
+void RolloutBuffer::normalize_advantages() {
+  if (advantages.empty()) return;
+  double mean = 0.0;
+  for (const double a : advantages) mean += a;
+  mean /= static_cast<double>(advantages.size());
+  double var = 0.0;
+  for (const double a : advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(advantages.size());
+  const double stddev = std::sqrt(var) + 1e-8;
+  for (double& a : advantages) a = (a - mean) / stddev;
+}
+
+double RolloutBuffer::episode_reward_mean() const {
+  double total = 0.0;
+  double episode = 0.0;
+  int episodes = 0;
+  for (const Transition& t : transitions) {
+    episode += t.reward;
+    if (t.done) {
+      total += episode;
+      episode = 0.0;
+      ++episodes;
+    }
+  }
+  if (episodes == 0) return episode;  // single partial episode
+  return total / episodes;
+}
+
+}  // namespace autophase::rl

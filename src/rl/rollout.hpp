@@ -1,0 +1,40 @@
+// Trajectory storage + Generalised Advantage Estimation shared by the
+// policy-gradient trainers.
+#pragma once
+
+#include <vector>
+
+namespace autophase::rl {
+
+struct Transition {
+  std::vector<double> observation;
+  std::vector<std::size_t> action;  // one choice per action group
+  double reward = 0.0;
+  double value = 0.0;     // V(s) under the value net at collection time
+  double log_prob = 0.0;  // log pi(a|s) at collection time
+  bool done = false;
+};
+
+struct RolloutBuffer {
+  std::vector<Transition> transitions;
+  std::vector<double> advantages;
+  std::vector<double> returns;
+
+  void clear() {
+    transitions.clear();
+    advantages.clear();
+    returns.clear();
+  }
+
+  /// GAE(gamma, lambda). `last_value` bootstraps the final transition when
+  /// it is not terminal.
+  void compute_gae(double gamma, double lambda, double last_value);
+
+  /// Standardises advantages to zero mean / unit variance (PPO practice).
+  void normalize_advantages();
+
+  /// Mean total reward per completed episode in the buffer.
+  [[nodiscard]] double episode_reward_mean() const;
+};
+
+}  // namespace autophase::rl

@@ -1,0 +1,87 @@
+// Internal helpers shared by the search baselines: budget-tracked sequence
+// evaluation and incremental population steppers (used standalone and inside
+// the OpenTuner-style ensemble).
+#pragma once
+
+#include <vector>
+
+#include "search/search.hpp"
+
+namespace autophase::search {
+
+class Evaluator {
+ public:
+  Evaluator(const ir::Module& program, const SearchBudget& budget)
+      : program_(&program),
+        budget_(budget),
+        cache_(hls::ResourceConstraints{}, interp::InterpreterOptions{}) {}
+
+  std::uint64_t evaluate(const std::vector<int>& sequence) {
+    const std::uint64_t cycles = rl::evaluate_sequence_on(*program_, sequence, cache_);
+    if (cycles < best_.best_cycles) {
+      best_.best_cycles = cycles;
+      best_.best_sequence = sequence;
+    }
+    return cycles;
+  }
+
+  [[nodiscard]] bool exhausted() const { return cache_.samples() >= budget_.max_samples; }
+  [[nodiscard]] const SearchBudget& budget() const noexcept { return budget_; }
+
+  [[nodiscard]] SearchResult result() const {
+    SearchResult r = best_;
+    r.samples = cache_.samples();
+    return r;
+  }
+  [[nodiscard]] std::uint64_t best_cycles() const noexcept { return best_.best_cycles; }
+
+ private:
+  const ir::Module* program_;
+  SearchBudget budget_;
+  rl::EvaluationCache cache_;
+  SearchResult best_;
+};
+
+/// Incremental genetic algorithm (one generation per step).
+class GeneticStepper {
+ public:
+  GeneticStepper(GeneticConfig config, int sequence_length, Rng rng);
+
+  /// Evaluates one generation; returns true if the evaluator's global best
+  /// improved during this step.
+  bool step(Evaluator& eval);
+
+ private:
+  std::vector<int> crossover(const std::vector<int>& a, const std::vector<int>& b);
+  void mutate(std::vector<int>& genome);
+  const std::vector<int>& tournament_select() const;
+
+  GeneticConfig config_;
+  int length_;
+  mutable Rng rng_;
+  std::vector<std::vector<int>> population_;
+  std::vector<std::uint64_t> fitness_;  // lower = better
+  bool initialised_ = false;
+};
+
+/// Incremental particle swarm (one swarm update per step).
+class PsoStepper {
+ public:
+  PsoStepper(PsoConfig config, int sequence_length, Rng rng);
+
+  bool step(Evaluator& eval);
+
+ private:
+  PsoConfig config_;
+  int length_;
+  Rng rng_;
+  std::vector<std::vector<double>> position_;
+  std::vector<std::vector<double>> velocity_;
+  std::vector<std::vector<double>> personal_best_;
+  std::vector<std::uint64_t> personal_best_fitness_;
+  std::vector<double> global_best_;
+  std::uint64_t global_best_fitness_ = ~0ull;
+  bool initialised_ = false;
+};
+
+}  // namespace autophase::search

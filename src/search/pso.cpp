@@ -1,0 +1,94 @@
+#include <algorithm>
+#include <cmath>
+
+#include "passes/pass.hpp"
+#include "search/evaluator.hpp"
+
+namespace autophase::search {
+
+namespace {
+
+std::vector<int> discretise(const std::vector<double>& position) {
+  std::vector<int> seq(position.size());
+  for (std::size_t i = 0; i < position.size(); ++i) {
+    seq[i] = std::clamp(static_cast<int>(position[i]), 0, passes::kNumPasses - 1);
+  }
+  return seq;
+}
+
+}  // namespace
+
+PsoStepper::PsoStepper(PsoConfig config, int sequence_length, Rng rng)
+    : config_(config), length_(sequence_length), rng_(rng) {}
+
+bool PsoStepper::step(Evaluator& eval) {
+  const std::uint64_t best_before = eval.best_cycles();
+  const double hi = static_cast<double>(passes::kNumPasses) - 1e-3;
+
+  if (!initialised_) {
+    initialised_ = true;
+    position_.resize(static_cast<std::size_t>(config_.particles));
+    velocity_.resize(static_cast<std::size_t>(config_.particles));
+    personal_best_.resize(static_cast<std::size_t>(config_.particles));
+    personal_best_fitness_.assign(static_cast<std::size_t>(config_.particles), ~0ull);
+    for (int p = 0; p < config_.particles && !eval.exhausted(); ++p) {
+      auto& x = position_[static_cast<std::size_t>(p)];
+      auto& v = velocity_[static_cast<std::size_t>(p)];
+      x.resize(static_cast<std::size_t>(length_));
+      v.resize(static_cast<std::size_t>(length_));
+      for (int i = 0; i < length_; ++i) {
+        x[static_cast<std::size_t>(i)] = rng_.uniform(0.0, hi);
+        v[static_cast<std::size_t>(i)] = rng_.uniform(-3.0, 3.0);
+      }
+      const std::uint64_t fit = eval.evaluate(discretise(x));
+      personal_best_[static_cast<std::size_t>(p)] = x;
+      personal_best_fitness_[static_cast<std::size_t>(p)] = fit;
+      if (fit < global_best_fitness_) {
+        global_best_fitness_ = fit;
+        global_best_ = x;
+      }
+    }
+    return eval.best_cycles() < best_before;
+  }
+  if (position_.empty() || global_best_.empty()) return false;
+
+  for (std::size_t p = 0; p < position_.size() && !eval.exhausted(); ++p) {
+    auto& x = position_[p];
+    auto& v = velocity_[p];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r1 = rng_.uniform();
+      const double r2 = rng_.uniform();
+      v[i] = config_.inertia * v[i] +
+             config_.cognitive * r1 * (personal_best_[p][i] - x[i]) +
+             config_.social * r2 * (global_best_[i] - x[i]);
+      v[i] = std::clamp(v[i], -8.0, 8.0);
+      x[i] = std::clamp(x[i] + v[i], 0.0, hi);
+      // OpenTuner-flavoured crossover setting: teleport a fraction of the
+      // dimensions straight onto the global best.
+      if (config_.crossover_fraction > 0.0 && rng_.chance(config_.crossover_fraction)) {
+        x[i] = global_best_[i];
+      }
+    }
+    const std::uint64_t fit = eval.evaluate(discretise(x));
+    if (fit < personal_best_fitness_[p]) {
+      personal_best_fitness_[p] = fit;
+      personal_best_[p] = x;
+    }
+    if (fit < global_best_fitness_) {
+      global_best_fitness_ = fit;
+      global_best_ = x;
+    }
+  }
+  return eval.best_cycles() < best_before;
+}
+
+SearchResult pso_search(const ir::Module& program, const SearchBudget& budget,
+                        const PsoConfig& config) {
+  Evaluator eval(program, budget);
+  eval.evaluate({});
+  PsoStepper stepper(config, budget.sequence_length, Rng(budget.seed));
+  while (!eval.exhausted()) stepper.step(eval);
+  return eval.result();
+}
+
+}  // namespace autophase::search

@@ -1,0 +1,52 @@
+#include "passes/pass.hpp"
+#include "search/evaluator.hpp"
+
+namespace autophase::search {
+
+std::vector<int> random_sequence(Rng& rng, int length) {
+  std::vector<int> seq(static_cast<std::size_t>(length));
+  for (int& p : seq) p = static_cast<int>(rng.uniform_int(0, passes::kNumPasses - 1));
+  return seq;
+}
+
+SearchResult random_search(const ir::Module& program, const SearchBudget& budget) {
+  Evaluator eval(program, budget);
+  Rng rng(budget.seed);
+  eval.evaluate({});  // -O0 reference
+  while (!eval.exhausted()) {
+    eval.evaluate(random_sequence(rng, budget.sequence_length));
+  }
+  return eval.result();
+}
+
+SearchResult greedy_search(const ir::Module& program, const SearchBudget& budget) {
+  Evaluator eval(program, budget);
+  std::vector<int> current;
+  std::uint64_t current_cycles = eval.evaluate(current);
+
+  // Insert the best (pass, position) pair until nothing improves. This is
+  // the algorithm the paper attributes to Huang et al. 2013 and shows to be
+  // easily trapped: each insertion is judged by its *immediate* speedup, so
+  // enabling passes with zero standalone gain are never chosen.
+  while (static_cast<int>(current.size()) < budget.sequence_length && !eval.exhausted()) {
+    std::uint64_t best_cycles = current_cycles;
+    std::vector<int> best_candidate;
+    for (int pass = 0; pass < passes::kNumPasses && !eval.exhausted(); ++pass) {
+      for (std::size_t pos = 0; pos <= current.size() && !eval.exhausted(); ++pos) {
+        std::vector<int> candidate = current;
+        candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos), pass);
+        const std::uint64_t cycles = eval.evaluate(candidate);
+        if (cycles < best_cycles) {
+          best_cycles = cycles;
+          best_candidate = candidate;
+        }
+      }
+    }
+    if (best_candidate.empty()) break;  // local optimum
+    current = std::move(best_candidate);
+    current_cycles = best_cycles;
+  }
+  return eval.result();
+}
+
+}  // namespace autophase::search

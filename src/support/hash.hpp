@@ -1,0 +1,27 @@
+// FNV-1a 64-bit hashing, used to fingerprint printed IR modules for the
+// evaluation cache and to derive per-program RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace autophase {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view data, std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // boost-style combiner on 64-bit words.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace autophase

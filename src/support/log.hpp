@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr. Benches and long-running training
+// drivers use this for progress lines; tests silence it by raising the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace autophase {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+/// Stream-style logger: LogMessage(LogLevel::kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { detail::log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace autophase
+
+#define AP_LOG_DEBUG ::autophase::LogMessage(::autophase::LogLevel::kDebug)
+#define AP_LOG_INFO ::autophase::LogMessage(::autophase::LogLevel::kInfo)
+#define AP_LOG_WARN ::autophase::LogMessage(::autophase::LogLevel::kWarn)
+#define AP_LOG_ERROR ::autophase::LogMessage(::autophase::LogLevel::kError)

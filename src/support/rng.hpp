@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation for the whole framework.
+//
+// All stochastic components (program generator, RL agents, search baselines,
+// random forests) take an explicit Rng so experiments are reproducible from a
+// single seed. The generator is xoshiro256** seeded via SplitMix64, which is
+// fast, high quality, and trivially splittable for worker threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace autophase {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Derive an independent stream (for worker threads / sub-components).
+  Rng split() noexcept { return Rng(next()); }
+
+  std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work too.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept;
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> xs) noexcept {
+    return xs[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1))];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) noexcept {
+    return pick(std::span<const T>(xs));
+  }
+
+  /// Sample an index from unnormalised non-negative weights.
+  /// Returns weights.size()-1 on degenerate input (all zero).
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& xs) noexcept {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(xs[i - 1], xs[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace autophase

@@ -1,0 +1,36 @@
+// ASCII table / CSV rendering used by the benchmark harnesses so every
+// table and figure of the paper is reproduced as a readable text artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autophase {
+
+/// Column-aligned text table. Rows may be added incrementally; rendering
+/// computes column widths from content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  [[nodiscard]] std::string render() const;
+
+  /// Comma-separated rendering (for piping into plotting scripts).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a dense matrix as an ASCII heat map (used for Figs. 5 and 6).
+/// Each cell is mapped onto the ramp " .:-=+*#%@" by its value relative to
+/// the matrix maximum. Row/column labels are index-based.
+std::string render_heatmap(const std::vector<std::vector<double>>& matrix,
+                           const std::string& row_axis, const std::string& col_axis);
+
+}  // namespace autophase

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "features/features.hpp"
+#include "ir/builder.hpp"
+#include "passes/pass.hpp"
+#include "progen/chstone_like.hpp"
+#include "progen/codegen.hpp"
+
+namespace autophase::features {
+namespace {
+
+using ir::Function;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+TEST(Features, NamesCoverAllIndices) {
+  for (int i = 0; i < kNumFeatures; ++i) {
+    EXPECT_NE(feature_name(i), "?") << i;
+    EXPECT_FALSE(feature_name(i).empty()) << i;
+  }
+  EXPECT_EQ(feature_name(-1), "?");
+  EXPECT_EQ(feature_name(kNumFeatures), "?");
+}
+
+TEST(Features, CountsOnHandBuiltModule) {
+  auto m = std::make_unique<Module>("f");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  auto& b = g.b();
+  Value* x = g.local_i32("x");         // 1 alloca (+ none from codegen)
+  g.set(x, 1);                         // 1 store
+  Value* v = g.get(x);                 // 1 load
+  Value* y = b.add(v, m->get_i32(2));  // 1 add with constant operand
+  Value* c = b.icmp_slt(y, m->get_i32(10));
+  g.if_then(c, [&] { g.set(x, b.mul(g.get(x), m->get_i32(3))); });
+  g.ret(g.get(x));
+
+  const FeatureVector fv = extract_features(*m);
+  EXPECT_EQ(fv[27], 1);  // allocas
+  EXPECT_EQ(fv[26], 1);  // adds
+  EXPECT_EQ(fv[38], 1);  // muls
+  EXPECT_EQ(fv[35], 1);  // icmps
+  EXPECT_EQ(fv[37], 3);  // loads
+  EXPECT_EQ(fv[45], 2);  // stores
+  EXPECT_EQ(fv[41], 1);  // rets
+  EXPECT_EQ(fv[15], 1);  // conditional branches
+  EXPECT_EQ(fv[53], 1);  // functions
+  EXPECT_GE(fv[24], 2);  // binary ops with a constant operand
+  EXPECT_EQ(fv[50], 4);  // entry, body, if.t, if.j
+  // Edges: entry->body, body->{t,j}, t->j = 4.
+  EXPECT_EQ(fv[18], 4);
+  EXPECT_EQ(fv[51], static_cast<std::int64_t>(m->instruction_count()));
+}
+
+TEST(Features, PhiFeaturesAfterMem2Reg) {
+  auto m = progen::build_chstone_like("matmul");
+  FeatureVector before = extract_features(*m);
+  EXPECT_EQ(before[14], 0);  // no phis at -O0
+  EXPECT_EQ(before[40], before[14]);
+  passes::apply_pass(*m, passes::PassRegistry::instance().index_of("-mem2reg"));
+  FeatureVector after = extract_features(*m);
+  EXPECT_GT(after[14], 0);          // phis created
+  EXPECT_EQ(after[40], after[14]);  // aliased features agree
+  EXPECT_EQ(after[54] == 0, false); // phi args counted
+  EXPECT_LT(after[37], before[37]); // loads eliminated
+  EXPECT_LT(after[27], before[27]); // allocas eliminated
+}
+
+TEST(Features, CriticalEdges) {
+  // A block with two successors each having another predecessor creates
+  // critical edges.
+  auto m = std::make_unique<Module>("crit");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* a = f->create_block("a");
+  ir::BasicBlock* b1 = f->create_block("b1");
+  ir::BasicBlock* j = f->create_block("j");
+  ir::IRBuilder b(*m);
+  b.set_insert_point(a);
+  b.cond_br(m->get_i1(true), b1, j);  // a->j critical (j also reached from b1)
+  b.set_insert_point(b1);
+  b.br(j);
+  b.set_insert_point(j);
+  b.ret(m->get_i32(0));
+  const FeatureVector fv = extract_features(*m);
+  EXPECT_EQ(fv[17], 1);
+  // And -break-crit-edges removes them all.
+  passes::apply_pass(*m, passes::PassRegistry::instance().index_of("-break-crit-edges"));
+  EXPECT_EQ(extract_features(*m)[17], 0);
+}
+
+TEST(Features, AllKernelsHavePlausibleShapes) {
+  for (const auto& name : progen::chstone_benchmark_names()) {
+    auto m = progen::build_chstone_like(name);
+    const FeatureVector fv = extract_features(*m);
+    EXPECT_GT(fv[50], 3) << name;          // several blocks
+    EXPECT_GT(fv[51], 30) << name;         // non-trivial size
+    EXPECT_GT(fv[52], 0) << name;          // memory instructions
+    EXPECT_GT(fv[15], 0) << name;          // conditional branches
+    EXPECT_GE(fv[32], fv[15]) << name;     // Br superset of condbr
+    EXPECT_EQ(fv[40], fv[14]) << name;     // aliased phi features
+    // Buckets partition blocks.
+    EXPECT_EQ(fv[29] + fv[30], fv[50]) << name << " (no >500-inst blocks expected)";
+  }
+}
+
+TEST(Features, SwitchOnlyCountsEdges) {
+  auto m = std::make_unique<Module>("sw");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* x = g.local_i32("x");
+  g.set(x, 2);
+  g.switch_cases(g.get(x), {{0, [] {}}, {1, [] {}}}, [] {});
+  g.ret(0);
+  const FeatureVector fv = extract_features(*m);
+  EXPECT_EQ(fv[15], 0);  // a switch is not a condbr
+  // 3 switch successor slots contribute edges.
+  EXPECT_GE(fv[18], 3);
+}
+
+}  // namespace
+}  // namespace autophase::features

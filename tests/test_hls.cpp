@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "hls/cycle_estimator.hpp"
+#include "hls/verilog.hpp"
+#include "ir/builder.hpp"
+#include "passes/pass.hpp"
+#include "passes/pipelines.hpp"
+#include "progen/chstone_like.hpp"
+#include "progen/codegen.hpp"
+
+namespace autophase::hls {
+namespace {
+
+using ir::Function;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+TEST(Timing, ChainableOpsAreCombinational) {
+  auto m = std::make_unique<Module>("t");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  Value* x = b.add(m->get_i32(1), m->get_i32(2));
+  Value* y = b.mul(x, x);
+  b.ret(y);
+  EXPECT_EQ(op_timing(*static_cast<ir::Instruction*>(x)).latency, 0);
+  EXPECT_GT(op_timing(*static_cast<ir::Instruction*>(x)).delay_ns, 0.0);
+  EXPECT_EQ(op_timing(*static_cast<ir::Instruction*>(y)).latency, 2);
+  EXPECT_EQ(op_timing(*static_cast<ir::Instruction*>(y)).resource, ResourceClass::kMultiplier);
+}
+
+TEST(Timing, ConstantShiftIsCheaperThanVariable) {
+  auto m = std::make_unique<Module>("t");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  ir::BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  Value* c = b.shl(f->arg(0), m->get_i32(3));
+  Value* v = b.shl(f->arg(0), f->arg(0));
+  b.ret(b.add(c, v));
+  EXPECT_LT(op_timing(*static_cast<ir::Instruction*>(c)).delay_ns,
+            op_timing(*static_cast<ir::Instruction*>(v)).delay_ns);
+}
+
+/// Chaining: several cheap ops share one FSM state at 200 MHz.
+TEST(Scheduler, ChainsWithinClockPeriod) {
+  auto m = std::make_unique<Module>("chain");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  // Five dependent xor ops (0.7ns each) chain into one 5ns state.
+  Value* v = m->get_i32(1);
+  for (int i = 0; i < 5; ++i) v = b.xor_(v, m->get_i32(3 + i));
+  b.ret(v);
+  const auto sched = schedule_function(*f, ResourceConstraints{});
+  EXPECT_EQ(sched.blocks.at(bb).states, 1);
+}
+
+TEST(Scheduler, DependentAddsSplitStates) {
+  auto m = std::make_unique<Module>("adds");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  // Four dependent 2ns adds exceed one 5ns period: needs 2 states.
+  Value* v = m->get_i32(1);
+  for (int i = 0; i < 4; ++i) v = b.add(v, m->get_i32(i));
+  b.ret(v);
+  const auto sched = schedule_function(*f, ResourceConstraints{});
+  EXPECT_EQ(sched.blocks.at(bb).states, 2);
+}
+
+TEST(Scheduler, FasterClockNeedsMoreStates) {
+  auto m = std::make_unique<Module>("freq");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  Value* v = m->get_i32(1);
+  for (int i = 0; i < 6; ++i) v = b.add(v, m->get_i32(i));
+  b.ret(v);
+  const auto slow = schedule_function(*f, ResourceConstraints::at_frequency_mhz(100));
+  const auto fast = schedule_function(*f, ResourceConstraints::at_frequency_mhz(400));
+  EXPECT_LT(slow.blocks.at(bb).states, fast.blocks.at(bb).states);
+}
+
+TEST(Scheduler, MemoryPortContention) {
+  auto m = std::make_unique<Module>("ports");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i32(), 8, "a");
+  // Four independent loads: 2 ports -> 2 issue cycles + latency.
+  Value* s0 = g.get(g.elem(arr, 0));
+  Value* s1 = g.get(g.elem(arr, 1));
+  Value* s2 = g.get(g.elem(arr, 2));
+  Value* s3 = g.get(g.elem(arr, 3));
+  auto& b = g.b();
+  g.ret(b.add(b.add(s0, s1), b.add(s2, s3)));
+
+  ResourceConstraints two_ports;
+  ResourceConstraints one_port;
+  one_port.memory_ports = 1;
+  ir::BasicBlock* body = f->block(1);
+  const int states2 = schedule_function(*f, two_ports).blocks.at(body).states;
+  const int states1 = schedule_function(*f, one_port).blocks.at(body).states;
+  EXPECT_LT(states2, states1);
+}
+
+TEST(Scheduler, PhiOnlyBlockIsFree) {
+  auto m = std::make_unique<Module>("free");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* a = f->create_block("a");
+  ir::BasicBlock* fwd = f->create_block("fwd");
+  ir::BasicBlock* j = f->create_block("j");
+  IRBuilder b(*m);
+  b.set_insert_point(a);
+  b.br(fwd);
+  b.set_insert_point(fwd);
+  b.br(j);
+  b.set_insert_point(j);
+  b.ret(m->get_i32(0));
+  const auto sched = schedule_function(*f, ResourceConstraints{});
+  EXPECT_EQ(sched.blocks.at(fwd).states, 0);
+  EXPECT_GE(sched.blocks.at(j).states, 1);  // ret needs a state
+}
+
+TEST(CycleEstimator, MatchesFsmSimulation) {
+  for (const auto& name : progen::chstone_benchmark_names()) {
+    auto m = progen::build_chstone_like(name);
+    auto est = profile_cycles(*m);
+    ASSERT_TRUE(est.is_ok()) << name;
+    auto sim = simulate_fsm_cycles(*m);
+    ASSERT_TRUE(sim.is_ok()) << name;
+    EXPECT_EQ(est.value().cycles, sim.value()) << name;
+    EXPECT_GT(est.value().cycles, 0u) << name;
+    EXPECT_GT(est.value().area, 0.0) << name;
+  }
+}
+
+TEST(CycleEstimator, LoopDominatesCost) {
+  // A loop executing 100 times must cost roughly 100x its body.
+  auto m = std::make_unique<Module>("loopcost");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* acc = g.local_i32("acc");
+  Value* i = g.local_i32("i");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 100, [&] { g.set(acc, g.b().add(g.get(acc), g.get(i))); });
+  g.ret(g.get(acc));
+  auto est = profile_cycles(*m);
+  ASSERT_TRUE(est.is_ok());
+  EXPECT_GT(est.value().cycles, 200u);
+  EXPECT_LT(est.value().cycles, 2000u);
+}
+
+TEST(Verilog, EmitsFsmModules) {
+  auto m = progen::build_chstone_like("matmul");
+  const std::string rtl = emit_verilog_module(*m);
+  EXPECT_NE(rtl.find("module main"), std::string::npos);
+  EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+  EXPECT_NE(rtl.find("posedge clk"), std::string::npos);
+  EXPECT_NE(rtl.find("FSM states"), std::string::npos);
+}
+
+/// The headline substrate sanity check: -O3 must beat -O0 on every kernel
+/// (the paper's Fig. 7 shows -O0 at -23% vs -O3).
+TEST(CycleEstimator, O3BeatsO0OnEveryKernel) {
+  for (const auto& name : progen::chstone_benchmark_names()) {
+    auto m = progen::build_chstone_like(name);
+    const auto o0 = profile_cycles(*m);
+    ASSERT_TRUE(o0.is_ok()) << name;
+    passes::run_o3(*m);
+    const auto o3 = profile_cycles(*m);
+    ASSERT_TRUE(o3.is_ok()) << name;
+    EXPECT_LT(o3.value().cycles, o0.value().cycles) << name;
+  }
+}
+
+}  // namespace
+}  // namespace autophase::hls

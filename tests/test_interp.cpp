@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "progen/chstone_like.hpp"
+#include "progen/codegen.hpp"
+
+namespace autophase {
+namespace {
+
+using interp::run_module;
+using ir::Function;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+std::unique_ptr<Module> straightline(std::function<Value*(IRBuilder&, Module&)> body) {
+  auto m = std::make_unique<Module>("t");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  Value* result = body(b, *m);
+  b.ret(result);
+  return m;
+}
+
+TEST(Interp, Arithmetic) {
+  auto m = straightline([](IRBuilder& b, Module& m) {
+    Value* x = b.add(m.get_i32(20), m.get_i32(22));
+    return b.mul(x, m.get_i32(2));
+  });
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_EQ(r.value().return_value, 84);
+}
+
+TEST(Interp, DivisionByZeroIsZero) {
+  auto m = straightline([](IRBuilder& b, Module& m) {
+    Value* d = b.sdiv(m.get_i32(5), m.get_i32(0));
+    Value* r = b.srem(m.get_i32(5), m.get_i32(0));
+    return b.add(d, r);
+  });
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 0);
+}
+
+TEST(Interp, NarrowWidthWraps) {
+  auto m = straightline([](IRBuilder& b, Module& m) {
+    Value* t = b.trunc(m.get_i32(200), Type::i8());
+    Value* doubled = b.add(t, t);  // 400 wraps in i8 -> -112
+    return b.sext(doubled, Type::i32());
+  });
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, static_cast<std::int8_t>(400));
+}
+
+TEST(Interp, ZextVsSext) {
+  auto m = straightline([](IRBuilder& b, Module& m) {
+    Value* t = b.trunc(m.get_i32(-1), Type::i8());
+    Value* z = b.zext(t, Type::i32());  // 255
+    Value* s = b.sext(t, Type::i32());  // -1
+    return b.add(z, s);
+  });
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 254);
+}
+
+TEST(Interp, MemoryRoundTrip) {
+  auto m = std::make_unique<Module>("mem");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i16(), 8, "a");
+  Value* i = g.local_i32("i");
+  g.count_loop(i, 0, 8, [&] {
+    Value* v = g.b().trunc(g.b().mul(g.get(i), m->get_i32(3)), Type::i16());
+    g.b().store(v, g.b().gep(arr, g.get(i)));
+  });
+  Value* sum = g.local_i32("sum");
+  g.set(sum, 0);
+  g.count_loop(i, 0, 8, [&] {
+    Value* v = g.b().sext(g.b().load(g.b().gep(arr, g.get(i))), Type::i32());
+    g.set(sum, g.b().add(g.get(sum), v));
+  });
+  g.ret(g.get(sum));
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_EQ(r.value().return_value, 3 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(Interp, GlobalInitAndChecksumChange) {
+  auto m = std::make_unique<Module>("g");
+  ir::GlobalVariable* glob = m->create_global(Type::i32(), 4, "g", {10, 20, 30, 40}, false);
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* v0 = g.get(g.elem(glob, 0));
+  Value* v3 = g.get(g.elem(glob, 3));
+  g.set(g.elem(glob, 1), g.b().add(v0, v3));
+  g.ret(g.b().add(v0, v3));
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 50);
+
+  // A module that stores a different value must produce a different
+  // global-memory checksum.
+  auto m2 = std::make_unique<Module>("g2");
+  ir::GlobalVariable* glob2 = m2->create_global(Type::i32(), 4, "g", {10, 20, 30, 40}, false);
+  Function* f2 = m2->create_function("main", Type::i32(), {});
+  progen::CodeGen g2(*m2, *f2);
+  Value* w0 = g2.get(g2.elem(glob2, 0));
+  Value* w3 = g2.get(g2.elem(glob2, 3));
+  g2.set(g2.elem(glob2, 1), g2.b().mul(w0, w3));
+  g2.ret(g2.b().add(w0, w3));
+  auto r2 = run_module(*m2);
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_NE(r.value().memory_checksum, r2.value().memory_checksum);
+}
+
+TEST(Interp, CallsAndProfile) {
+  auto m = std::make_unique<Module>("call");
+  Function* callee = m->create_function("sq", Type::i32(), {Type::i32()}, {"x"});
+  {
+    ir::BasicBlock* bb = callee->create_block("entry");
+    IRBuilder b(*m);
+    b.set_insert_point(bb);
+    b.ret(b.mul(callee->arg(0), callee->arg(0)));
+  }
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* acc = g.local_i32("acc");
+  Value* i = g.local_i32("i");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 5, [&] {
+    g.set(acc, g.b().add(g.get(acc), g.b().call(callee, {g.get(i)})));
+  });
+  g.ret(g.get(acc));
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 0 + 1 + 4 + 9 + 16);
+  EXPECT_EQ(r.value().profile.dynamic_calls, 5u);
+  // Callee entry executed 5 times.
+  EXPECT_EQ(r.value().profile.block_counts.at(callee->entry()), 5u);
+}
+
+TEST(Interp, BudgetAborts) {
+  // while(true) loop.
+  auto m = std::make_unique<Module>("inf");
+  Function* f = m->create_function("main", Type::i32(), {});
+  ir::BasicBlock* entry = f->create_block("entry");
+  ir::BasicBlock* loop = f->create_block("loop");
+  IRBuilder b(*m);
+  b.set_insert_point(entry);
+  b.br(loop);
+  b.set_insert_point(loop);
+  b.br(loop);
+  interp::InterpreterOptions opts;
+  opts.max_instructions = 10'000;
+  auto r = run_module(*m, opts);
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Interp, OutOfBoundsAborts) {
+  auto m = std::make_unique<Module>("oob");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i32(), 4, "a");
+  // Store far outside the arena.
+  Value* bad = g.b().gep(arr, m->get_i64(1 << 30));
+  g.b().store(m->get_i32(1), bad);
+  g.ret(0);
+  auto r = run_module(*m);
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Interp, MemSetAndMemCpy) {
+  auto m = std::make_unique<Module>("memops");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* a = g.array(Type::i32(), 8, "a");
+  Value* c = g.array(Type::i32(), 8, "c");
+  g.b().mem_set(a, m->get_i32(7), m->get_i64(8));
+  g.b().mem_cpy(c, a, m->get_i64(8));
+  Value* sum = g.local_i32("sum");
+  Value* i = g.local_i32("i");
+  g.set(sum, 0);
+  g.count_loop(i, 0, 8, [&] {
+    g.set(sum, g.b().add(g.get(sum), g.get(g.elem(c, g.get(i)))));
+  });
+  g.ret(g.get(sum));
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_EQ(r.value().return_value, 56);
+  EXPECT_EQ(r.value().profile.mem_intrinsic_elems.size(), 2u);
+}
+
+TEST(Interp, SwitchDispatch) {
+  auto m = std::make_unique<Module>("sw");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* out = g.local_i32("out");
+  Value* i = g.local_i32("i");
+  g.set(out, 0);
+  g.count_loop(i, 0, 6, [&] {
+    g.switch_cases(g.get(i),
+                   {{0, [&] { g.set(out, g.b().add(g.get(out), m->get_i32(1))); }},
+                    {1, [&] { g.set(out, g.b().add(g.get(out), m->get_i32(10))); }},
+                    {3, [&] { g.set(out, g.b().add(g.get(out), m->get_i32(100))); }}},
+                   [&] { g.set(out, g.b().add(g.get(out), m->get_i32(1000))); });
+  });
+  g.ret(g.get(out));
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 1 + 10 + 1000 + 100 + 1000 + 1000);
+}
+
+TEST(Interp, KernelsAllRunDeterministically) {
+  for (const auto& name : progen::chstone_benchmark_names()) {
+    auto m1 = progen::build_chstone_like(name);
+    auto m2 = progen::build_chstone_like(name);
+    auto r1 = run_module(*m1);
+    auto r2 = run_module(*m2);
+    ASSERT_TRUE(r1.is_ok()) << name << ": " << r1.message();
+    ASSERT_TRUE(r2.is_ok()) << name;
+    EXPECT_EQ(r1.value().return_value, r2.value().return_value) << name;
+    EXPECT_EQ(r1.value().memory_checksum, r2.value().memory_checksum) << name;
+    EXPECT_GT(r1.value().instructions_executed, 100u) << name << " looks trivial";
+  }
+}
+
+TEST(Interp, QsortActuallySorts) {
+  auto m = progen::build_chstone_like("qsort");
+  auto r = run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  // main returns ok * 1000003 + checksum with ok==1 when sorted.
+  EXPECT_GE(r.value().return_value, 1000003);
+}
+
+}  // namespace
+}  // namespace autophase

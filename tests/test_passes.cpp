@@ -1,0 +1,919 @@
+// Behavioural (does-the-transform-fire) tests per pass; semantic
+// preservation is covered exhaustively in test_pass_semantics.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/features.hpp"
+#include "hls/cycle_estimator.hpp"
+#include "ir/builder.hpp"
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+#include "ir/loop_info.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "passes/pass.hpp"
+#include "passes/pipelines.hpp"
+#include "passes/util.hpp"
+#include "progen/chstone_like.hpp"
+#include "progen/codegen.hpp"
+
+namespace autophase::passes {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+int pass_id(const char* name) { return PassRegistry::instance().index_of(name); }
+
+std::size_t count_opcode(const Module& m, Opcode op) {
+  std::size_t n = 0;
+  for (const Function* f : m.functions()) {
+    for (BasicBlock* bb : const_cast<Function*>(f)->blocks()) {
+      for (Instruction* inst : bb->instructions()) n += inst->opcode() == op ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::uint64_t cycles_of(const Module& m) {
+  auto est = hls::profile_cycles(m);
+  EXPECT_TRUE(est.is_ok());
+  return est.is_ok() ? est.value().cycles : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry / Table 1
+// ---------------------------------------------------------------------------
+
+TEST(Registry, TableOneIndexing) {
+  const auto& reg = PassRegistry::instance();
+  EXPECT_EQ(reg.name(0), "-correlated-propagation");
+  EXPECT_EQ(reg.name(7), "-gvn");
+  EXPECT_EQ(reg.name(23), "-loop-rotate");
+  EXPECT_EQ(reg.name(33), "-loop-unroll");
+  EXPECT_EQ(reg.name(38), "-mem2reg");
+  EXPECT_EQ(reg.name(19), "-functionattrs");
+  EXPECT_EQ(reg.name(40), "-functionattrs");  // the Table-1 duplicate
+  EXPECT_EQ(reg.name(45), "-terminate");
+  EXPECT_EQ(kNumPasses, 45);
+  EXPECT_EQ(kNumActions, 46);
+}
+
+TEST(Registry, RoundTripNames) {
+  const auto& reg = PassRegistry::instance();
+  for (int i = 0; i < kNumPasses; ++i) {
+    if (i == 40) continue;  // duplicate resolves to 19
+    EXPECT_EQ(reg.index_of(reg.name(i)), i) << reg.name(i);
+  }
+  EXPECT_EQ(reg.index_of("gvn"), 7);  // dashless lookup
+  EXPECT_EQ(reg.index_of("-no-such-pass"), -1);
+}
+
+TEST(Registry, EveryPassInstantiates) {
+  for (int i = 0; i < kNumPasses; ++i) {
+    auto pass = PassRegistry::instance().create(i);
+    ASSERT_NE(pass, nullptr) << i;
+    EXPECT_EQ(pass->name(), PassRegistry::instance().name(i));
+  }
+}
+
+TEST(Registry, SearchSpaceMatchesPaper) {
+  // 45 passes, sequence length 45: 45^45 > 2^247 orderings (paper §1).
+  const double log2_space = 45.0 * std::log2(45.0);
+  EXPECT_GT(log2_space, 247.0);
+}
+
+// ---------------------------------------------------------------------------
+// mem2reg family
+// ---------------------------------------------------------------------------
+
+TEST(Mem2Reg, PromotesScalarsCreatesPhis) {
+  auto m = progen::build_chstone_like("gsm");
+  const std::size_t allocas_before = count_opcode(*m, Opcode::kAlloca);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-mem2reg")));
+  EXPECT_LT(count_opcode(*m, Opcode::kAlloca), allocas_before);
+  EXPECT_GT(count_opcode(*m, Opcode::kPhi), 0u);
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+  // Second run is a fixpoint.
+  EXPECT_FALSE(apply_pass(*m, pass_id("-mem2reg")));
+}
+
+TEST(Mem2Reg, LeavesArraysAlone) {
+  auto m = progen::build_chstone_like("matmul");
+  apply_pass(*m, pass_id("-mem2reg"));
+  EXPECT_GT(count_opcode(*m, Opcode::kAlloca), 0u);  // A, B, C arrays remain
+}
+
+TEST(Sroa, SplitsAndPromotesSmallArrays) {
+  auto m = std::make_unique<Module>("sroa");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i32(), 4, "a");
+  g.set(g.elem(arr, 0), 10);
+  g.set(g.elem(arr, 1), 20);
+  auto& b = g.b();
+  Value* sum = b.add(g.get(g.elem(arr, 0)), g.get(g.elem(arr, 1)));
+  g.ret(sum);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-sroa")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kAlloca), 0u);
+  EXPECT_EQ(count_opcode(*m, Opcode::kLoad), 0u);
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+}
+
+TEST(ScalarRepl, SplitWithoutPromotionKeepsLoads) {
+  auto m = std::make_unique<Module>("srepl");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i32(), 4, "a");
+  g.set(g.elem(arr, 2), 10);
+  g.ret(g.get(g.elem(arr, 2)));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-scalarrepl")));
+  // Split into scalars but loads/stores remain (no SSA promotion).
+  EXPECT_GT(count_opcode(*m, Opcode::kAlloca), 0u);
+  EXPECT_GT(count_opcode(*m, Opcode::kLoad), 0u);
+  EXPECT_EQ(count_opcode(*m, Opcode::kGep), 0u);
+  // -scalarrepl-ssa on the same input also promotes.
+  auto m2 = std::make_unique<Module>("srepl2");
+  Function* f2 = m2->create_function("main", Type::i32(), {});
+  progen::CodeGen g2(*m2, *f2);
+  Value* arr2 = g2.array(Type::i32(), 4, "a");
+  g2.set(g2.elem(arr2, 2), 10);
+  g2.ret(g2.get(g2.elem(arr2, 2)));
+  EXPECT_TRUE(apply_pass(*m2, pass_id("-scalarrepl-ssa")));
+  EXPECT_EQ(count_opcode(*m2, Opcode::kAlloca), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar passes
+// ---------------------------------------------------------------------------
+
+TEST(InstCombine, FoldsAndStrengthReduces) {
+  auto m = std::make_unique<Module>("ic");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  Value* a = f->arg(0);
+  Value* t1 = b.add(a, m->get_i32(0));       // a
+  Value* t2 = b.mul(t1, m->get_i32(8));      // a << 3
+  Value* t3 = b.udiv(t2, m->get_i32(4));     // (a<<3) >> 2
+  Value* t4 = b.add(m->get_i32(3), t3);      // const to RHS
+  Value* t5 = b.add(t4, m->get_i32(5));      // fold 3+5
+  b.ret(t5);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-instcombine")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kMul), 0u);
+  EXPECT_EQ(count_opcode(*m, Opcode::kUDiv), 0u);
+  EXPECT_GT(count_opcode(*m, Opcode::kShl), 0u);
+  // (x op c1) op c2 folded: only one add with constant 8 remains.
+  EXPECT_EQ(count_opcode(*m, Opcode::kAdd), 1u);
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+}
+
+TEST(InstCombine, ForwardsStoreToLoad) {
+  auto m = std::make_unique<Module>("fwd");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* x = g.local_i32("x");
+  g.set(x, 41);
+  Value* v = g.get(x);  // forwarded to 41
+  g.ret(g.b().add(v, m->get_i32(1)));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-instcombine")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kLoad), 0u);
+}
+
+TEST(Reassociate, GroupsConstants) {
+  auto m = std::make_unique<Module>("ra");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32(), Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  // ((a + 5) + b) + 7 -> should regroup constants together.
+  Value* t1 = b.add(f->arg(0), m->get_i32(5));
+  Value* t2 = b.add(t1, f->arg(1));
+  Value* t3 = b.add(t2, m->get_i32(7));
+  b.ret(t3);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-reassociate")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  // After reassociation + the trailing fold there is a single constant 12.
+  bool found12 = false;
+  for (BasicBlock* blk : m->main()->blocks()) {
+    for (Instruction* inst : blk->instructions()) {
+      for (Value* op : inst->operands()) {
+        if (auto* c = ir::as_constant_int(op); c != nullptr && c->value() == 12) found12 = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found12);
+}
+
+TEST(EarlyCSE, EliminatesLocalDuplicates) {
+  auto m = std::make_unique<Module>("cse");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  Value* a = b.add(f->arg(0), m->get_i32(3));
+  Value* c = b.add(f->arg(0), m->get_i32(3));  // duplicate
+  b.ret(b.mul(a, c));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-early-cse")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kAdd), 1u);
+}
+
+TEST(EarlyCSE, CommutedDuplicatesMatch) {
+  auto m = std::make_unique<Module>("cse2");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32(), Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  Value* a = b.add(f->arg(0), f->arg(1));
+  Value* c = b.add(f->arg(1), f->arg(0));
+  b.ret(b.mul(a, c));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-early-cse")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kAdd), 1u);
+}
+
+TEST(GVN, EliminatesAcrossBlocks) {
+  auto m = std::make_unique<Module>("gvn");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  BasicBlock* a = f->create_block("a");
+  BasicBlock* t = f->create_block("t");
+  BasicBlock* j = f->create_block("j");
+  IRBuilder b(*m);
+  b.set_insert_point(a);
+  Value* x = b.mul(f->arg(0), m->get_i32(3));
+  b.cond_br(b.icmp_sgt(x, m->get_i32(0)), t, j);
+  b.set_insert_point(t);
+  Value* y = b.mul(f->arg(0), m->get_i32(3));  // redundant with x (dominating)
+  b.br(j);
+  b.set_insert_point(j);
+  Instruction* phi = b.phi(Type::i32(), "p");
+  phi->add_incoming(x, a);
+  phi->add_incoming(y, t);
+  b.ret(phi);
+  // early-cse (block-local) cannot remove it...
+  EXPECT_FALSE(apply_pass(*m, pass_id("-early-cse")));
+  // ...but gvn (dominator-scoped) can.
+  EXPECT_TRUE(apply_pass(*m, pass_id("-gvn")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kMul), 1u);
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+}
+
+TEST(SCCP, FoldsConditionalConstants) {
+  auto m = std::make_unique<Module>("sccp");
+  Function* f = m->create_function("main", Type::i32(), {});
+  BasicBlock* a = f->create_block("a");
+  BasicBlock* t = f->create_block("t");
+  BasicBlock* e = f->create_block("e");
+  BasicBlock* j = f->create_block("j");
+  IRBuilder b(*m);
+  b.set_insert_point(a);
+  Value* x = b.add(m->get_i32(2), m->get_i32(3));
+  b.cond_br(b.icmp_sgt(x, m->get_i32(4)), t, e);  // always true
+  b.set_insert_point(t);
+  b.br(j);
+  b.set_insert_point(e);
+  b.br(j);
+  b.set_insert_point(j);
+  Instruction* phi = b.phi(Type::i32(), "p");
+  phi->add_incoming(m->get_i32(100), t);
+  phi->add_incoming(m->get_i32(200), e);
+  b.ret(phi);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-sccp")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  // The false path is gone and the phi folded to 100.
+  EXPECT_EQ(count_opcode(*m, Opcode::kCondBr), 0u);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 100);
+}
+
+TEST(ADCE, RemovesDeadComputation) {
+  auto m = std::make_unique<Module>("adce");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(*m);
+  b.set_insert_point(bb);
+  b.mul(f->arg(0), m->get_i32(100));  // dead
+  Value* live = b.add(f->arg(0), m->get_i32(1));
+  b.ret(live);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-adce")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kMul), 0u);
+  EXPECT_EQ(count_opcode(*m, Opcode::kAdd), 1u);
+}
+
+TEST(DSE, RemovesOverwrittenStores) {
+  auto m = std::make_unique<Module>("dse");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* x = g.local_i32("x");
+  g.set(x, 1);  // dead: overwritten below with no read between
+  g.set(x, 2);
+  g.ret(g.get(x));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-dse")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kStore), 1u);
+}
+
+TEST(DSE, RemovesWriteOnlyAllocaStores) {
+  auto m = std::make_unique<Module>("dse2");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* sink_arr = g.array(Type::i32(), 8, "sink");
+  Value* i = g.local_i32("i");
+  g.count_loop(i, 0, 8, [&] { g.set(g.elem(sink_arr, g.get(i)), g.get(i)); });
+  g.ret(7);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-dse")));
+  bool stores_to_sink = false;
+  for (BasicBlock* bb : m->main()->blocks()) {
+    for (Instruction* inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::kStore &&
+          trace_pointer_base(inst->operand(1)) == sink_arr) {
+        stores_to_sink = true;
+      }
+    }
+  }
+  EXPECT_FALSE(stores_to_sink);
+}
+
+TEST(JumpThreading, ThreadsConstantPhiBranches) {
+  auto m = std::make_unique<Module>("jt");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  BasicBlock* a = f->create_block("a");
+  BasicBlock* p1 = f->create_block("p1");
+  BasicBlock* p2 = f->create_block("p2");
+  BasicBlock* hub = f->create_block("hub");
+  BasicBlock* t = f->create_block("t");
+  BasicBlock* e = f->create_block("e");
+  IRBuilder b(*m);
+  b.set_insert_point(a);
+  b.cond_br(b.icmp_sgt(f->arg(0), m->get_i32(0)), p1, p2);
+  b.set_insert_point(p1);
+  b.br(hub);
+  b.set_insert_point(p2);
+  b.br(hub);
+  b.set_insert_point(hub);
+  Instruction* phi = b.phi(Type::i1(), "c");
+  phi->add_incoming(m->get_i1(true), p1);
+  phi->add_incoming(m->get_i1(false), p2);
+  b.cond_br(phi, t, e);
+  b.set_insert_point(t);
+  b.ret(m->get_i32(1));
+  b.set_insert_point(e);
+  b.ret(m->get_i32(2));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-jump-threading")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  // hub should be bypassed entirely (both preds had constant incoming).
+  for (BasicBlock* bb : m->main()->blocks()) EXPECT_NE(bb->name(), "hub");
+}
+
+TEST(TailCallElim, TurnsRecursionIntoLoop) {
+  auto m = progen::build_chstone_like("dhrystone");
+  Function* ts = m->find_function("tail_sum");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ir::collect_call_sites(*m, ts).size(), 2u);  // main + self
+  EXPECT_TRUE(apply_pass(*m, pass_id("-tailcallelim")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  // Self-recursion is gone; a loop (phi) exists instead.
+  std::size_t self_calls = 0;
+  for (BasicBlock* bb : ts->blocks()) {
+    for (Instruction* inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::kCall && inst->callee() == ts) ++self_calls;
+    }
+  }
+  EXPECT_EQ(self_calls, 0u);
+  ir::DominatorTree dt(*ts);
+  ir::LoopInfo li(*ts, dt);
+  EXPECT_EQ(li.top_level().size(), 1u);
+}
+
+TEST(MemCpyOpt, FormsMemSetFromStoreRun) {
+  auto m = std::make_unique<Module>("mco");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i32(), 8, "a");
+  for (int i = 0; i < 6; ++i) g.set(g.elem(arr, i), 9);
+  g.ret(g.get(g.elem(arr, 3)));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-memcpyopt")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kMemSet), 1u);
+  EXPECT_EQ(count_opcode(*m, Opcode::kStore), 0u);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 9);
+}
+
+// ---------------------------------------------------------------------------
+// CFG passes
+// ---------------------------------------------------------------------------
+
+TEST(SimplifyCFG, IfConvertsDiamondToSelect) {
+  auto m = std::make_unique<Module>("ifc");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  BasicBlock* a = f->create_block("a");
+  BasicBlock* t = f->create_block("t");
+  BasicBlock* e = f->create_block("e");
+  BasicBlock* j = f->create_block("j");
+  IRBuilder b(*m);
+  b.set_insert_point(a);
+  b.cond_br(b.icmp_sgt(f->arg(0), m->get_i32(0)), t, e);
+  b.set_insert_point(t);
+  Value* vt = b.add(f->arg(0), m->get_i32(1));
+  b.br(j);
+  b.set_insert_point(e);
+  Value* ve = b.sub(f->arg(0), m->get_i32(1));
+  b.br(j);
+  b.set_insert_point(j);
+  Instruction* phi = b.phi(Type::i32(), "p");
+  phi->add_incoming(vt, t);
+  phi->add_incoming(ve, e);
+  b.ret(phi);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-simplifycfg")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  EXPECT_EQ(count_opcode(*m, Opcode::kSelect), 1u);
+  EXPECT_EQ(count_opcode(*m, Opcode::kPhi), 0u);
+  EXPECT_EQ(m->main()->block_count(), 1u);  // fully flattened
+}
+
+TEST(SimplifyCFG, IfConversionReducesCycles) {
+  auto m = progen::build_chstone_like("adpcm");
+  apply_pass(*m, pass_id("-mem2reg"));
+  const std::uint64_t before = cycles_of(*m);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-simplifycfg")));
+  const std::uint64_t after = cycles_of(*m);
+  EXPECT_LT(after, before);  // branchy quantiser benefits from selects
+}
+
+TEST(LowerSwitch, ReplacesSwitchWithBranchChain) {
+  auto m = progen::build_chstone_like("dhrystone");
+  ASSERT_GT(count_opcode(*m, Opcode::kSwitch), 0u);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-lowerswitch")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kSwitch), 0u);
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+}
+
+TEST(BreakCritEdges, RemovesAllCriticalEdges) {
+  auto m = progen::build_chstone_like("adpcm");
+  apply_pass(*m, pass_id("-break-crit-edges"));
+  EXPECT_EQ(features::extract_features(*m)[17], 0);
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+}
+
+TEST(Strip, RemovesLocalNames) {
+  auto m = progen::build_chstone_like("sha");
+  EXPECT_TRUE(apply_pass(*m, pass_id("-strip")));
+  for (BasicBlock* bb : m->main()->blocks()) {
+    EXPECT_TRUE(bb->name().empty());
+    for (Instruction* inst : bb->instructions()) EXPECT_TRUE(inst->name().empty());
+  }
+  EXPECT_EQ(m->main()->name(), "main");  // symbol names survive
+  EXPECT_FALSE(apply_pass(*m, pass_id("-strip")));  // idempotent
+}
+
+TEST(NoOpPasses, LowerInvokeAtomicExpectDoNothing) {
+  auto m = progen::build_chstone_like("aes");
+  const std::string before = ir::print_module(*m);
+  EXPECT_FALSE(apply_pass(*m, pass_id("-lowerinvoke")));
+  EXPECT_FALSE(apply_pass(*m, pass_id("-loweratomic")));
+  EXPECT_FALSE(apply_pass(*m, pass_id("-lower-expect")));
+  EXPECT_EQ(ir::print_module(*m), before);
+}
+
+// ---------------------------------------------------------------------------
+// Loop passes
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Module> ssa_loop_module() {
+  // After mem2reg + loop-simplify: canonical while loop summing 0..9.
+  auto m = std::make_unique<Module>("loop");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* acc = g.local_i32("acc");
+  Value* i = g.local_i32("i");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 10, [&] { g.set(acc, g.b().add(g.get(acc), g.get(i))); });
+  g.ret(g.get(acc));
+  apply_pass(*m, PassRegistry::instance().index_of("-mem2reg"));
+  apply_pass(*m, PassRegistry::instance().index_of("-loop-simplify"));
+  return m;
+}
+
+TEST(LoopRotate, ConvertsWhileToDoWhile) {
+  auto m = ssa_loop_module();
+  EXPECT_TRUE(apply_pass(*m, pass_id("-loop-rotate")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  // Rotated form: the latch ends in a conditional branch (exit test at the
+  // bottom) and a canonical IV is recognisable.
+  Function* f = m->main();
+  ir::DominatorTree dt(*f);
+  ir::LoopInfo li(*f, dt);
+  ASSERT_EQ(li.top_level().size(), 1u);
+  CanonicalIV iv;
+  EXPECT_TRUE(find_canonical_iv(*li.top_level()[0], iv));
+  EXPECT_EQ(compute_trip_count(iv), 10);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 45);
+}
+
+TEST(LoopRotate, SavesCyclesPerIteration) {
+  auto m = ssa_loop_module();
+  const std::uint64_t before = cycles_of(*m);
+  apply_pass(*m, pass_id("-loop-rotate"));
+  const std::uint64_t after = cycles_of(*m);
+  EXPECT_LT(after, before);
+}
+
+TEST(LoopRotate, RequiresSSAForm) {
+  // At -O0 the loop header contains loads -> not rotatable in this IR.
+  auto m = std::make_unique<Module>("noloop");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* i = g.local_i32("i");
+  g.count_loop(i, 0, 10, [] {});
+  g.ret(g.get(i));
+  EXPECT_FALSE(apply_pass(*m, pass_id("-loop-rotate")));
+}
+
+TEST(LoopUnroll, FullyUnrollsSmallConstantLoop) {
+  auto m = ssa_loop_module();
+  apply_pass(*m, pass_id("-loop-rotate"));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-loop-unroll")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  // No loop remains.
+  Function* f = m->main();
+  ir::DominatorTree dt(*f);
+  ir::LoopInfo li(*f, dt);
+  EXPECT_EQ(li.top_level().size(), 0u);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 45);
+}
+
+TEST(LoopUnroll, RequiresRotationFirst) {
+  // The famous Fig. 6 ordering: -loop-unroll before -loop-rotate does
+  // nothing; after it, it fires.
+  auto m1 = ssa_loop_module();
+  EXPECT_FALSE(apply_pass(*m1, pass_id("-loop-unroll")));
+  auto m2 = ssa_loop_module();
+  apply_pass(*m2, pass_id("-loop-rotate"));
+  EXPECT_TRUE(apply_pass(*m2, pass_id("-loop-unroll")));
+}
+
+TEST(LICM, HoistsInvariantComputation) {
+  auto m = std::make_unique<Module>("licm");
+  ir::GlobalVariable* in = m->create_global(Type::i32(), 1, "in", {6}, false);
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* acc = g.local_i32("acc");
+  Value* i = g.local_i32("i");
+  Value* n = g.local_i32("n");
+  g.set(n, g.get(in));
+  g.set(acc, 0);
+  g.count_loop(i, 0, 50, [&] {
+    // n*n+7 is invariant.
+    Value* inv = g.b().add(g.b().mul(g.get(n), g.get(n)), m->get_i32(7));
+    g.set(acc, g.b().add(g.get(acc), inv));
+  });
+  g.ret(g.get(acc));
+  apply_pass(*m, pass_id("-mem2reg"));
+  apply_pass(*m, pass_id("-loop-simplify"));
+  const std::uint64_t before = cycles_of(*m);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-licm")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  EXPECT_LT(cycles_of(*m), before);
+}
+
+TEST(LICM, RequiresPreheader) {
+  auto m = std::make_unique<Module>("licm2");
+  Function* f = m->create_function("main", Type::i32(), {Type::i32()});
+  progen::CodeGen g(*m, *f);
+  Value* acc = g.local_i32("acc");
+  Value* i = g.local_i32("i");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 10, [&] {
+    g.set(acc, g.b().add(g.get(acc), g.b().mul(f->arg(0), f->arg(0))));
+  });
+  g.ret(g.get(acc));
+  apply_pass(*m, pass_id("-mem2reg"));
+  // count_loop's preheader exists naturally here, so instead check on the
+  // rotated kernels: LICM on -O0 IR (loads everywhere) does nothing.
+  auto raw = progen::build_chstone_like("gsm");
+  EXPECT_FALSE(apply_pass(*raw, pass_id("-licm")));
+}
+
+TEST(LoopDeletion, RemovesDeadLoop) {
+  auto m = std::make_unique<Module>("ld");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* dead = g.local_i32("dead");
+  Value* i = g.local_i32("i");
+  g.set(dead, 0);
+  g.count_loop(i, 0, 30, [&] { g.set(dead, g.b().add(g.get(dead), g.get(i))); });
+  g.ret(77);
+  apply_pass(*m, pass_id("-mem2reg"));
+  apply_pass(*m, pass_id("-loop-simplify"));
+  apply_pass(*m, pass_id("-loop-rotate"));
+  apply_pass(*m, pass_id("-adce"));  // kill the dead accumulator phis
+  EXPECT_TRUE(apply_pass(*m, pass_id("-loop-deletion")) ||
+              m->main()->block_count() <= 3);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 77);
+}
+
+TEST(LoopIdiom, RecognisesMemsetLoop) {
+  auto m = std::make_unique<Module>("li");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i32(), 32, "a");
+  Value* i = g.local_i32("i");
+  g.count_loop(i, 0, 32, [&] { g.set(g.elem(arr, g.get(i)), 5); });
+  g.ret(g.get(g.elem(arr, 17)));
+  apply_pass(*m, pass_id("-mem2reg"));
+  apply_pass(*m, pass_id("-loop-simplify"));
+  apply_pass(*m, pass_id("-loop-rotate"));
+  apply_pass(*m, pass_id("-simplifycfg"));   // single-block body
+  // Rotation leaves a guard, not a preheader; -loop-idiom needs a real
+  // preheader to host the memset (it must not run when the loop is skipped),
+  // so loop-simplify has to run again — ordering sensitivity by design.
+  EXPECT_FALSE(apply_pass(*m, pass_id("-loop-idiom")));
+  apply_pass(*m, pass_id("-loop-simplify"));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-loop-idiom")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kMemSet), 1u);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 5);
+}
+
+TEST(LoopReduce, StrengthReducesAddressing) {
+  auto m = std::make_unique<Module>("lsr");
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* arr = g.array(Type::i32(), 16, "a");
+  Value* acc = g.local_i32("acc");
+  Value* i = g.local_i32("i");
+  g.set(acc, 0);
+  g.count_loop(i, 0, 16, [&] {
+    g.set(g.elem(arr, g.get(i)), g.get(i));
+    g.set(acc, g.b().add(g.get(acc), g.get(g.elem(arr, g.get(i)))));
+  });
+  g.ret(g.get(acc));
+  apply_pass(*m, pass_id("-mem2reg"));
+  apply_pass(*m, pass_id("-loop-simplify"));
+  apply_pass(*m, pass_id("-loop-rotate"));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-loop-reduce")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 120);
+}
+
+TEST(LoopUnswitch, HoistsInvariantBranch) {
+  auto m = std::make_unique<Module>("us");
+  ir::GlobalVariable* in = m->create_global(Type::i32(), 1, "in", {1}, false);
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* acc = g.local_i32("acc");
+  Value* i = g.local_i32("i");
+  Value* flag = g.local_i32("flag");
+  g.set(flag, g.get(in));
+  g.set(acc, 0);
+  g.count_loop(i, 0, 20, [&] {
+    Value* c = g.b().icmp_sgt(g.get(flag), m->get_i32(0));
+    g.if_then_else(c, [&] { g.set(acc, g.b().add(g.get(acc), g.get(i))); },
+                   [&] { g.set(acc, g.b().sub(g.get(acc), g.get(i))); });
+  });
+  g.ret(g.get(acc));
+  apply_pass(*m, pass_id("-mem2reg"));
+  apply_pass(*m, pass_id("-loop-simplify"));
+  apply_pass(*m, pass_id("-licm"));   // make the compare invariant-hoisted
+  // Without LCSSA the loop results escape as raw values and unswitch must
+  // refuse (it cannot patch non-phi external uses).
+  EXPECT_FALSE(apply_pass(*m, pass_id("-loop-unswitch")));
+  apply_pass(*m, pass_id("-lcssa"));
+  const std::size_t blocks_before = m->main()->block_count();
+  EXPECT_TRUE(apply_pass(*m, pass_id("-loop-unswitch")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  EXPECT_GT(m->main()->block_count(), blocks_before);  // loop duplicated
+}
+
+TEST(LCSSA, InsertsExitPhis) {
+  auto m = ssa_loop_module();
+  EXPECT_TRUE(apply_pass(*m, pass_id("-lcssa")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 45);
+}
+
+// ---------------------------------------------------------------------------
+// IPO passes
+// ---------------------------------------------------------------------------
+
+TEST(Inline, InlinesSmallCallees) {
+  auto m = progen::build_chstone_like("blowfish");
+  const std::size_t calls_before = count_opcode(*m, Opcode::kCall);
+  ASSERT_GT(calls_before, 0u);
+  EXPECT_TRUE(apply_pass(*m, pass_id("-inline")));
+  EXPECT_LT(count_opcode(*m, Opcode::kCall), calls_before);
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+}
+
+TEST(FunctionAttrs, MarksPureFunctionsReadnone) {
+  auto m = progen::build_chstone_like("gsm");
+  EXPECT_TRUE(apply_pass(*m, pass_id("-functionattrs")));
+  ir::Function* sat = m->find_function("sat_add");
+  ASSERT_NE(sat, nullptr);
+  // sat_add only touches its own alloca -> externally readnone.
+  EXPECT_TRUE(sat->attrs().readnone);
+  EXPECT_TRUE(sat->attrs().nounwind);
+}
+
+TEST(FunctionAttrs, EnablesCallCSE) {
+  auto m = progen::build_chstone_like("gsm");
+  // Without attrs, calls cannot be deduplicated. With readnone, GVN can
+  // treat repeated sat_add(x, y) as pure — verified indirectly through
+  // is_trivially_dead.
+  ir::Function* sat = m->find_function("sat_add");
+  auto call = ir::Instruction::call(sat, {m->get_i32(1), m->get_i32(2)});
+  ir::Instruction* raw = m->main()->entry()->insert_at(0, std::move(call));
+  EXPECT_FALSE(is_trivially_dead(raw));
+  apply_pass(*m, pass_id("-functionattrs"));
+  EXPECT_TRUE(is_trivially_dead(raw));
+  raw->erase_from_parent();
+}
+
+TEST(GlobalOpt, FoldsRomLoadsAtConstantIndices) {
+  auto m = std::make_unique<Module>("go");
+  ir::GlobalVariable* rom = m->create_global(Type::i32(), 4, "rom", {5, 6, 7, 8}, true);
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* a = g.get(g.elem(rom, 2));
+  g.ret(g.b().add(a, m->get_i32(1)));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-globalopt")));
+  EXPECT_EQ(count_opcode(*m, Opcode::kLoad), 0u);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 8);
+}
+
+TEST(GlobalDCE, RemovesUnusedGlobalsAndFunctions) {
+  auto m = std::make_unique<Module>("gdce");
+  m->create_global(Type::i32(), 8, "unused", {}, true);
+  Function* dead_fn = m->create_function("never_called", Type::i32(), {});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* bb = dead_fn->create_block("entry");
+    b.set_insert_point(bb);
+    b.ret(m->get_i32(1));
+  }
+  Function* f = m->create_function("main", Type::i32(), {});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* bb = f->create_block("entry");
+    b.set_insert_point(bb);
+    b.ret(m->get_i32(0));
+  }
+  EXPECT_TRUE(apply_pass(*m, pass_id("-globaldce")));
+  EXPECT_EQ(m->global_count(), 0u);
+  EXPECT_EQ(m->function_count(), 1u);
+}
+
+TEST(DeadArgElim, DropsUnusedParameters) {
+  auto m = std::make_unique<Module>("dae");
+  Function* callee =
+      m->create_function("callee", Type::i32(), {Type::i32(), Type::i32()}, {"used", "unused"});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* bb = callee->create_block("entry");
+    b.set_insert_point(bb);
+    b.ret(b.add(callee->arg(0), m->get_i32(1)));
+  }
+  Function* f = m->create_function("main", Type::i32(), {});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* bb = f->create_block("entry");
+    b.set_insert_point(bb);
+    Value* r = b.call(callee, {m->get_i32(5), m->get_i32(99)});
+    b.ret(r);
+  }
+  EXPECT_TRUE(apply_pass(*m, pass_id("-deadargelim")));
+  EXPECT_EQ(callee->arg_count(), 1u);
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 6);
+}
+
+TEST(IPSCCP, PropagatesUniformConstantArguments) {
+  auto m = std::make_unique<Module>("ip");
+  Function* callee = m->create_function("callee", Type::i32(), {Type::i32()}, {"k"});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* bb = callee->create_block("entry");
+    b.set_insert_point(bb);
+    b.ret(b.mul(callee->arg(0), m->get_i32(2)));
+  }
+  Function* f = m->create_function("main", Type::i32(), {});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* bb = f->create_block("entry");
+    b.set_insert_point(bb);
+    Value* r1 = b.call(callee, {m->get_i32(21)});
+    Value* r2 = b.call(callee, {m->get_i32(21)});
+    b.ret(b.add(r1, r2));
+  }
+  EXPECT_TRUE(apply_pass(*m, pass_id("-ipsccp")));
+  EXPECT_FALSE(callee->arg(0)->has_users());  // arg replaced by constant
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 84);
+}
+
+TEST(ConstMerge, MergesIdenticalRoms) {
+  auto m = std::make_unique<Module>("cm");
+  ir::GlobalVariable* g1 = m->create_global(Type::i32(), 2, "t1", {1, 2}, true);
+  ir::GlobalVariable* g2 = m->create_global(Type::i32(), 2, "t2", {1, 2}, true);
+  Function* f = m->create_function("main", Type::i32(), {});
+  progen::CodeGen g(*m, *f);
+  Value* a = g.get(g.elem(g1, 0));
+  Value* b2 = g.get(g.elem(g2, 1));
+  g.ret(g.b().add(a, b2));
+  EXPECT_TRUE(apply_pass(*m, pass_id("-constmerge")));
+  EXPECT_EQ(m->global_count(), 1u);
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 3);
+}
+
+TEST(PartialInliner, InlinesEarlyReturnGuard) {
+  auto m = std::make_unique<Module>("pi");
+  // callee: if (x == 0) return 7; return x*3;
+  Function* callee = m->create_function("guarded", Type::i32(), {Type::i32()}, {"x"});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* entry = callee->create_block("entry");
+    ir::BasicBlock* early = callee->create_block("early");
+    ir::BasicBlock* slow = callee->create_block("slow");
+    b.set_insert_point(entry);
+    Value* c = b.icmp_eq(callee->arg(0), m->get_i32(0));
+    b.cond_br(c, early, slow);
+    b.set_insert_point(early);
+    b.ret(m->get_i32(7));
+    b.set_insert_point(slow);
+    b.ret(b.mul(callee->arg(0), m->get_i32(3)));
+  }
+  Function* f = m->create_function("main", Type::i32(), {});
+  {
+    IRBuilder b(*m);
+    ir::BasicBlock* bb = f->create_block("entry");
+    b.set_insert_point(bb);
+    Value* r1 = b.call(callee, {m->get_i32(0)});
+    Value* r2 = b.call(callee, {m->get_i32(5)});
+    b.ret(b.add(r1, r2));
+  }
+  EXPECT_TRUE(apply_pass(*m, pass_id("-partial-inliner")));
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  auto r = interp::run_module(*m);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().return_value, 22);
+}
+
+// ---------------------------------------------------------------------------
+// -O3 pipeline
+// ---------------------------------------------------------------------------
+
+TEST(O3, ShrinksAndSpeedsUpEveryKernel) {
+  for (const auto& name : progen::chstone_benchmark_names()) {
+    auto m = progen::build_chstone_like(name);
+    const std::uint64_t cyc0 = cycles_of(*m);
+    passes::run_o3(*m);
+    ASSERT_TRUE(ir::verify_module(*m).is_ok()) << name;
+    const std::uint64_t cyc3 = cycles_of(*m);
+    EXPECT_LT(cyc3, cyc0) << name;
+  }
+}
+
+TEST(O3, SubstantialAverageImprovement) {
+  // The paper's Fig. 7 has -O0 at about -23% vs -O3; our substrate should
+  // show the same order of magnitude (at least 15% mean improvement).
+  double ratio_sum = 0;
+  int n = 0;
+  for (const auto& name : progen::chstone_benchmark_names()) {
+    auto m = progen::build_chstone_like(name);
+    const double cyc0 = static_cast<double>(cycles_of(*m));
+    passes::run_o3(*m);
+    const double cyc3 = static_cast<double>(cycles_of(*m));
+    ratio_sum += cyc3 / cyc0;
+    ++n;
+  }
+  EXPECT_LT(ratio_sum / n, 0.85);
+}
+
+}  // namespace
+}  // namespace autophase::passes

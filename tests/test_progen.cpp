@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interp/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "features/features.hpp"
+#include "progen/chstone_like.hpp"
+#include "progen/random_program.hpp"
+
+namespace autophase::progen {
+namespace {
+
+TEST(ChstoneLike, NinePaperBenchmarks) {
+  const auto& names = chstone_benchmark_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names[0], "adpcm");
+  EXPECT_EQ(names[8], "sha");
+}
+
+TEST(ChstoneLike, AllBuildVerifyAndDiffer) {
+  std::set<std::uint64_t> fingerprints;
+  for (const auto& m : build_all_chstone_like()) {
+    EXPECT_TRUE(ir::verify_module(*m).is_ok()) << m->name();
+    fingerprints.insert(ir::module_fingerprint(*m));
+  }
+  EXPECT_EQ(fingerprints.size(), 9u);  // all distinct programs
+}
+
+class RandomProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgram, VerifiesAndTerminates) {
+  auto m = generate_filtered_program(static_cast<std::uint64_t>(GetParam()));
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+  interp::InterpreterOptions opts;
+  opts.max_instructions = 5'000'000;
+  auto r = interp::run_module(*m, opts);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  // Deterministic: a second run agrees.
+  auto r2 = interp::run_module(*m, opts);
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(r.value().return_value, r2.value().return_value);
+  EXPECT_EQ(r.value().memory_checksum, r2.value().memory_checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(1, 41));
+
+TEST(RandomProgramGenerator, SeedsProduceDiversePrograms) {
+  std::set<std::uint64_t> fingerprints;
+  std::set<std::int64_t> feature_profiles;
+  for (int seed = 1; seed <= 20; ++seed) {
+    auto m = generate_filtered_program(static_cast<std::uint64_t>(seed));
+    fingerprints.insert(ir::module_fingerprint(*m));
+    const auto fv = features::extract_features(*m);
+    feature_profiles.insert(fv[51] * 1000 + fv[50]);
+  }
+  EXPECT_GE(fingerprints.size(), 19u);
+  EXPECT_GE(feature_profiles.size(), 15u);
+}
+
+TEST(RandomProgramGenerator, SameSeedSameProgram) {
+  auto a = generate_filtered_program(1234);
+  auto b = generate_filtered_program(1234);
+  EXPECT_EQ(ir::print_module(*a), ir::print_module(*b));
+}
+
+TEST(RandomProgramGenerator, ProgramsAreNonTrivial) {
+  int with_loops = 0;
+  int with_calls = 0;
+  for (int seed = 1; seed <= 20; ++seed) {
+    auto m = generate_filtered_program(static_cast<std::uint64_t>(seed));
+    const auto fv = features::extract_features(*m);
+    EXPECT_GT(fv[51], 20) << "seed " << seed;
+    if (fv[15] > 1) ++with_loops;   // conditional branches imply loops here
+    if (fv[33] > 0) ++with_calls;
+  }
+  EXPECT_GT(with_loops, 15);
+  EXPECT_GT(with_calls, 5);
+}
+
+}  // namespace
+}  // namespace autophase::progen

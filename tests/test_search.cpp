@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/autophase.hpp"
+#include "progen/chstone_like.hpp"
+#include "search/search.hpp"
+
+namespace autophase::search {
+namespace {
+
+SearchBudget small_budget(std::size_t samples) {
+  SearchBudget b;
+  b.max_samples = samples;
+  b.seed = 42;
+  return b;
+}
+
+TEST(RandomSearch, RespectsBudgetAndImproves) {
+  auto m = progen::build_chstone_like("gsm");
+  const auto r = random_search(*m, small_budget(150));
+  EXPECT_LE(r.samples, 160u);  // one in-flight candidate of slack
+  EXPECT_LT(r.best_cycles, core::o0_cycles(*m));
+  EXPECT_EQ(static_cast<int>(r.best_sequence.size()),
+            r.best_sequence.empty() ? 0 : 45);
+}
+
+TEST(RandomSearch, Deterministic) {
+  auto m = progen::build_chstone_like("sha");
+  const auto a = random_search(*m, small_budget(80));
+  const auto b = random_search(*m, small_budget(80));
+  EXPECT_EQ(a.best_cycles, b.best_cycles);
+  EXPECT_EQ(a.best_sequence, b.best_sequence);
+}
+
+TEST(GreedySearch, MonotonicallyImproves) {
+  auto m = progen::build_chstone_like("gsm");
+  const auto r = greedy_search(*m, small_budget(250));
+  EXPECT_LT(r.best_cycles, core::o0_cycles(*m));
+  // Greedy's sequence grows one pass at a time from empty.
+  EXPECT_GE(r.best_sequence.size(), 1u);
+  EXPECT_LE(r.best_sequence.size(), 45u);
+}
+
+TEST(GeneticSearch, BeatsRandomAtEqualBudget) {
+  auto m = progen::build_chstone_like("blowfish");
+  const auto rnd = random_search(*m, small_budget(400));
+  const auto gen = genetic_search(*m, small_budget(400));
+  // Not guaranteed in theory, but with elitism + tournament it holds easily
+  // at this budget on this program.
+  EXPECT_LE(gen.best_cycles, static_cast<std::uint64_t>(rnd.best_cycles * 1.10));
+}
+
+TEST(GeneticSearch, CrossoverKindsAllWork) {
+  auto m = progen::build_chstone_like("sha");
+  for (int kind = 0; kind < 3; ++kind) {
+    GeneticConfig cfg;
+    cfg.crossover_kind = kind;
+    const auto r = genetic_search(*m, small_budget(120), cfg);
+    EXPECT_LT(r.best_cycles, core::o0_cycles(*m)) << "kind " << kind;
+  }
+}
+
+TEST(PsoSearch, ImprovesOverInit) {
+  auto m = progen::build_chstone_like("sha");
+  const auto r = pso_search(*m, small_budget(200));
+  EXPECT_LT(r.best_cycles, core::o0_cycles(*m));
+}
+
+TEST(OpenTuner, EnsembleRunsAllArms) {
+  auto m = progen::build_chstone_like("gsm");
+  const auto r = opentuner_search(*m, small_budget(300));
+  EXPECT_LT(r.best_cycles, core::o0_cycles(*m));
+  EXPECT_LE(r.samples, 340u);
+}
+
+TEST(AllSearches, SequencesReproduceReportedCycles) {
+  auto m = progen::build_chstone_like("dhrystone");
+  for (const auto& r : {random_search(*m, small_budget(100)),
+                        greedy_search(*m, small_budget(100)),
+                        genetic_search(*m, small_budget(100)),
+                        opentuner_search(*m, small_budget(100))}) {
+    EXPECT_EQ(core::cycles_with_sequence(*m, r.best_sequence), r.best_cycles);
+  }
+}
+
+}  // namespace
+}  // namespace autophase::search
