@@ -69,4 +69,48 @@ inline std::vector<const ir::Module*> as_pointers(
   return out;
 }
 
+/// Minimal JSON emission for machine-readable benchmark output (CI trend
+/// tracking). Values are either quoted strings, raw numbers, or nested
+/// raw JSON built by another JsonObject/JsonArray.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + value + "\"");
+  }
+  JsonObject& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonObject& field(const std::string& key, double value) {
+    return raw(key, strf("%.4f", value));
+  }
+  JsonObject& field(const std::string& key, std::uint64_t value) {
+    return raw(key, strf("%llu", static_cast<unsigned long long>(value)));
+  }
+  JsonObject& field(const std::string& key, int value) {
+    return raw(key, strf("%d", value));
+  }
+  JsonObject& raw(const std::string& key, const std::string& json) {
+    body_ += body_.empty() ? "" : ",";
+    body_ += "\"" + key + "\":" + json;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& add_raw(const std::string& json) {
+    body_ += body_.empty() ? "" : ",";
+    body_ += json;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  std::string body_;
+};
+
 }  // namespace autophase::bench

@@ -1,0 +1,126 @@
+// Micro-benchmark for the runtime::EvalService subsystem: batched parallel
+// sequence evaluation over the CHStone-like corpus. Reports, per thread
+// count, the wall-clock time, speedup over the 1-thread run, samples, and
+// cache hit rate — and verifies that every configuration produces results
+// bit-identical to the serial path (same cycles per candidate, same sample
+// counts). Emits one JSON line at the end for CI trend tracking.
+//
+//   --full        larger candidate set
+//   --seed N      candidate RNG seed
+//   --programs N  number of corpus programs (default 3)
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "runtime/eval_service.hpp"
+#include "search/search.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace autophase {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct RunResult {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  std::size_t samples = 0;
+  double hit_rate = 0.0;  // over the warm re-run
+  std::vector<std::vector<std::uint64_t>> cycles;  // per program
+};
+
+RunResult run_with_threads(const std::vector<const ir::Module*>& programs,
+                           const std::vector<std::vector<std::vector<int>>>& candidates,
+                           std::size_t threads) {
+  ThreadPool pool(threads);
+  runtime::EvalServiceConfig cfg;
+  cfg.pool = threads > 1 ? &pool : nullptr;
+  runtime::EvalService service(cfg);
+
+  RunResult out;
+  const auto cold_start = Clock::now();
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    out.cycles.push_back(service.evaluate_batch(*programs[p], candidates[p]).cycles);
+  }
+  out.cold_ms = ms_since(cold_start);
+  out.samples = service.samples();
+
+  // Warm re-run: everything short-circuits in the sequence cache.
+  const auto warm_start = Clock::now();
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    service.evaluate_batch(*programs[p], candidates[p]);
+  }
+  out.warm_ms = ms_since(warm_start);
+  const auto stats = service.stats();
+  const std::size_t lookups = stats.hits + stats.misses + stats.sequence_hits;
+  out.hit_rate = lookups == 0
+                     ? 0.0
+                     : static_cast<double>(stats.hits + stats.sequence_hits) /
+                           static_cast<double>(lookups);
+  return out;
+}
+
+}  // namespace
+}  // namespace autophase
+
+int main(int argc, char** argv) {
+  using namespace autophase;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int program_count = args.programs > 0 ? args.programs : 3;
+  const int per_program = args.full ? 256 : 64;
+
+  std::vector<std::unique_ptr<ir::Module>> owned;
+  const auto& names = progen::chstone_benchmark_names();
+  for (int i = 0; i < program_count; ++i) {
+    owned.push_back(progen::build_chstone_like(names[static_cast<std::size_t>(i) % names.size()]));
+  }
+  const auto programs = bench::as_pointers(owned);
+
+  Rng rng(args.seed);
+  std::vector<std::vector<std::vector<int>>> candidates(programs.size());
+  for (auto& per : candidates) {
+    for (int i = 0; i < per_program; ++i) per.push_back(search::random_sequence(rng, 45));
+  }
+
+  std::printf("parallel_eval: %zu programs x %d sequences\n", programs.size(), per_program);
+  TextTable table({"threads", "cold ms", "speedup", "warm ms", "samples", "hit rate"});
+  bench::JsonArray series;
+  RunResult baseline;
+  bool identical = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const RunResult r = run_with_threads(programs, candidates, threads);
+    if (threads == 1) {
+      baseline = r;
+    } else {
+      identical = identical && r.cycles == baseline.cycles && r.samples == baseline.samples;
+    }
+    const double speedup = r.cold_ms > 0.0 ? baseline.cold_ms / r.cold_ms : 0.0;
+    table.add_row({strf("%zu", threads), strf("%.1f", r.cold_ms), strf("%.2fx", speedup),
+                   strf("%.1f", r.warm_ms), strf("%zu", r.samples), strf("%.1f%%", 100.0 * r.hit_rate)});
+    bench::JsonObject row;
+    row.field("threads", static_cast<std::uint64_t>(threads))
+        .field("cold_ms", r.cold_ms)
+        .field("speedup", speedup)
+        .field("warm_ms", r.warm_ms)
+        .field("samples", r.samples)
+        .field("hit_rate", r.hit_rate);
+    series.add_raw(row.str());
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("results identical across thread counts: %s\n", identical ? "yes" : "NO");
+
+  bench::JsonObject summary;
+  summary.field("bench", "parallel_eval")
+      .field("programs", static_cast<std::uint64_t>(programs.size()))
+      .field("sequences_per_program", per_program)
+      .field("identical", identical ? "true" : "false")
+      .raw("runs", series.str());
+  std::printf("JSON: %s\n", summary.str().c_str());
+  return identical ? 0 : 1;
+}

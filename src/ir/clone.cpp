@@ -47,6 +47,29 @@ void remap_instruction(Instruction* inst, const CloneContext& ctx) {
   }
 }
 
+namespace {
+
+/// Finishes an instruction produced by clone_unbound(): binds every operand
+/// to its mapped value (registering the user exactly once) and remaps phi
+/// incoming blocks and the callee. Successors were remapped before linking.
+void remap_unbound_instruction(Instruction* inst, const CloneContext& ctx) {
+  for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+    inst->bind_operand(i, ctx.map_value(inst->operand(i)));
+  }
+  if (inst->is_phi()) {
+    for (std::size_t i = 0; i < inst->incoming_count(); ++i) {
+      BasicBlock* old = inst->incoming_block(i);
+      BasicBlock* mapped = ctx.map_block(old);
+      if (mapped != old) inst->replace_incoming_block(old, mapped);
+    }
+  }
+  if (inst->opcode() == Opcode::kCall) {
+    inst->set_callee(ctx.map_function(inst->callee()));
+  }
+}
+
+}  // namespace
+
 std::vector<BasicBlock*> clone_blocks(Function& dest_func, std::span<BasicBlock* const> blocks,
                                       CloneContext& ctx, const std::string& suffix) {
   std::vector<BasicBlock*> out;
@@ -56,17 +79,29 @@ std::vector<BasicBlock*> clone_blocks(Function& dest_func, std::span<BasicBlock*
     ctx.blocks[bb] = copy;
     out.push_back(copy);
   }
+  // The source module must stay bit-untouched throughout — clone_module runs
+  // concurrently against one shared program (runtime::EvalService), so even
+  // transient mutate-then-restore edits of source user/pred lists are data
+  // races. Hence: unbound clones (operands not registered), successors
+  // remapped while still unlinked (every dest block already exists), and a
+  // deferred bind pass once all clones exist (phis and branches reference
+  // forward).
   std::vector<Instruction*> cloned;
   for (BasicBlock* bb : blocks) {
     BasicBlock* copy = ctx.blocks.at(bb);
     for (Instruction* inst : bb->instructions()) {
-      Instruction* inst_copy = copy->push_back(inst->clone());
+      auto owned = inst->clone_unbound();
+      if (owned->is_terminator()) {
+        for (std::size_t i = 0; i < owned->successor_count(); ++i) {
+          owned->set_successor(i, ctx.map_block(owned->successor(i)));
+        }
+      }
+      Instruction* inst_copy = copy->push_back(std::move(owned));
       ctx.values[inst] = inst_copy;
       cloned.push_back(inst_copy);
     }
   }
-  // Remap after all clones exist (phis and branches reference forward).
-  for (Instruction* inst : cloned) remap_instruction(inst, ctx);
+  for (Instruction* inst : cloned) remap_unbound_instruction(inst, ctx);
   return out;
 }
 

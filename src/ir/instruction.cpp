@@ -312,8 +312,14 @@ std::unique_ptr<Instruction> Instruction::unreachable() {
 }
 
 std::unique_ptr<Instruction> Instruction::clone() const {
+  auto inst = clone_unbound();
+  for (Value* op : inst->operands_) op->add_user(inst.get());
+  return inst;
+}
+
+std::unique_ptr<Instruction> Instruction::clone_unbound() const {
   auto inst = std::unique_ptr<Instruction>(new Instruction(opcode_, type(), name()));
-  for (Value* op : operands_) inst->add_operand(op);
+  inst->operands_ = operands_;      // user lists untouched; see bind_operand
   inst->successors_ = successors_;  // preds update on link
   inst->incoming_blocks_ = incoming_blocks_;
   inst->icmp_pred_ = icmp_pred_;
@@ -321,6 +327,13 @@ std::unique_ptr<Instruction> Instruction::clone() const {
   inst->allocated_type_ = allocated_type_;
   inst->alloca_count_ = alloca_count_;
   return inst;
+}
+
+void Instruction::bind_operand(std::size_t i, Value* value) {
+  assert(i < operands_.size());
+  assert(value != nullptr);
+  operands_[i] = value;
+  value->add_user(this);
 }
 
 // ---- Behaviour queries ----

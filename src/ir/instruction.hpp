@@ -109,8 +109,21 @@ class Instruction final : public Value {
   static std::unique_ptr<Instruction> unreachable();
 
   /// Unlinked deep copy referencing the *same* operands / successors /
-  /// incoming blocks; callers remap afterwards (see ir/clone.hpp).
+  /// incoming blocks; callers remap afterwards (see ir/clone.hpp). The copy
+  /// registers itself in its operands' user lists, so it must only be used
+  /// when the source values are private to the calling thread.
   [[nodiscard]] std::unique_ptr<Instruction> clone() const;
+
+  /// Like clone(), but does NOT touch the operands' user lists — the source
+  /// module stays bit-untouched, which is what makes concurrent clones of
+  /// one shared program safe. Every operand must be rebound through
+  /// bind_operand() (clone_blocks does this) before the copy is usable.
+  [[nodiscard]] std::unique_ptr<Instruction> clone_unbound() const;
+
+  /// Replaces operand `i` and registers this instruction as a user of the
+  /// new value without unregistering from the old one (which an unbound
+  /// clone never registered with). Only meaningful after clone_unbound().
+  void bind_operand(std::size_t i, Value* value);
 
   // ---- Classification ----
   [[nodiscard]] Opcode opcode() const noexcept { return opcode_; }

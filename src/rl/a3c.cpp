@@ -1,5 +1,7 @@
 #include "rl/a3c.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <thread>
 
@@ -24,6 +26,11 @@ ml::Matrix row_matrix(const std::vector<double>& v) {
 
 Rng make_seed_rng(std::uint64_t seed) { return Rng(seed); }
 
+A3cConfig clamp_workers(A3cConfig config, std::size_t envs) {
+  config.workers = std::max(1, std::min(config.workers, static_cast<int>(envs)));
+  return config;
+}
+
 }  // namespace
 
 A3cTrainer::A3cTrainer(std::function<Env*()> env_factory, A3cConfig config)
@@ -45,6 +52,17 @@ A3cTrainer::A3cTrainer(std::function<Env*()> env_factory, A3cConfig config)
   actor_opt_ = std::make_unique<ml::Adam>(actor_, ml::Adam::Config{.lr = config.learning_rate});
   critic_opt_ = std::make_unique<ml::Adam>(critic_, ml::Adam::Config{.lr = config.learning_rate});
 }
+
+A3cTrainer::A3cTrainer(runtime::VecEnv& vec, A3cConfig config)
+    : A3cTrainer(
+          [&vec, calls = std::make_shared<std::atomic<std::size_t>>(0)]() -> Env* {
+            // Calls 0 and 1 are the construction-time space probes (any env
+            // works, they only read the spaces); every later call hands one
+            // distinct environment to one worker thread.
+            const std::size_t k = calls->fetch_add(1);
+            return &vec.env(k < 2 ? 0 : (k - 2) % vec.size());
+          },
+          clamp_workers(config, vec.size())) {}
 
 std::vector<std::size_t> A3cTrainer::act_greedy(const std::vector<double>& observation) const {
   const std::lock_guard<std::mutex> lock(mutex_);

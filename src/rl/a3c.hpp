@@ -13,6 +13,7 @@
 #include "ml/mlp.hpp"
 #include "ml/optimizer.hpp"
 #include "rl/env.hpp"
+#include "runtime/vec_env.hpp"
 
 namespace autophase::rl {
 
@@ -34,6 +35,11 @@ class A3cTrainer {
   /// ownership and must keep every returned environment alive until after
   /// train() — callers typically want them anyway, to read best_cycles().
   A3cTrainer(std::function<Env*()> env_factory, A3cConfig config);
+
+  /// Collect rollouts through a VecEnv: each A3C worker owns one of the
+  /// vector's environments (workers are clamped to the vector's size so no
+  /// two threads ever share an env). The VecEnv keeps ownership.
+  A3cTrainer(runtime::VecEnv& vec, A3cConfig config);
 
   /// Runs all workers to completion; returns mean episode reward over the
   /// last quarter of training.

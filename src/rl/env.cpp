@@ -11,8 +11,6 @@ namespace autophase::rl {
 
 namespace {
 
-constexpr std::uint64_t kFailurePenaltyCycles = 1ull << 40;
-
 double normalise_feature(double v, NormalizationMode mode, double inst_count) {
   switch (mode) {
     case NormalizationMode::kNone: return v;
@@ -27,29 +25,41 @@ double shape_reward(double delta, bool log_reward) {
   return delta >= 0 ? std::log1p(delta) : -std::log1p(-delta);
 }
 
+/// Envs take a shared service from their config when one is set and fall
+/// back to a private serial service otherwise.
+EvaluationCache make_cache(const EnvConfig& config) {
+  if (config.eval_service) return EvaluationCache(config.eval_service);
+  return EvaluationCache(config.constraints, config.interp_options);
+}
+
 }  // namespace
 
+EvaluationCache::EvaluationCache(hls::ResourceConstraints constraints,
+                                 interp::InterpreterOptions interp_options)
+    : service_(std::make_shared<runtime::EvalService>(runtime::EvalServiceConfig{
+          .constraints = constraints, .interp_options = interp_options, .shards = 1})) {}
+
+EvaluationCache::EvaluationCache(std::shared_ptr<runtime::EvalService> service)
+    : service_(std::move(service)) {}
+
 std::uint64_t EvaluationCache::cycles(const ir::Module& m) {
-  const std::uint64_t key = ir::module_fingerprint(m);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  ++samples_;
-  const auto est = hls::profile_cycles(m, constraints_, interp_options_);
-  // A program the simulator cannot execute (budget blown by a pathological
-  // transform) is treated as unusably slow, mirroring an HLS tool timeout.
-  const std::uint64_t cycles = est.is_ok() ? est.value().cycles : kFailurePenaltyCycles;
-  if (!est.is_ok()) {
-    AP_LOG_WARN << "evaluation failed (" << est.message() << "); assigning penalty cycles";
-  }
-  cache_.emplace(key, cycles);
-  return cycles;
+  bool sampled = false;
+  const std::uint64_t c = service_->cycles(m, &sampled);
+  if (sampled) ++samples_;
+  return c;
+}
+
+std::uint64_t EvaluationCache::evaluate_sequence(const ir::Module& program,
+                                                 const std::vector<int>& sequence) {
+  bool sampled = false;
+  const std::uint64_t c = service_->evaluate_sequence(program, sequence, &sampled);
+  if (sampled) ++samples_;
+  return c;
 }
 
 std::uint64_t evaluate_sequence_on(const ir::Module& program, const std::vector<int>& sequence,
                                    EvaluationCache& cache) {
-  auto working = ir::clone_module(program);
-  passes::apply_pass_sequence(*working, sequence);
-  return cache.cycles(*working);
+  return cache.evaluate_sequence(program, sequence);
 }
 
 // ---------------------------------------------------------------------------
@@ -57,9 +67,7 @@ std::uint64_t evaluate_sequence_on(const ir::Module& program, const std::vector<
 // ---------------------------------------------------------------------------
 
 PhaseOrderEnv::PhaseOrderEnv(std::vector<const ir::Module*> programs, EnvConfig config)
-    : programs_(std::move(programs)),
-      config_(config),
-      cache_(config.constraints, config.interp_options) {
+    : programs_(std::move(programs)), config_(config), cache_(make_cache(config)) {
   if (config_.action_subset.empty()) {
     for (int i = 0; i < passes::kNumPasses; ++i) effective_actions_.push_back(i);
   } else {
@@ -176,7 +184,7 @@ MultiActionEnv::MultiActionEnv(std::vector<const ir::Module*> programs, EnvConfi
     : programs_(std::move(programs)),
       config_(config),
       steps_per_episode_(steps_per_episode),
-      cache_(config.constraints, config.interp_options) {
+      cache_(make_cache(config)) {
   baseline_.assign(programs_.size(), 0);
   best_.assign(programs_.size(), ~0ull);
   best_seq_.assign(programs_.size(), {});

@@ -10,13 +10,13 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "features/features.hpp"
 #include "hls/cycle_estimator.hpp"
 #include "ir/module.hpp"
 #include "passes/pass.hpp"
+#include "runtime/eval_service.hpp"
 #include "support/rng.hpp"
 
 namespace autophase::rl {
@@ -48,6 +48,11 @@ struct EnvConfig {
   std::vector<int> action_subset;   // Table-1 pass indices
   hls::ResourceConstraints constraints{};
   interp::InterpreterOptions interp_options{};
+  /// Optional shared evaluation service. When set, the env's cache becomes a
+  /// handle onto it (cycle estimates are shared across every consumer of the
+  /// service — e.g. all workers of a VecEnv); when null the env owns a
+  /// private serial service, preserving the original per-env behaviour.
+  std::shared_ptr<runtime::EvalService> eval_service;
 };
 
 struct StepResult {
@@ -70,22 +75,37 @@ class Env {
   [[nodiscard]] virtual std::size_t sample_count() const { return 0; }
 };
 
-/// Shared evaluation service: fingerprint-memoised cycle estimation.
+/// Per-owner handle onto a runtime::EvalService: fingerprint-memoised cycle
+/// estimation with local sample accounting. The two-arg constructor keeps the
+/// historical behaviour (a private, serial service per owner); the
+/// shared_ptr constructor lets many owners — VecEnv workers, search
+/// baselines — pool one concurrent cache. `samples()` counts the real
+/// simulator calls *this handle* triggered, which stays exact under sharing
+/// because the service attributes each unique evaluation to exactly one
+/// caller. The handle itself is not thread-safe; use one per thread.
 class EvaluationCache {
  public:
-  EvaluationCache(hls::ResourceConstraints constraints, interp::InterpreterOptions interp_options)
-      : constraints_(constraints), interp_options_(interp_options) {}
+  EvaluationCache(hls::ResourceConstraints constraints, interp::InterpreterOptions interp_options);
+  explicit EvaluationCache(std::shared_ptr<runtime::EvalService> service);
 
   /// Cycle count of `m` (cache hit does not count as a sample).
   std::uint64_t cycles(const ir::Module& m);
 
+  /// Cycles of `program` after `sequence`, through the service's secondary
+  /// (program, sequence) key: a repeat evaluation skips cloning and pass
+  /// application entirely.
+  std::uint64_t evaluate_sequence(const ir::Module& program, const std::vector<int>& sequence);
+
   [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
   void reset_samples() noexcept { samples_ = 0; }
 
+  [[nodiscard]] runtime::EvalService& service() noexcept { return *service_; }
+  [[nodiscard]] const std::shared_ptr<runtime::EvalService>& service_handle() const noexcept {
+    return service_;
+  }
+
  private:
-  hls::ResourceConstraints constraints_;
-  interp::InterpreterOptions interp_options_;
-  std::unordered_map<std::uint64_t, std::uint64_t> cache_;
+  std::shared_ptr<runtime::EvalService> service_;
   std::size_t samples_ = 0;
 };
 

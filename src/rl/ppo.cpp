@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace autophase::rl {
 
@@ -33,12 +34,22 @@ ml::Matrix row_matrix(const std::vector<double>& v) {
 }  // namespace
 
 PpoTrainer::PpoTrainer(Env& env, PpoConfig config)
-    : env_(env),
+    : env_(&env),
       config_(config),
       rng_(config.seed),
       dist_{env.action_groups(), env.action_arity()},
       policy_(net_config(env.observation_size(), config.hidden, dist_.logit_count()), rng_),
       value_(net_config(env.observation_size(), config.hidden, 1), rng_),
+      policy_opt_(policy_, {.lr = config.learning_rate}),
+      value_opt_(value_, {.lr = config.learning_rate}) {}
+
+PpoTrainer::PpoTrainer(runtime::VecEnv& vec, PpoConfig config)
+    : vec_(&vec),
+      config_(config),
+      rng_(config.seed),
+      dist_{vec.action_groups(), vec.action_arity()},
+      policy_(net_config(vec.observation_size(), config.hidden, dist_.logit_count()), rng_),
+      value_(net_config(vec.observation_size(), config.hidden, 1), rng_),
       policy_opt_(policy_, {.lr = config.learning_rate}),
       value_opt_(value_, {.lr = config.learning_rate}) {}
 
@@ -57,10 +68,12 @@ std::vector<std::size_t> PpoTrainer::act_sample(const std::vector<double>& obser
   return dist_.sample_all(logits.row(0), rng_);
 }
 
-IterationStats PpoTrainer::iterate() {
+IterationStats PpoTrainer::iterate() { return vec_ != nullptr ? iterate_vec() : iterate_env(); }
+
+IterationStats PpoTrainer::iterate_env() {
   RolloutBuffer buffer;
   if (need_reset_) {
-    obs_ = env_.reset();
+    obs_ = env_->reset();
     need_reset_ = false;
   }
   for (int step = 0; step < config_.steps_per_iteration; ++step) {
@@ -71,16 +84,89 @@ IterationStats PpoTrainer::iterate() {
     t.action = action;
     t.log_prob = dist_.log_prob_all(logits.row(0), action);
     t.value = value_of(obs_);
-    const StepResult sr = env_.step(action);
+    const StepResult sr = env_->step(action);
     t.reward = sr.reward;
     t.done = sr.done;
     buffer.transitions.push_back(std::move(t));
-    obs_ = sr.done ? env_.reset() : sr.observation;
+    obs_ = sr.done ? env_->reset() : sr.observation;
   }
   const double last_value = value_of(obs_);
   buffer.compute_gae(config_.gamma, config_.gae_lambda,
                      buffer.transitions.back().done ? 0.0 : last_value);
-  const double reward_mean = buffer.episode_reward_mean();
+  return finish_iteration(buffer, buffer.episode_reward_mean(), env_->sample_count());
+}
+
+IterationStats PpoTrainer::iterate_vec() {
+  const std::size_t k = vec_->size();
+  if (need_reset_) {
+    vec_obs_ = vec_->reset();
+    need_reset_ = false;
+  }
+  std::vector<RolloutBuffer> lanes(k);
+  const int steps_per_lane =
+      (config_.steps_per_iteration + static_cast<int>(k) - 1) / static_cast<int>(k);
+  const std::size_t obs_size = vec_->observation_size();
+  for (int step = 0; step < steps_per_lane; ++step) {
+    // One batched forward pass over all K lanes for both networks.
+    ml::Matrix obs(k, obs_size);
+    for (std::size_t w = 0; w < k; ++w) {
+      std::copy(vec_obs_[w].begin(), vec_obs_[w].end(), obs.row(w));
+    }
+    const ml::Matrix logits = policy_.forward(obs);
+    const ml::Matrix values = value_.forward(obs);
+    std::vector<std::vector<std::size_t>> actions(k);
+    for (std::size_t w = 0; w < k; ++w) {
+      // Per-worker streams keep sampling deterministic for any thread count.
+      actions[w] = dist_.sample_all(logits.row(w), vec_->worker_rng(w));
+    }
+    const auto results = vec_->step_batch(actions);
+    for (std::size_t w = 0; w < k; ++w) {
+      Transition t;
+      t.observation = std::move(vec_obs_[w]);
+      t.action = actions[w];
+      t.log_prob = dist_.log_prob_all(logits.row(w), actions[w]);
+      t.value = values.at(w, 0);
+      t.reward = results[w].reward;
+      t.done = results[w].done;
+      lanes[w].transitions.push_back(std::move(t));
+      vec_obs_[w] = results[w].observation;  // auto-reset applied by VecEnv
+    }
+  }
+
+  // GAE per lane (lanes are independent trajectories; bootstrapping across
+  // them would be wrong), then merge everything for the shared update.
+  RolloutBuffer merged;
+  double completed_total = 0.0;
+  int completed_episodes = 0;
+  double partial_total = 0.0;
+  for (std::size_t w = 0; w < k; ++w) {
+    RolloutBuffer& lane = lanes[w];
+    const double last_value = lane.transitions.back().done ? 0.0 : value_of(vec_obs_[w]);
+    lane.compute_gae(config_.gamma, config_.gae_lambda, last_value);
+    double episode = 0.0;
+    for (const Transition& t : lane.transitions) {
+      episode += t.reward;
+      if (t.done) {
+        completed_total += episode;
+        episode = 0.0;
+        ++completed_episodes;
+      }
+    }
+    partial_total += episode;
+    std::move(lane.transitions.begin(), lane.transitions.end(),
+              std::back_inserter(merged.transitions));
+    merged.advantages.insert(merged.advantages.end(), lane.advantages.begin(),
+                             lane.advantages.end());
+    merged.returns.insert(merged.returns.end(), lane.returns.begin(), lane.returns.end());
+  }
+  const double reward_mean = completed_episodes > 0
+                                 ? completed_total / completed_episodes
+                                 : partial_total / static_cast<double>(k);
+  return finish_iteration(merged, reward_mean, vec_->sample_count());
+}
+
+IterationStats PpoTrainer::finish_iteration(RolloutBuffer& buffer, double reward_mean,
+                                            std::size_t env_samples) {
   buffer.normalize_advantages();
   update(buffer);
 
@@ -88,7 +174,7 @@ IterationStats PpoTrainer::iterate() {
   stats.iteration = iteration_++;
   stats.episode_reward_mean = reward_mean;
   stats.policy_entropy = last_entropy_;
-  stats.env_samples = env_.sample_count();
+  stats.env_samples = env_samples;
   return stats;
 }
 

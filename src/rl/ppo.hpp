@@ -13,6 +13,7 @@
 #include "ml/optimizer.hpp"
 #include "rl/env.hpp"
 #include "rl/rollout.hpp"
+#include "runtime/vec_env.hpp"
 
 namespace autophase::rl {
 
@@ -44,6 +45,12 @@ class PpoTrainer {
  public:
   PpoTrainer(Env& env, PpoConfig config);
 
+  /// Vectorised rollout collection: transitions come from all K environments
+  /// of `vec` (policy forward passes are batched over the K lanes, GAE runs
+  /// per lane), actions are sampled from the VecEnv's per-worker RNG
+  /// streams. Same seed => same trajectories for any thread count.
+  PpoTrainer(runtime::VecEnv& vec, PpoConfig config);
+
   /// One PPO iteration: collect `steps_per_iteration` transitions, then run
   /// minibatch-epoch updates. Returns stats for learning curves (Fig. 8).
   IterationStats iterate();
@@ -62,8 +69,13 @@ class PpoTrainer {
  private:
   double value_of(const std::vector<double>& observation) const;
   void update(RolloutBuffer& buffer);
+  IterationStats iterate_env();
+  IterationStats iterate_vec();
+  IterationStats finish_iteration(RolloutBuffer& buffer, double reward_mean,
+                                  std::size_t env_samples);
 
-  Env& env_;
+  Env* env_ = nullptr;               // single-env rollout source
+  runtime::VecEnv* vec_ = nullptr;   // vectorised rollout source
   PpoConfig config_;
   Rng rng_;
   ml::FactoredCategorical dist_;
@@ -75,6 +87,7 @@ class PpoTrainer {
 
   // Rollout continuity between iterations.
   std::vector<double> obs_;
+  std::vector<std::vector<double>> vec_obs_;  // one lane per VecEnv worker
   bool need_reset_ = true;
   double last_entropy_ = 0.0;
 };

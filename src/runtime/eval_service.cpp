@@ -1,0 +1,197 @@
+#include "runtime/eval_service.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "ir/clone.hpp"
+#include "ir/printer.hpp"
+#include "passes/pass.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+
+namespace autophase::runtime {
+
+namespace {
+
+// Mirrors the legacy EvaluationCache policy: a program the simulator cannot
+// execute is treated as unusably slow, like an HLS tool timeout.
+constexpr std::uint64_t kFailurePenaltyCycles = 1ull << 40;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t sequence_key(std::uint64_t program_fingerprint,
+                           std::span<const int> sequence) noexcept {
+  std::uint64_t h = program_fingerprint;
+  for (const int p : sequence) {
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)) + 1);
+  }
+  // Distinguish the empty sequence from the raw program fingerprint so the
+  // two key spaces cannot collide trivially.
+  return hash_combine(h, 0x5eedULL);
+}
+
+EvalService::EvalService(EvalServiceConfig config)
+    : config_(config),
+      shards_(round_up_pow2(std::max<std::size_t>(1, config.shards))),
+      pool_(config.pool) {}
+
+EvalService::Shard& EvalService::shard_for(std::uint64_t key) noexcept {
+  // Fingerprints are FNV-mixed already; fold the high half in so shard count
+  // changes never correlate with low-bit structure.
+  return shards_[(key ^ (key >> 32)) & (shards_.size() - 1)];
+}
+
+const EvalService::Shard& EvalService::shard_for(std::uint64_t key) const noexcept {
+  return shards_[(key ^ (key >> 32)) & (shards_.size() - 1)];
+}
+
+std::uint64_t EvalService::cycles(const ir::Module& m, bool* was_sample) {
+  return cycles_by_fingerprint(ir::module_fingerprint(m), m, was_sample);
+}
+
+std::uint64_t EvalService::cycles_by_fingerprint(std::uint64_t fingerprint, const ir::Module& m,
+                                                 bool* was_sample) {
+  if (was_sample) *was_sample = false;
+  Shard& shard = shard_for(fingerprint);
+  std::shared_ptr<ModuleEntry> entry;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.modules.try_emplace(fingerprint);
+    if (inserted) {
+      it->second = std::make_shared<ModuleEntry>();
+      owner = true;
+      ++shard.stats.misses;
+    } else {
+      // A pending entry counts as a hit too: this caller triggers no
+      // simulator run, it just waits for the one in flight.
+      ++shard.stats.hits;
+    }
+    entry = it->second;
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    entry->cv.wait(lock, [&] { return entry->ready; });
+    return entry->cycles;
+  }
+
+  if (was_sample) *was_sample = true;
+  const auto publish = [&entry](std::uint64_t value) {
+    {
+      const std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->cycles = value;
+      entry->ready = true;
+    }
+    entry->cv.notify_all();
+  };
+  std::uint64_t cycles = kFailurePenaltyCycles;
+  std::uint64_t nanos = 0;
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto est = hls::profile_cycles(m, config_.constraints, config_.interp_options);
+    cycles = est.is_ok() ? est.value().cycles : kFailurePenaltyCycles;
+    if (!est.is_ok()) {
+      AP_LOG_WARN << "evaluation failed (" << est.message() << "); assigning penalty cycles";
+    }
+    nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - t0)
+            .count());
+  } catch (...) {
+    // The entry MUST be published even on failure (e.g. bad_alloc inside
+    // the simulator): waiters block on `ready` and a pending entry that
+    // never resolves would deadlock every future caller of this module.
+    publish(kFailurePenaltyCycles);
+    throw;
+  }
+  publish(cycles);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stats.eval_nanos += nanos;
+  }
+  return cycles;
+}
+
+std::uint64_t EvalService::evaluate_sequence(const ir::Module& program,
+                                             const std::vector<int>& sequence, bool* was_sample) {
+  return evaluate_sequence(program, ir::module_fingerprint(program), sequence, was_sample);
+}
+
+std::uint64_t EvalService::evaluate_sequence(const ir::Module& program,
+                                             std::uint64_t program_fingerprint,
+                                             const std::vector<int>& sequence, bool* was_sample) {
+  const std::uint64_t key = sequence_key(program_fingerprint, sequence);
+  Shard& shard = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.sequences.find(key);
+    if (it != shard.sequences.end()) {
+      ++shard.stats.sequence_hits;
+      if (was_sample) *was_sample = false;
+      return it->second;
+    }
+  }
+  // Concurrent duplicates of one (program, sequence) pair each clone and
+  // apply the passes, but the module-fingerprint layer below still runs the
+  // simulator exactly once, so sample accounting stays exact.
+  auto working = ir::clone_module(program);
+  passes::apply_pass_sequence(*working, sequence);
+  const std::uint64_t cycles = this->cycles(*working, was_sample);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.sequences.emplace(key, cycles);
+  }
+  return cycles;
+}
+
+EvalService::BatchResult EvalService::evaluate_batch(const ir::Module& program,
+                                                     std::span<const std::vector<int>> sequences) {
+  BatchResult out;
+  out.cycles.assign(sequences.size(), 0);
+  if (sequences.empty()) return out;
+  const std::uint64_t fingerprint = ir::module_fingerprint(program);
+  std::atomic<std::size_t> new_samples{0};
+  const auto eval_one = [&](std::size_t i) {
+    bool sampled = false;
+    out.cycles[i] = evaluate_sequence(program, fingerprint, sequences[i], &sampled);
+    if (sampled) new_samples.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (pool_ != nullptr && pool_->size() > 1 && sequences.size() > 1) {
+    pool_->parallel_for(sequences.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < sequences.size(); ++i) eval_one(i);
+  }
+  out.new_samples = new_samples.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t EvalService::samples() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.stats.misses;
+  }
+  return total;
+}
+
+EvalStats EvalService::stats() const {
+  EvalStats total;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.stats;
+  }
+  return total;
+}
+
+EvalStats EvalService::shard_stats(std::size_t shard) const {
+  const std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+  return shards_[shard].stats;
+}
+
+}  // namespace autophase::runtime

@@ -1,0 +1,127 @@
+// Concurrent evaluation service: the one place the framework talks to the
+// cycle profiler. Owns a sharded, striped-lock memoisation cache keyed by
+// module fingerprint, with a secondary (program, pass-sequence) key so search
+// baselines can skip re-cloning and re-applying passes entirely, and fans
+// batched evaluations out over a ThreadPool. Per-shard stats keep the paper's
+// "Samples / Program" metric exact under concurrency: each unique module is
+// profiled (and counted) exactly once, no matter how many threads race on it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hls/cycle_estimator.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/module.hpp"
+#include "support/thread_pool.hpp"
+
+namespace autophase::runtime {
+
+struct EvalServiceConfig {
+  hls::ResourceConstraints constraints{};
+  interp::InterpreterOptions interp_options{};
+  /// Lock stripes; rounded up to a power of two.
+  std::size_t shards = 16;
+  /// Worker pool for evaluate_batch; nullptr evaluates serially. Not owned.
+  ThreadPool* pool = nullptr;
+};
+
+struct EvalStats {
+  std::size_t hits = 0;           // module-fingerprint cache hits
+  std::size_t misses = 0;         // real simulator calls (the Samples metric)
+  std::size_t sequence_hits = 0;  // (program, sequence) short-circuits
+  std::uint64_t eval_nanos = 0;   // wall time spent inside the profiler
+
+  EvalStats& operator+=(const EvalStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    sequence_hits += o.sequence_hits;
+    eval_nanos += o.eval_nanos;
+    return *this;
+  }
+};
+
+/// Secondary cache key for an un-materialised evaluation request.
+std::uint64_t sequence_key(std::uint64_t program_fingerprint,
+                           std::span<const int> sequence) noexcept;
+
+class EvalService {
+ public:
+  explicit EvalService(EvalServiceConfig config = {});
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Memoised cycle count of a materialised module. `was_sample` (optional)
+  /// reports whether THIS call ran the simulator — under contention exactly
+  /// one caller per unique module gets `true`; the rest block until the
+  /// result is ready and see a hit.
+  std::uint64_t cycles(const ir::Module& m, bool* was_sample = nullptr);
+
+  /// (program, sequence) evaluation through the secondary key: a sequence
+  /// hit returns without cloning the program or applying a single pass.
+  std::uint64_t evaluate_sequence(const ir::Module& program, const std::vector<int>& sequence,
+                                  bool* was_sample = nullptr);
+  /// Same, with the program fingerprint precomputed by the caller (search
+  /// loops evaluate thousands of sequences against one immutable program).
+  std::uint64_t evaluate_sequence(const ir::Module& program, std::uint64_t program_fingerprint,
+                                  const std::vector<int>& sequence, bool* was_sample = nullptr);
+
+  struct BatchResult {
+    std::vector<std::uint64_t> cycles;  // cycles[i] belongs to sequences[i]
+    std::size_t new_samples = 0;        // simulator calls this batch triggered
+  };
+
+  /// Evaluates every sequence against `program`, fanned out over the pool
+  /// (serial without one). Results are written to per-index slots, so the
+  /// output — and every cache/sample count — is identical to the serial path
+  /// regardless of thread count or scheduling.
+  BatchResult evaluate_batch(const ir::Module& program,
+                             std::span<const std::vector<int>> sequences);
+
+  /// Real simulator calls so far (== stats().misses).
+  [[nodiscard]] std::size_t samples() const;
+  /// Aggregate over all shards.
+  [[nodiscard]] EvalStats stats() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] EvalStats shard_stats(std::size_t shard) const;
+
+  void set_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
+  [[nodiscard]] const hls::ResourceConstraints& constraints() const noexcept {
+    return config_.constraints;
+  }
+
+ private:
+  /// Exactly-once evaluation slot: the inserting thread profiles the module
+  /// and publishes the result; waiters block on the entry, not the shard.
+  struct ModuleEntry {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool ready = false;
+    std::uint64_t cycles = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<ModuleEntry>> modules;
+    std::unordered_map<std::uint64_t, std::uint64_t> sequences;
+    EvalStats stats;
+  };
+
+  Shard& shard_for(std::uint64_t key) noexcept;
+  const Shard& shard_for(std::uint64_t key) const noexcept;
+  std::uint64_t cycles_by_fingerprint(std::uint64_t fingerprint, const ir::Module& m,
+                                      bool* was_sample);
+
+  EvalServiceConfig config_;
+  std::vector<Shard> shards_;  // size is a power of two
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace autophase::runtime

@@ -1,0 +1,51 @@
+#include "runtime/vec_env.hpp"
+
+namespace autophase::runtime {
+
+VecEnv::VecEnv(const EnvFactory& factory, VecEnvConfig config) : config_(config) {
+  const std::size_t n = std::max<std::size_t>(1, config.num_envs);
+  envs_.reserve(n);
+  rngs_.reserve(n);
+  // One SplitMix64 stream expands the base seed into two independent RNGs
+  // per worker (env construction + policy sampling), in index order — the
+  // streams depend only on (seed, worker index), never on thread count.
+  SplitMix64 seeder(config.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rng env_rng(seeder.next());
+    rngs_.emplace_back(seeder.next());
+    envs_.push_back(factory(i, env_rng));
+  }
+}
+
+void VecEnv::for_each_env(const std::function<void(std::size_t)>& fn) {
+  if (config_.pool != nullptr && config_.pool->size() > 1 && envs_.size() > 1) {
+    config_.pool->parallel_for(envs_.size(), fn);
+  } else {
+    for (std::size_t i = 0; i < envs_.size(); ++i) fn(i);
+  }
+}
+
+std::vector<std::vector<double>> VecEnv::reset() {
+  std::vector<std::vector<double>> observations(envs_.size());
+  for_each_env([&](std::size_t i) { observations[i] = envs_[i]->reset(); });
+  return observations;
+}
+
+std::vector<rl::StepResult> VecEnv::step_batch(
+    const std::vector<std::vector<std::size_t>>& actions) {
+  std::vector<rl::StepResult> results(envs_.size());
+  for_each_env([&](std::size_t i) {
+    rl::StepResult r = envs_[i]->step(actions[i]);
+    if (r.done) r.observation = envs_[i]->reset();
+    results[i] = std::move(r);
+  });
+  return results;
+}
+
+std::size_t VecEnv::sample_count() const {
+  std::size_t total = 0;
+  for (const auto& env : envs_) total += env->sample_count();
+  return total;
+}
+
+}  // namespace autophase::runtime

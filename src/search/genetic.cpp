@@ -58,26 +58,43 @@ bool GeneticStepper::step(Evaluator& eval) {
     initialised_ = true;
     population_.clear();
     fitness_.clear();
-    for (int i = 0; i < config_.population && !eval.exhausted(); ++i) {
-      population_.push_back(random_sequence(rng_, length_));
-      fitness_.push_back(eval.evaluate(population_.back()));
+    std::vector<std::vector<int>> seeds;
+    seeds.reserve(static_cast<std::size_t>(config_.population));
+    for (int i = 0; i < config_.population; ++i) {
+      seeds.push_back(random_sequence(rng_, length_));
+    }
+    // Budget-capped parallel batch; a truncated tail is dropped, just as the
+    // serial path would never have evaluated it.
+    const auto fitness = eval.evaluate_batch(seeds);
+    for (std::size_t i = 0; i < fitness.size(); ++i) {
+      population_.push_back(std::move(seeds[i]));
+      fitness_.push_back(fitness[i]);
     }
     return eval.best_cycles() < best_before;
   }
   if (population_.empty()) return false;
 
-  // Elitism: keep the best individual, refill the rest.
+  // Elitism: keep the best individual (fitness already known — it must not
+  // occupy a slot of the evaluation budget), refill the rest. Selection
+  // draws on the previous generation only, so the whole brood can be bred
+  // first and evaluated as one parallel batch.
   const std::size_t elite = static_cast<std::size_t>(
       std::min_element(fitness_.begin(), fitness_.end()) - fitness_.begin());
-  std::vector<std::vector<int>> next{population_[elite]};
-  std::vector<std::uint64_t> next_fitness{fitness_[elite]};
-  while (static_cast<int>(next.size()) < config_.population && !eval.exhausted()) {
+  std::vector<std::vector<int>> brood;
+  brood.reserve(static_cast<std::size_t>(config_.population) - 1);
+  for (int i = 1; i < config_.population; ++i) {
     std::vector<int> child = rng_.chance(config_.crossover_rate)
                                  ? crossover(tournament_select(), tournament_select())
                                  : tournament_select();
     mutate(child);
-    next_fitness.push_back(eval.evaluate(child));
-    next.push_back(std::move(child));
+    brood.push_back(std::move(child));
+  }
+  const auto brood_fitness = eval.evaluate_batch(brood);
+  std::vector<std::vector<int>> next{population_[elite]};
+  std::vector<std::uint64_t> next_fitness{fitness_[elite]};
+  for (std::size_t i = 0; i < brood_fitness.size(); ++i) {
+    next.push_back(std::move(brood[i]));
+    next_fitness.push_back(brood_fitness[i]);
   }
   population_ = std::move(next);
   fitness_ = std::move(next_fitness);

@@ -12,6 +12,7 @@
 
 #include "rl/env.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace autophase::search {
 
@@ -25,6 +26,10 @@ struct SearchBudget {
   std::size_t max_samples = 1000;
   int sequence_length = 45;  // the paper's pass length
   std::uint64_t seed = 1;
+  /// Worker pool for batched candidate evaluation; nullptr (the default)
+  /// evaluates serially. Candidate generation and best-result selection are
+  /// thread-count agnostic, so results are identical either way. Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// Uniform random 45-pass sequences ("random" bar of Fig. 7).

@@ -33,12 +33,26 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  // Exceptions are captured per task and the first one is rethrown only after
+  // every iteration has finished: returning (or throwing) while tasks are
+  // still running would leave workers touching `fn` after it went out of
+  // scope in the caller.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+    futures.push_back(submit([&fn, i, &error_mutex, &first_error] {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }));
   }
-  for (auto& f : futures) f.get();
+  for (auto& f : futures) f.wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {

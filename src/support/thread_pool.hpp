@@ -25,6 +25,9 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Waits for every iteration even on failure, then rethrows the first
+  /// exception a worker raised. Must not be called from a pool worker
+  /// (the nested wait can deadlock once all workers are blocked in it).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "support/hash.hpp"
 #include "support/rng.hpp"
@@ -165,6 +167,36 @@ TEST(ThreadPool, FutureResolves) {
   auto f = pool.submit([&] { ran.store(true); });
   f.get();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 7) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Every iteration still ran: parallel_for must not abandon in-flight tasks
+  // (they reference caller-owned state) just because one of them threw.
+  EXPECT_EQ(ran.load(), 32);
+  // And the pool stays usable afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(8, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForReportsFirstExceptionOnly) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(16, [](std::size_t i) { throw std::runtime_error(std::to_string(i)); });
+    FAIL() << "parallel_for swallowed the worker exceptions";
+  } catch (const std::runtime_error& e) {
+    const int index = std::stoi(e.what());
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 16);
+  }
 }
 
 }  // namespace
