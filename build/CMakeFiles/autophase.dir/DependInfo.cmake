@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autophase.cpp" "CMakeFiles/autophase.dir/src/core/autophase.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/core/autophase.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "CMakeFiles/autophase.dir/src/core/importance.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/core/importance.cpp.o.d"
+  "/root/repo/src/features/features.cpp" "CMakeFiles/autophase.dir/src/features/features.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/features/features.cpp.o.d"
+  "/root/repo/src/hls/cycle_estimator.cpp" "CMakeFiles/autophase.dir/src/hls/cycle_estimator.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/hls/cycle_estimator.cpp.o.d"
+  "/root/repo/src/hls/scheduler.cpp" "CMakeFiles/autophase.dir/src/hls/scheduler.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/hls/scheduler.cpp.o.d"
+  "/root/repo/src/hls/timing.cpp" "CMakeFiles/autophase.dir/src/hls/timing.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/hls/timing.cpp.o.d"
+  "/root/repo/src/hls/verilog.cpp" "CMakeFiles/autophase.dir/src/hls/verilog.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/hls/verilog.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "CMakeFiles/autophase.dir/src/interp/interpreter.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/interp/interpreter.cpp.o.d"
+  "/root/repo/src/ir/basic_block.cpp" "CMakeFiles/autophase.dir/src/ir/basic_block.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/basic_block.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "CMakeFiles/autophase.dir/src/ir/builder.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/cfg.cpp" "CMakeFiles/autophase.dir/src/ir/cfg.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/cfg.cpp.o.d"
+  "/root/repo/src/ir/clone.cpp" "CMakeFiles/autophase.dir/src/ir/clone.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/clone.cpp.o.d"
+  "/root/repo/src/ir/dominators.cpp" "CMakeFiles/autophase.dir/src/ir/dominators.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/dominators.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "CMakeFiles/autophase.dir/src/ir/function.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "CMakeFiles/autophase.dir/src/ir/instruction.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/instruction.cpp.o.d"
+  "/root/repo/src/ir/loop_info.cpp" "CMakeFiles/autophase.dir/src/ir/loop_info.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/loop_info.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "CMakeFiles/autophase.dir/src/ir/module.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/module.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "CMakeFiles/autophase.dir/src/ir/printer.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "CMakeFiles/autophase.dir/src/ir/type.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/type.cpp.o.d"
+  "/root/repo/src/ir/value.cpp" "CMakeFiles/autophase.dir/src/ir/value.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/value.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "CMakeFiles/autophase.dir/src/ir/verifier.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ir/verifier.cpp.o.d"
+  "/root/repo/src/ml/distributions.cpp" "CMakeFiles/autophase.dir/src/ml/distributions.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ml/distributions.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "CMakeFiles/autophase.dir/src/ml/matrix.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "CMakeFiles/autophase.dir/src/ml/mlp.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "CMakeFiles/autophase.dir/src/ml/optimizer.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ml/optimizer.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "CMakeFiles/autophase.dir/src/ml/random_forest.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/ml/random_forest.cpp.o.d"
+  "/root/repo/src/passes/cfg_passes.cpp" "CMakeFiles/autophase.dir/src/passes/cfg_passes.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/cfg_passes.cpp.o.d"
+  "/root/repo/src/passes/ipo.cpp" "CMakeFiles/autophase.dir/src/passes/ipo.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/ipo.cpp.o.d"
+  "/root/repo/src/passes/loops.cpp" "CMakeFiles/autophase.dir/src/passes/loops.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/loops.cpp.o.d"
+  "/root/repo/src/passes/mem.cpp" "CMakeFiles/autophase.dir/src/passes/mem.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/mem.cpp.o.d"
+  "/root/repo/src/passes/pipelines.cpp" "CMakeFiles/autophase.dir/src/passes/pipelines.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/pipelines.cpp.o.d"
+  "/root/repo/src/passes/registry.cpp" "CMakeFiles/autophase.dir/src/passes/registry.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/registry.cpp.o.d"
+  "/root/repo/src/passes/scalar.cpp" "CMakeFiles/autophase.dir/src/passes/scalar.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/scalar.cpp.o.d"
+  "/root/repo/src/passes/util.cpp" "CMakeFiles/autophase.dir/src/passes/util.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/passes/util.cpp.o.d"
+  "/root/repo/src/progen/chstone_like.cpp" "CMakeFiles/autophase.dir/src/progen/chstone_like.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/progen/chstone_like.cpp.o.d"
+  "/root/repo/src/progen/codegen.cpp" "CMakeFiles/autophase.dir/src/progen/codegen.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/progen/codegen.cpp.o.d"
+  "/root/repo/src/progen/random_program.cpp" "CMakeFiles/autophase.dir/src/progen/random_program.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/progen/random_program.cpp.o.d"
+  "/root/repo/src/rl/a3c.cpp" "CMakeFiles/autophase.dir/src/rl/a3c.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/rl/a3c.cpp.o.d"
+  "/root/repo/src/rl/env.cpp" "CMakeFiles/autophase.dir/src/rl/env.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/rl/env.cpp.o.d"
+  "/root/repo/src/rl/es.cpp" "CMakeFiles/autophase.dir/src/rl/es.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/rl/es.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "CMakeFiles/autophase.dir/src/rl/ppo.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/rl/ppo.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "CMakeFiles/autophase.dir/src/rl/rollout.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/rl/rollout.cpp.o.d"
+  "/root/repo/src/runtime/eval_service.cpp" "CMakeFiles/autophase.dir/src/runtime/eval_service.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/runtime/eval_service.cpp.o.d"
+  "/root/repo/src/runtime/vec_env.cpp" "CMakeFiles/autophase.dir/src/runtime/vec_env.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/runtime/vec_env.cpp.o.d"
+  "/root/repo/src/search/genetic.cpp" "CMakeFiles/autophase.dir/src/search/genetic.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/search/genetic.cpp.o.d"
+  "/root/repo/src/search/opentuner.cpp" "CMakeFiles/autophase.dir/src/search/opentuner.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/search/opentuner.cpp.o.d"
+  "/root/repo/src/search/pso.cpp" "CMakeFiles/autophase.dir/src/search/pso.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/search/pso.cpp.o.d"
+  "/root/repo/src/search/random_greedy.cpp" "CMakeFiles/autophase.dir/src/search/random_greedy.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/search/random_greedy.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "CMakeFiles/autophase.dir/src/support/log.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/support/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/autophase.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "CMakeFiles/autophase.dir/src/support/str.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/support/str.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/autophase.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/autophase.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/autophase.dir/src/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for autophase.
+# This may be replaced when dependencies are built.

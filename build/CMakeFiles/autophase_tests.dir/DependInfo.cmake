@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cpp" "CMakeFiles/autophase_tests.dir/tests/test_core.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_core.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "CMakeFiles/autophase_tests.dir/tests/test_features.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_features.cpp.o.d"
+  "/root/repo/tests/test_hls.cpp" "CMakeFiles/autophase_tests.dir/tests/test_hls.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_hls.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/autophase_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "CMakeFiles/autophase_tests.dir/tests/test_interp.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_interp.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "CMakeFiles/autophase_tests.dir/tests/test_ir.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_ir.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "CMakeFiles/autophase_tests.dir/tests/test_ml.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_ml.cpp.o.d"
+  "/root/repo/tests/test_pass_semantics.cpp" "CMakeFiles/autophase_tests.dir/tests/test_pass_semantics.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_pass_semantics.cpp.o.d"
+  "/root/repo/tests/test_passes.cpp" "CMakeFiles/autophase_tests.dir/tests/test_passes.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_passes.cpp.o.d"
+  "/root/repo/tests/test_progen.cpp" "CMakeFiles/autophase_tests.dir/tests/test_progen.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_progen.cpp.o.d"
+  "/root/repo/tests/test_rl.cpp" "CMakeFiles/autophase_tests.dir/tests/test_rl.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_rl.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "CMakeFiles/autophase_tests.dir/tests/test_runtime.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "CMakeFiles/autophase_tests.dir/tests/test_search.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_search.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "CMakeFiles/autophase_tests.dir/tests/test_support.cpp.o" "gcc" "CMakeFiles/autophase_tests.dir/tests/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/autophase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

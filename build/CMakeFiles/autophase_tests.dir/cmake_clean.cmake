@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autophase_tests.dir/tests/test_core.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_core.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_features.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_features.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_hls.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_hls.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_integration.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_integration.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_interp.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_interp.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_ir.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_ir.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_ml.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_ml.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_pass_semantics.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_pass_semantics.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_passes.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_passes.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_progen.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_progen.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_rl.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_rl.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_runtime.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_runtime.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_search.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_search.cpp.o.d"
+  "CMakeFiles/autophase_tests.dir/tests/test_support.cpp.o"
+  "CMakeFiles/autophase_tests.dir/tests/test_support.cpp.o.d"
+  "autophase_tests"
+  "autophase_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autophase_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

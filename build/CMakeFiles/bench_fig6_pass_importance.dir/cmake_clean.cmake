@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pass_importance.dir/bench/fig6_pass_importance.cpp.o"
+  "CMakeFiles/bench_fig6_pass_importance.dir/bench/fig6_pass_importance.cpp.o.d"
+  "bench/fig6_pass_importance"
+  "bench/fig6_pass_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pass_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

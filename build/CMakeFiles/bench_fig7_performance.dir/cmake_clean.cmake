@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_performance.dir/bench/fig7_performance.cpp.o"
+  "CMakeFiles/bench_fig7_performance.dir/bench/fig7_performance.cpp.o.d"
+  "bench/fig7_performance"
+  "bench/fig7_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_generalization_training.dir/bench/fig8_generalization_training.cpp.o"
+  "CMakeFiles/bench_fig8_generalization_training.dir/bench/fig8_generalization_training.cpp.o.d"
+  "bench/fig8_generalization_training"
+  "bench/fig8_generalization_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_generalization_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

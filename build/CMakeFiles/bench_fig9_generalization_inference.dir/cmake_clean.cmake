@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_generalization_inference.dir/bench/fig9_generalization_inference.cpp.o"
+  "CMakeFiles/bench_fig9_generalization_inference.dir/bench/fig9_generalization_inference.cpp.o.d"
+  "bench/fig9_generalization_inference"
+  "bench/fig9_generalization_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_generalization_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

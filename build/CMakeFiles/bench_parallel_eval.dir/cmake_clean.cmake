@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_eval.dir/bench/parallel_eval.cpp.o"
+  "CMakeFiles/bench_parallel_eval.dir/bench/parallel_eval.cpp.o.d"
+  "bench/parallel_eval"
+  "bench/parallel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_random_generalization.dir/bench/sec62_random_generalization.cpp.o"
+  "CMakeFiles/bench_sec62_random_generalization.dir/bench/sec62_random_generalization.cpp.o.d"
+  "bench/sec62_random_generalization"
+  "bench/sec62_random_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_random_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_passes.dir/bench/table1_passes.cpp.o"
+  "CMakeFiles/bench_table1_passes.dir/bench/table1_passes.cpp.o.d"
+  "bench/table1_passes"
+  "bench/table1_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_algorithms.dir/bench/table3_algorithms.cpp.o"
+  "CMakeFiles/bench_table3_algorithms.dir/bench/table3_algorithms.cpp.o.d"
+  "bench/table3_algorithms"
+  "bench/table3_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

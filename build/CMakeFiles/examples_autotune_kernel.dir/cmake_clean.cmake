@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_autotune_kernel.dir/examples/autotune_kernel.cpp.o"
+  "CMakeFiles/examples_autotune_kernel.dir/examples/autotune_kernel.cpp.o.d"
+  "examples/autotune_kernel"
+  "examples/autotune_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_autotune_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

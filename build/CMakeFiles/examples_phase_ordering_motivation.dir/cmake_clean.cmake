@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_phase_ordering_motivation.dir/examples/phase_ordering_motivation.cpp.o"
+  "CMakeFiles/examples_phase_ordering_motivation.dir/examples/phase_ordering_motivation.cpp.o.d"
+  "examples/phase_ordering_motivation"
+  "examples/phase_ordering_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_phase_ordering_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for examples_phase_ordering_motivation.
+# This may be replaced when dependencies are built.

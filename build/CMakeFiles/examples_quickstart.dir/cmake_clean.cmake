@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_quickstart.dir/examples/quickstart.cpp.o"
+  "CMakeFiles/examples_quickstart.dir/examples/quickstart.cpp.o.d"
+  "examples/quickstart"
+  "examples/quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

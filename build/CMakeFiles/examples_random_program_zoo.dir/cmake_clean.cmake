@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_random_program_zoo.dir/examples/random_program_zoo.cpp.o"
+  "CMakeFiles/examples_random_program_zoo.dir/examples/random_program_zoo.cpp.o.d"
+  "examples/random_program_zoo"
+  "examples/random_program_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_random_program_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for examples_random_program_zoo.
+# This may be replaced when dependencies are built.
