@@ -1,5 +1,6 @@
 #include "ml/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace autophase::ml {
@@ -43,6 +44,26 @@ Mlp::Mlp(const MlpConfig& config, Rng& rng) : config_(config) {
     weights_.push_back(Matrix::randn(rng, dims[l], dims[l + 1], stddev));
     biases_.push_back(Matrix::zeros(1, dims[l + 1]));
   }
+}
+
+Mlp::Mlp(const MlpConfig& config) : config_(config) {
+  std::vector<std::size_t> dims;
+  dims.push_back(config.input);
+  for (const std::size_t h : config.hidden) dims.push_back(h);
+  dims.push_back(config.output);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    weights_.push_back(Matrix::zeros(dims[l], dims[l + 1]));
+    biases_.push_back(Matrix::zeros(1, dims[l + 1]));
+  }
+}
+
+Matrix Mlp::forward_batch(const std::vector<std::vector<double>>& rows) const {
+  Matrix x(rows.size(), config_.input);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == config_.input);
+    std::copy(rows[r].begin(), rows[r].end(), x.row(r));
+  }
+  return forward(x);
 }
 
 namespace {

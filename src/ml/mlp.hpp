@@ -44,11 +44,22 @@ class Mlp {
  public:
   explicit Mlp(const MlpConfig& config, Rng& rng);
 
+  /// Zero-initialised network of the given shape — the deserialization
+  /// target (weights are assign()ed afterwards; no RNG involved).
+  explicit Mlp(const MlpConfig& config);
+
   [[nodiscard]] const MlpConfig& config() const noexcept { return config_; }
 
   /// Batched forward: x is (batch x input). Returns (batch x output). When
   /// cache is non-null the activations are stored for backward().
   Matrix forward(const Matrix& x, ForwardCache* cache = nullptr) const;
+
+  /// Stacks `rows` (each config().input wide) into one matrix and runs a
+  /// single forward pass. Row i of the result is bit-identical to forward()
+  /// on rows[i] alone — each output row is an independent dot-product chain
+  /// — which is what lets the serving scheduler fold concurrent requests
+  /// into one matmul without changing any request's answer.
+  Matrix forward_batch(const std::vector<std::vector<double>>& rows) const;
 
   /// Accumulates parameter gradients for dLoss/dOutput into `grads` (which
   /// must be zero-initialised via make_gradients or Gradients::zero).

@@ -162,4 +162,18 @@ double RandomForest::accuracy(const std::vector<std::vector<double>>& x,
   return static_cast<double>(correct) / static_cast<double>(x.size());
 }
 
+DecisionTree DecisionTree::from_nodes(std::vector<Node> nodes) {
+  DecisionTree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+RandomForest RandomForest::from_parts(ForestConfig config, std::vector<DecisionTree> trees,
+                                      std::vector<double> importances) {
+  RandomForest forest(config);
+  forest.trees_ = std::move(trees);
+  forest.importances_ = std::move(importances);
+  return forest;
+}
+
 }  // namespace autophase::ml

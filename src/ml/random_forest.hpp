@@ -23,6 +23,14 @@ struct ForestConfig {
 
 class DecisionTree {
  public:
+  struct Node {
+    int feature = -1;  // -1 = leaf
+    double threshold = 0.0;
+    double prob_one = 0.5;  // leaf payload
+    int left = -1;
+    int right = -1;
+  };
+
   /// Fits on rows X (n x d) with binary labels y; `rng` drives feature
   /// subsampling. `importance` (size d) accumulates Gini decreases.
   void fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
@@ -32,15 +40,12 @@ class DecisionTree {
   /// P(label == 1).
   [[nodiscard]] double predict(const std::vector<double>& row) const;
 
- private:
-  struct Node {
-    int feature = -1;  // -1 = leaf
-    double threshold = 0.0;
-    double prob_one = 0.5;  // leaf payload
-    int left = -1;
-    int right = -1;
-  };
+  // ---- Serialization access (serve::write_forest / read_forest) ----
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  /// Rebuilds a fitted tree from serialized nodes.
+  static DecisionTree from_nodes(std::vector<Node> nodes);
 
+ private:
   int build(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
             std::vector<std::size_t>& indices, int depth, const ForestConfig& config, Rng& rng,
             std::vector<double>& importance);
@@ -68,6 +73,13 @@ class RandomForest {
   [[nodiscard]] const std::vector<double>& feature_importances() const noexcept {
     return importances_;
   }
+
+  // ---- Serialization access (serve::write_forest / read_forest) ----
+  [[nodiscard]] const ForestConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const noexcept { return trees_; }
+  /// Rebuilds a fitted forest from serialized parts.
+  static RandomForest from_parts(ForestConfig config, std::vector<DecisionTree> trees,
+                                 std::vector<double> importances);
 
  private:
   ForestConfig config_;

@@ -159,18 +159,24 @@ StepResult PhaseOrderEnv::step(const std::vector<std::size_t>& action) {
 }
 
 std::vector<double> PhaseOrderEnv::observe() {
+  return build_observation(*working_, histogram_, config_, effective_features_);
+}
+
+std::vector<double> build_observation(const ir::Module& module,
+                                      const std::vector<double>& histogram,
+                                      const EnvConfig& config,
+                                      const std::vector<int>& effective_features) {
   std::vector<double> obs;
-  obs.reserve(observation_size());
-  if (config_.observation != ObservationMode::kActionHistogram) {
-    const auto fv = features::extract_features(*working_);
+  if (config.observation != ObservationMode::kActionHistogram) {
+    const auto fv = features::extract_features(module);
     const double inst_count = static_cast<double>(fv[51]);
-    for (const int f : effective_features_) {
+    for (const int f : effective_features) {
       obs.push_back(normalise_feature(static_cast<double>(fv[static_cast<std::size_t>(f)]),
-                                      config_.normalization, inst_count));
+                                      config.normalization, inst_count));
     }
   }
-  if (config_.observation != ObservationMode::kProgramFeatures) {
-    obs.insert(obs.end(), histogram_.begin(), histogram_.end());
+  if (config.observation != ObservationMode::kProgramFeatures) {
+    obs.insert(obs.end(), histogram.begin(), histogram.end());
   }
   return obs;
 }

@@ -218,4 +218,15 @@ class MultiActionEnv final : public Env {
 std::uint64_t evaluate_sequence_on(const ir::Module& program, const std::vector<int>& sequence,
                                    EvaluationCache& cache);
 
+/// The observation PhaseOrderEnv produces for `module` given the RL-action
+/// histogram `histogram` (size = action arity) and the feature subset
+/// `effective_features` (Table-2 indices). Only config.observation and
+/// config.normalization are consulted. Shared by the training env and the
+/// serving-side greedy/beam decoders so both feed the policy bit-identical
+/// inputs.
+std::vector<double> build_observation(const ir::Module& module,
+                                      const std::vector<double>& histogram,
+                                      const EnvConfig& config,
+                                      const std::vector<int>& effective_features);
+
 }  // namespace autophase::rl

@@ -53,6 +53,10 @@ PpoTrainer::PpoTrainer(runtime::VecEnv& vec, PpoConfig config)
       policy_opt_(policy_, {.lr = config.learning_rate}),
       value_opt_(value_, {.lr = config.learning_rate}) {}
 
+PolicyExport PpoTrainer::export_policy() const noexcept {
+  return {&policy_, &value_, dist_.groups, dist_.arity};
+}
+
 double PpoTrainer::value_of(const std::vector<double>& observation) const {
   const ml::Matrix out = value_.forward(row_matrix(observation));
   return out.at(0, 0);

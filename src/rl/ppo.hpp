@@ -34,6 +34,17 @@ struct PpoConfig {
 /// Vanilla PG preset (background §2.2).
 PpoConfig vanilla_pg_config();
 
+/// Non-owning snapshot of everything the serving layer needs to run a
+/// trained agent outside the trainer: the policy/value networks plus the
+/// factored action-space layout. Consumed by serve::make_artifact, which
+/// copies the weights into a self-contained PolicyArtifact.
+struct PolicyExport {
+  const ml::Mlp* policy = nullptr;
+  const ml::Mlp* value = nullptr;
+  std::size_t action_groups = 1;
+  std::size_t action_arity = 0;
+};
+
 struct IterationStats {
   int iteration = 0;
   double episode_reward_mean = 0.0;
@@ -65,6 +76,8 @@ class PpoTrainer {
   std::vector<std::size_t> act_sample(const std::vector<double>& observation);
 
   [[nodiscard]] const ml::Mlp& policy() const noexcept { return policy_; }
+  /// Export hook for serving: views of the trained nets + action layout.
+  [[nodiscard]] PolicyExport export_policy() const noexcept;
 
  private:
   double value_of(const std::vector<double>& observation) const;

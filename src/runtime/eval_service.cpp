@@ -52,11 +52,15 @@ const EvalService::Shard& EvalService::shard_for(std::uint64_t key) const noexce
 }
 
 std::uint64_t EvalService::cycles(const ir::Module& m, bool* was_sample) {
-  return cycles_by_fingerprint(ir::module_fingerprint(m), m, was_sample);
+  return measure_by_fingerprint(ir::module_fingerprint(m), m, was_sample).cycles;
 }
 
-std::uint64_t EvalService::cycles_by_fingerprint(std::uint64_t fingerprint, const ir::Module& m,
-                                                 bool* was_sample) {
+Measure EvalService::measure(const ir::Module& m, bool* was_sample) {
+  return measure_by_fingerprint(ir::module_fingerprint(m), m, was_sample);
+}
+
+Measure EvalService::measure_by_fingerprint(std::uint64_t fingerprint, const ir::Module& m,
+                                            bool* was_sample) {
   if (was_sample) *was_sample = false;
   Shard& shard = shard_for(fingerprint);
   std::shared_ptr<ModuleEntry> entry;
@@ -79,25 +83,26 @@ std::uint64_t EvalService::cycles_by_fingerprint(std::uint64_t fingerprint, cons
   if (!owner) {
     std::unique_lock<std::mutex> lock(entry->mutex);
     entry->cv.wait(lock, [&] { return entry->ready; });
-    return entry->cycles;
+    return entry->measure;
   }
 
   if (was_sample) *was_sample = true;
-  const auto publish = [&entry](std::uint64_t value) {
+  const auto publish = [&entry](Measure value) {
     {
       const std::lock_guard<std::mutex> lock(entry->mutex);
-      entry->cycles = value;
+      entry->measure = value;
       entry->ready = true;
     }
     entry->cv.notify_all();
   };
-  std::uint64_t cycles = kFailurePenaltyCycles;
+  Measure measure{kFailurePenaltyCycles, 0.0};
   std::uint64_t nanos = 0;
   try {
     const auto t0 = std::chrono::steady_clock::now();
     const auto est = hls::profile_cycles(m, config_.constraints, config_.interp_options);
-    cycles = est.is_ok() ? est.value().cycles : kFailurePenaltyCycles;
-    if (!est.is_ok()) {
+    if (est.is_ok()) {
+      measure = {est.value().cycles, est.value().area};
+    } else {
       AP_LOG_WARN << "evaluation failed (" << est.message() << "); assigning penalty cycles";
     }
     nanos = static_cast<std::uint64_t>(
@@ -107,15 +112,15 @@ std::uint64_t EvalService::cycles_by_fingerprint(std::uint64_t fingerprint, cons
     // The entry MUST be published even on failure (e.g. bad_alloc inside
     // the simulator): waiters block on `ready` and a pending entry that
     // never resolves would deadlock every future caller of this module.
-    publish(kFailurePenaltyCycles);
+    publish({kFailurePenaltyCycles, 0.0});
     throw;
   }
-  publish(cycles);
+  publish(measure);
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.stats.eval_nanos += nanos;
   }
-  return cycles;
+  return measure;
 }
 
 std::uint64_t EvalService::evaluate_sequence(const ir::Module& program,
@@ -126,6 +131,12 @@ std::uint64_t EvalService::evaluate_sequence(const ir::Module& program,
 std::uint64_t EvalService::evaluate_sequence(const ir::Module& program,
                                              std::uint64_t program_fingerprint,
                                              const std::vector<int>& sequence, bool* was_sample) {
+  return measure_sequence(program, program_fingerprint, sequence, was_sample).cycles;
+}
+
+Measure EvalService::measure_sequence(const ir::Module& program,
+                                      std::uint64_t program_fingerprint,
+                                      const std::vector<int>& sequence, bool* was_sample) {
   const std::uint64_t key = sequence_key(program_fingerprint, sequence);
   Shard& shard = shard_for(key);
   {
@@ -142,12 +153,12 @@ std::uint64_t EvalService::evaluate_sequence(const ir::Module& program,
   // simulator exactly once, so sample accounting stays exact.
   auto working = ir::clone_module(program);
   passes::apply_pass_sequence(*working, sequence);
-  const std::uint64_t cycles = this->cycles(*working, was_sample);
+  const Measure measure = this->measure(*working, was_sample);
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.sequences.emplace(key, cycles);
+    shard.sequences.emplace(key, measure);
   }
-  return cycles;
+  return measure;
 }
 
 EvalService::BatchResult EvalService::evaluate_batch(const ir::Module& program,

@@ -50,6 +50,14 @@ struct EvalStats {
 std::uint64_t sequence_key(std::uint64_t program_fingerprint,
                            std::span<const int> sequence) noexcept;
 
+/// One profiler result, cached as a unit. `area` rides along with the cycle
+/// count so objectives beyond raw cycles (e.g. the serving layer's
+/// cycles x area latency-area product) never trigger a second simulation.
+struct Measure {
+  std::uint64_t cycles = 0;
+  double area = 0.0;
+};
+
 class EvalService {
  public:
   explicit EvalService(EvalServiceConfig config = {});
@@ -62,6 +70,9 @@ class EvalService {
   /// one caller per unique module gets `true`; the rest block until the
   /// result is ready and see a hit.
   std::uint64_t cycles(const ir::Module& m, bool* was_sample = nullptr);
+  /// Full cached measurement (cycles + area) of a materialised module; same
+  /// exactly-once semantics as cycles().
+  Measure measure(const ir::Module& m, bool* was_sample = nullptr);
 
   /// (program, sequence) evaluation through the secondary key: a sequence
   /// hit returns without cloning the program or applying a single pass.
@@ -71,6 +82,9 @@ class EvalService {
   /// loops evaluate thousands of sequences against one immutable program).
   std::uint64_t evaluate_sequence(const ir::Module& program, std::uint64_t program_fingerprint,
                                   const std::vector<int>& sequence, bool* was_sample = nullptr);
+  /// Measure variant of the secondary-key path.
+  Measure measure_sequence(const ir::Module& program, std::uint64_t program_fingerprint,
+                           const std::vector<int>& sequence, bool* was_sample = nullptr);
 
   struct BatchResult {
     std::vector<std::uint64_t> cycles;  // cycles[i] belongs to sequences[i]
@@ -104,20 +118,20 @@ class EvalService {
     std::mutex mutex;
     std::condition_variable cv;
     bool ready = false;
-    std::uint64_t cycles = 0;
+    Measure measure;
   };
 
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::uint64_t, std::shared_ptr<ModuleEntry>> modules;
-    std::unordered_map<std::uint64_t, std::uint64_t> sequences;
+    std::unordered_map<std::uint64_t, Measure> sequences;
     EvalStats stats;
   };
 
   Shard& shard_for(std::uint64_t key) noexcept;
   const Shard& shard_for(std::uint64_t key) const noexcept;
-  std::uint64_t cycles_by_fingerprint(std::uint64_t fingerprint, const ir::Module& m,
-                                      bool* was_sample);
+  Measure measure_by_fingerprint(std::uint64_t fingerprint, const ir::Module& m,
+                                 bool* was_sample);
 
   EvalServiceConfig config_;
   std::vector<Shard> shards_;  // size is a power of two

@@ -1,0 +1,96 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "ml/matrix.hpp"
+
+namespace autophase::serve {
+
+std::vector<double> PolicyBatcher::infer(const PolicyArtifact& artifact,
+                                         const std::vector<double>& observation) {
+  return infer_many(artifact, {observation})[0];
+}
+
+std::vector<std::vector<double>> PolicyBatcher::infer_many(
+    const PolicyArtifact& artifact, const std::vector<std::vector<double>>& observations) {
+  if (observations.empty()) return {};
+  std::vector<Pending> slots(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    slots[i].artifact = &artifact;
+    slots[i].observation = &observations[i];
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto& slot : slots) pending_.push_back(&slot);
+  cv_.notify_all();
+
+  const auto mine_done = [&slots] {
+    return std::all_of(slots.begin(), slots.end(), [](const Pending& p) { return p.done; });
+  };
+  while (!mine_done()) {
+    if (leader_active_) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Leader: gather co-riders, run batches until this call's rows are done,
+    // then hand leadership to whoever still waits.
+    leader_active_ = true;
+    if (config_.window.count() > 0 && pending_.size() < config_.max_batch) {
+      const auto deadline = std::chrono::steady_clock::now() + config_.window;
+      cv_.wait_until(lock, deadline,
+                     [this] { return pending_.size() >= config_.max_batch; });
+    }
+    while (!pending_.empty() && !mine_done()) {
+      const std::size_t take = std::min(pending_.size(), config_.max_batch);
+      std::vector<Pending*> batch(pending_.begin(),
+                                  pending_.begin() + static_cast<std::ptrdiff_t>(take));
+      pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
+      lock.unlock();
+      run_batch(batch);  // fills logits; completion is published under the lock
+      lock.lock();
+      for (Pending* p : batch) p->done = true;
+      cv_.notify_all();
+    }
+    leader_active_ = false;
+    cv_.notify_all();
+  }
+  std::vector<std::vector<double>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(slot.logits));
+  return out;
+}
+
+void PolicyBatcher::run_batch(std::vector<Pending*> batch) {
+  // One forward per distinct model in the batch, rows in arrival order.
+  std::vector<bool> grouped(batch.size(), false);
+  std::uint64_t groups = 0;
+  std::size_t max_rows = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (grouped[i]) continue;
+    std::vector<std::size_t> members;
+    std::vector<std::vector<double>> rows;
+    for (std::size_t j = i; j < batch.size(); ++j) {
+      if (!grouped[j] && batch[j]->artifact == batch[i]->artifact) {
+        grouped[j] = true;
+        members.push_back(j);
+        rows.push_back(*batch[j]->observation);
+      }
+    }
+    const ml::Matrix logits = batch[i]->artifact->policy.forward_batch(rows);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      batch[members[k]]->logits.assign(logits.row(k), logits.row(k) + logits.cols());
+    }
+    ++groups;
+    max_rows = std::max(max_rows, members.size());
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.batches += groups;
+  stats_.rows += batch.size();
+  stats_.max_batch_rows = std::max(stats_.max_batch_rows, max_rows);
+}
+
+BatcherStats PolicyBatcher::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace autophase::serve

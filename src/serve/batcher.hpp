@@ -1,0 +1,73 @@
+// Cross-request policy-inference batching. Serving workers blocked in
+// infer()/infer_many() are collected by a leader (the first arrival), their
+// observations stacked per model into one matrix and pushed through a single
+// ml::Mlp::forward_batch — concurrent requests share one matmul. Because each
+// output row of a forward pass is an independent dot-product chain, the
+// logits a request sees are bit-identical whether its observation ran alone
+// or folded into a batch of 16: batching changes latency and throughput,
+// never answers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/artifact.hpp"
+
+namespace autophase::serve {
+
+struct BatcherConfig {
+  /// Rows folded into one forward pass at most.
+  std::size_t max_batch = 16;
+  /// How long the leader waits for co-riders before launching a partial
+  /// batch. Zero disables the wait (each arrival batch = whatever is queued).
+  std::chrono::microseconds window{200};
+};
+
+struct BatcherStats {
+  std::uint64_t batches = 0;        // forward_batch calls
+  std::uint64_t rows = 0;           // observations inferred
+  std::size_t max_batch_rows = 0;   // largest single batch
+};
+
+class PolicyBatcher {
+ public:
+  explicit PolicyBatcher(BatcherConfig config = {}) : config_(config) {}
+
+  PolicyBatcher(const PolicyBatcher&) = delete;
+  PolicyBatcher& operator=(const PolicyBatcher&) = delete;
+
+  /// Policy logits for one observation (blocking; may ride a shared batch).
+  std::vector<double> infer(const PolicyArtifact& artifact,
+                            const std::vector<double>& observation);
+
+  /// Logits for several observations of one model (a beam front submits all
+  /// its rows at once so they batch with each other as well as with other
+  /// requests). Result i corresponds to observations[i].
+  std::vector<std::vector<double>> infer_many(const PolicyArtifact& artifact,
+                                              const std::vector<std::vector<double>>& observations);
+
+  [[nodiscard]] BatcherStats stats() const;
+
+ private:
+  struct Pending {
+    const PolicyArtifact* artifact = nullptr;
+    const std::vector<double>* observation = nullptr;
+    std::vector<double> logits;
+    bool done = false;
+  };
+
+  /// Executes one batch (outside the queue lock), fulfilling every entry.
+  void run_batch(std::vector<Pending*> batch);
+
+  BatcherConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Pending*> pending_;
+  bool leader_active_ = false;
+  BatcherStats stats_;
+};
+
+}  // namespace autophase::serve

@@ -1,0 +1,432 @@
+#include "serve/compile_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "features/features.hpp"
+#include "ir/clone.hpp"
+#include "ml/distributions.hpp"
+#include "passes/pass.hpp"
+#include "rl/env.hpp"
+#include "support/str.hpp"
+
+namespace autophase::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t nanos_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// One decode hypothesis: the materialised module plus the state the
+/// observation builder needs.
+struct Beam {
+  std::unique_ptr<ir::Module> module;
+  std::vector<int> sequence;
+  std::vector<double> histogram;
+  double score = 0.0;  // cumulative policy log-probability
+};
+
+ml::Matrix row_matrix(const std::vector<double>& v) {
+  ml::Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.row(0));
+  return m;
+}
+
+/// Undoes the env's reward shaping to express a predicted return in cycles.
+double predicted_improvement(double value, bool log_reward) {
+  if (!log_reward) return value;
+  return value >= 0 ? std::expm1(value) : -std::expm1(-value);
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
+                                      const CompileRequest& request,
+                                      runtime::EvalService& eval, PolicyBatcher* batcher) {
+  if (request.module == nullptr) return Status::error("compile request has no module");
+  if (artifact.action_groups != 1) {
+    return Status::error("serving requires a single-action policy (action_groups == 1)");
+  }
+
+  // Action/feature tables exactly as the training env derived them.
+  std::vector<int> actions;
+  if (artifact.spec.action_subset.empty()) {
+    for (int i = 0; i < passes::kNumPasses; ++i) actions.push_back(i);
+  } else {
+    actions = artifact.spec.action_subset;
+  }
+  const bool has_terminate = artifact.spec.include_terminate;
+  const std::size_t arity = actions.size() + (has_terminate ? 1 : 0);
+  if (arity != artifact.action_arity) {
+    return Status::error(strf("artifact action table mismatch (spec arity %zu, net arity %zu)",
+                              arity, artifact.action_arity));
+  }
+  // A checksum guards integrity, not shape consistency: a policy whose
+  // output row is narrower than the action space would send the decoder
+  // reading past the logits buffer.
+  if (artifact.policy.config().output != arity) {
+    return Status::error(strf("policy output width %zu does not match action arity %zu",
+                              artifact.policy.config().output, arity));
+  }
+  std::vector<int> features;
+  if (artifact.spec.feature_subset.empty()) {
+    for (int i = 0; i < features::kNumFeatures; ++i) features.push_back(i);
+  } else {
+    features = artifact.spec.feature_subset;
+  }
+  const rl::EnvConfig obs_config = env_config_of(artifact.spec);
+
+  const int budget = request.objective == Objective::kFixedBudget
+                         ? std::max(1, request.pass_budget)
+                         : std::max(1, artifact.spec.episode_length);
+  const std::size_t beam_width = static_cast<std::size_t>(std::max(1, request.beam_width));
+
+  if (!artifact.normalizer.identity() &&
+      artifact.normalizer.mean.size() != artifact.policy.config().input) {
+    return Status::error("artifact normalizer length does not match policy input");
+  }
+
+  const auto t0 = Clock::now();
+  const auto observe = [&](const Beam& beam) {
+    std::vector<double> obs =
+        rl::build_observation(*beam.module, beam.histogram, obs_config, features);
+    artifact.normalizer.apply(obs);
+    return obs;
+  };
+
+  std::vector<Beam> live;
+  live.push_back(
+      {ir::clone_module(*request.module), {}, std::vector<double>(arity, 0.0), 0.0});
+  const std::vector<double> root_observation = observe(live[0]);
+  if (root_observation.size() != artifact.policy.config().input) {
+    return Status::error(strf("observation size %zu does not match policy input %zu",
+                              root_observation.size(), artifact.policy.config().input));
+  }
+
+  std::vector<Beam> finished;
+  for (int step = 0; step < budget && !live.empty(); ++step) {
+    // One stacked forward for the whole beam front; through the batcher the
+    // rows additionally fold with other requests in flight.
+    std::vector<std::vector<double>> observations;
+    observations.reserve(live.size());
+    if (step == 0) {
+      observations.push_back(root_observation);  // only the root beam exists
+    } else {
+      for (const Beam& beam : live) observations.push_back(observe(beam));
+    }
+    std::vector<std::vector<double>> logits;
+    if (batcher != nullptr) {
+      logits = batcher->infer_many(artifact, observations);
+    } else {
+      const ml::Matrix out = artifact.policy.forward_batch(observations);
+      for (std::size_t r = 0; r < out.rows(); ++r) {
+        logits.emplace_back(out.row(r), out.row(r) + out.cols());
+      }
+    }
+
+    // Expand: per beam, its top-k actions; overall, the top-k candidates.
+    // Every tiebreak is on (parent index, action index), so the expansion
+    // order — and therefore the served sequence — is deterministic.
+    struct Candidate {
+      std::size_t parent;
+      std::size_t action;
+      double score;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t b = 0; b < live.size(); ++b) {
+      std::vector<std::size_t> order(arity);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        if (logits[b][x] != logits[b][y]) return logits[b][x] > logits[b][y];
+        return x < y;
+      });
+      const std::size_t expand = std::min(beam_width, arity);
+      for (std::size_t k = 0; k < expand; ++k) {
+        const std::size_t a = order[k];
+        candidates.push_back({b, a, live[b].score + ml::log_prob(logits[b].data(), arity, a)});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [](const Candidate& x, const Candidate& y) {
+      if (x.score != y.score) return x.score > y.score;
+      if (x.parent != y.parent) return x.parent < y.parent;
+      return x.action < y.action;
+    });
+    if (candidates.size() > beam_width) candidates.resize(beam_width);
+
+    // Materialise survivors. The last candidate to use a parent steals its
+    // module instead of cloning — greedy decoding never clones after step 0.
+    std::vector<int> uses(live.size(), 0);
+    for (const Candidate& c : candidates) ++uses[c.parent];
+    std::vector<Beam> next;
+    for (const Candidate& c : candidates) {
+      Beam child;
+      child.sequence = live[c.parent].sequence;
+      child.histogram = live[c.parent].histogram;
+      child.score = c.score;
+      child.module = --uses[c.parent] == 0 ? std::move(live[c.parent].module)
+                                           : ir::clone_module(*live[c.parent].module);
+      if (has_terminate && c.action + 1 == arity) {
+        finished.push_back(std::move(child));
+        continue;
+      }
+      const int pass_index = actions[c.action];
+      passes::apply_pass(*child.module, pass_index);
+      child.histogram[c.action] += 1.0;
+      child.sequence.push_back(pass_index);
+      next.push_back(std::move(child));
+    }
+    live = std::move(next);
+  }
+  for (Beam& beam : live) finished.push_back(std::move(beam));
+  // Keep only the beam_width most probable finalists for measurement (early
+  // terminations can otherwise pile up finalists beyond the beam width).
+  std::stable_sort(finished.begin(), finished.end(),
+                   [](const Beam& a, const Beam& b) { return a.score > b.score; });
+  if (finished.size() > beam_width) finished.resize(beam_width);
+
+  // Rank finalists by the *measured* objective through the shared service.
+  const runtime::Measure baseline = eval.measure(*request.module);
+  std::size_t best = 0;
+  double best_score = 0.0;
+  runtime::Measure best_measure;
+  for (std::size_t i = 0; i < finished.size(); ++i) {
+    const runtime::Measure m = eval.measure(*finished[i].module);
+    const double score = request.objective == Objective::kCyclesTimesArea
+                             ? static_cast<double>(m.cycles) * m.area
+                             : static_cast<double>(m.cycles);
+    if (i == 0 || score < best_score) {
+      best = i;
+      best_score = score;
+      best_measure = m;
+    }
+  }
+
+  std::uint64_t predicted = baseline.cycles;
+  if (artifact.value.has_value()) {
+    const double value = artifact.value->forward(row_matrix(root_observation)).at(0, 0);
+    const double improvement = predicted_improvement(value, artifact.spec.log_reward);
+    const double estimate = std::max(0.0, static_cast<double>(baseline.cycles) - improvement);
+    predicted = static_cast<std::uint64_t>(estimate);
+  }
+
+  CompileResponse response;
+  response.module = std::move(finished[best].module);
+  response.provenance = {artifact.name,
+                         artifact.version,
+                         std::move(finished[best].sequence),
+                         baseline.cycles,
+                         predicted,
+                         best_measure.cycles,
+                         best_measure.area,
+                         static_cast<int>(finished.size())};
+  response.serve_nanos = nanos_between(t0, Clock::now());
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// CompileService
+// ---------------------------------------------------------------------------
+
+CompileService::CompileService(std::shared_ptr<ModelRegistry> registry,
+                               std::shared_ptr<runtime::EvalService> eval,
+                               CompileServiceConfig config)
+    : registry_(std::move(registry)),
+      eval_(std::move(eval)),
+      config_(config),
+      batcher_(config.batcher),
+      started_(Clock::now()),
+      pool_(std::max<std::size_t>(1, config.workers)) {
+  if (eval_ == nullptr) eval_ = std::make_shared<runtime::EvalService>();
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+CompileService::~CompileService() { shutdown(); }
+
+void CompileService::shutdown() {
+  std::vector<Job> cancelled;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      stopping_ = true;
+      // With zero workers nothing can drain, so a "draining" shutdown would
+      // strand queued promises; cancel explicitly instead.
+      if (!config_.drain_on_shutdown || config_.workers == 0) {
+        cancelled = std::move(queue_);
+        queue_.clear();
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (Job& job : cancelled) {
+    job.promise.set_value(Status::error("cancelled: compile service shut down"));
+  }
+  if (!cancelled.empty()) {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    cancelled_ += cancelled.size();
+  }
+  // Workers wake, drain whatever remains, and exit; only then does the pool
+  // join — queued work never races member teardown.
+  pool_.shutdown(ThreadPool::ShutdownMode::kDrain);
+}
+
+void CompileService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and nothing left to drain
+      std::pop_heap(queue_.begin(), queue_.end(), JobOrder{});
+      job = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    space_cv_.notify_one();
+    finish_job(std::move(job));
+  }
+}
+
+void CompileService::finish_job(Job job) {
+  const auto start = Clock::now();
+  Result<CompileResponse> result = run_request(job.request, &batcher_);
+  const bool ok = result.is_ok();
+  if (ok) result.value().queue_nanos = nanos_between(job.enqueued, start);
+  const double total_ms =
+      static_cast<double>(nanos_between(job.enqueued, Clock::now())) / 1e6;
+  {
+    // Metrics are recorded *before* the promise resolves, so a caller that
+    // just observed its future can already see the request in metrics().
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    if (ok) {
+      ++completed_;
+    } else {
+      ++failed_;
+    }
+    if (latencies_ms_.size() < kLatencyWindow) {
+      latencies_ms_.push_back(total_ms);
+    } else {
+      latencies_ms_[latency_next_] = total_ms;
+    }
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+  job.promise.set_value(std::move(result));
+}
+
+Result<CompileResponse> CompileService::run_request(const CompileRequest& request,
+                                                    PolicyBatcher* batcher) {
+  const std::shared_ptr<const PolicyArtifact> artifact =
+      registry_->get(request.model, request.version);
+  if (artifact == nullptr) {
+    return Status::error(strf("unknown model '%s' (version %lld)", request.model.c_str(),
+                              static_cast<long long>(request.version)));
+  }
+  return serve_compile(*artifact, request, *eval_, batcher);
+}
+
+Result<CompileResponse> CompileService::compile_sync(const CompileRequest& request) {
+  return run_request(request, nullptr);
+}
+
+CompileService::ResponseFuture CompileService::rejected_future() {
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++rejected_;
+  }
+  std::promise<Result<CompileResponse>> promise;
+  promise.set_value(Status::error("rejected: compile service is shut down"));
+  return promise.get_future();
+}
+
+CompileService::ResponseFuture CompileService::enqueue_locked(
+    CompileRequest request, std::unique_lock<std::mutex>& lock) {
+  Job job;
+  job.request = std::move(request);
+  job.sequence = next_sequence_++;
+  job.enqueued = Clock::now();
+  ResponseFuture future = job.promise.get_future();
+  queue_.push_back(std::move(job));
+  std::push_heap(queue_.begin(), queue_.end(), JobOrder{});
+  const std::size_t depth = queue_.size();
+  lock.unlock();
+  queue_cv_.notify_one();
+  const std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+  return future;
+}
+
+CompileService::ResponseFuture CompileService::submit(CompileRequest request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Backpressure: a full queue blocks the submitter instead of growing.
+  space_cv_.wait(lock,
+                 [this] { return stopping_ || queue_.size() < config_.queue_capacity; });
+  if (stopping_) {
+    lock.unlock();
+    return rejected_future();
+  }
+  return enqueue_locked(std::move(request), lock);
+}
+
+std::optional<CompileService::ResponseFuture> CompileService::try_submit(
+    CompileRequest request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ || queue_.size() >= config_.queue_capacity) {
+    lock.unlock();
+    const std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    ++rejected_;
+    return std::nullopt;
+  }
+  return enqueue_locked(std::move(request), lock);
+}
+
+std::size_t CompileService::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ServeMetrics CompileService::metrics() const {
+  ServeMetrics m;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    m.queue_depth = queue_.size();
+  }
+  std::vector<double> latencies;
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    m.completed = completed_;
+    m.failed = failed_;
+    m.rejected = rejected_;
+    m.cancelled = cancelled_;
+    m.max_queue_depth = max_queue_depth_;
+    latencies = latencies_ms_;
+  }
+  m.wall_seconds = static_cast<double>(nanos_between(started_, Clock::now())) / 1e9;
+  m.throughput_rps =
+      m.wall_seconds > 0 ? static_cast<double>(m.completed) / m.wall_seconds : 0.0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    m.latency.p50_ms = quantile(latencies, 0.5);
+    m.latency.p95_ms = quantile(latencies, 0.95);
+    m.latency.max_ms = latencies.back();
+    m.latency.mean_ms =
+        std::accumulate(latencies.begin(), latencies.end(), 0.0) /
+        static_cast<double>(latencies.size());
+  }
+  m.batcher = batcher_.stats();
+  return m;
+}
+
+}  // namespace autophase::serve

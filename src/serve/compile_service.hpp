@@ -1,0 +1,202 @@
+// Phase-ordering-as-a-service: accepts compile requests (a module + an
+// objective), decodes a pass sequence from a registered policy (greedy or
+// top-k beam over policy log-probability), measures the result through the
+// shared runtime::EvalService, and returns the optimized module with a
+// provenance record. Requests flow through a bounded priority queue into a
+// worker pool whose policy forwards are folded across requests by a
+// PolicyBatcher; overflow produces backpressure instead of unbounded memory.
+// Decoding is deterministic — no RNG anywhere on the serve path — so the
+// concurrent worker path returns bit-identical pass sequences to
+// compile_sync() on one thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "runtime/eval_service.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "support/status.hpp"
+#include "support/thread_pool.hpp"
+
+namespace autophase::serve {
+
+enum class Objective : std::uint8_t {
+  kCycles,           // minimise measured cycles
+  kCyclesTimesArea,  // minimise the cycles x area latency-area product
+  kFixedBudget,      // best cycles using at most `pass_budget` passes
+};
+
+struct CompileRequest {
+  const ir::Module* module = nullptr;
+  Objective objective = Objective::kCycles;
+  /// Sequence-length cap for kFixedBudget; the other objectives decode for
+  /// the model's trained episode length.
+  int pass_budget = 8;
+  /// 1 = greedy decode; >1 = beam of this width scored by cumulative policy
+  /// log-probability, finalists ranked by the measured objective.
+  int beam_width = 1;
+  std::string model;
+  std::int64_t version = 0;  // <= 0 selects the latest
+  int priority = 0;          // higher pops first; FIFO within a priority
+};
+
+struct Provenance {
+  std::string model;
+  std::uint32_t version = 0;
+  std::vector<int> sequence;          // Table-1 indices actually applied
+  std::uint64_t baseline_cycles = 0;  // unoptimised module
+  std::uint64_t predicted_cycles = 0; // value-net estimate, before measuring
+  std::uint64_t measured_cycles = 0;  // EvalService-measured result
+  double measured_area = 0.0;
+  int beams_evaluated = 1;            // finalists measured for the objective
+};
+
+struct CompileResponse {
+  std::unique_ptr<ir::Module> module;  // optimized clone of the request module
+  Provenance provenance;
+  std::uint64_t queue_nanos = 0;  // time spent waiting for a worker
+  std::uint64_t serve_nanos = 0;  // decode + measurement time
+};
+
+struct LatencyQuantiles {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct ServeMetrics {
+  std::size_t completed = 0;
+  std::size_t failed = 0;     // resolved with an error status
+  std::size_t rejected = 0;   // bounced by backpressure / shutdown
+  std::size_t cancelled = 0;  // queued work dropped by a cancelling shutdown
+  std::size_t queue_depth = 0;
+  std::size_t max_queue_depth = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;  // completed / wall_seconds
+  /// submit -> response, over the most recent kLatencyWindow requests (a
+  /// bounded reservoir: a long-lived service must not grow per-request).
+  LatencyQuantiles latency;
+  BatcherStats batcher;
+};
+
+struct CompileServiceConfig {
+  /// Worker threads. 0 is a valid inline-only configuration: nothing drains
+  /// the queue (compile_sync still works), which tests use to pin down
+  /// backpressure and cancellation deterministically.
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  BatcherConfig batcher{};
+  /// On shutdown/destruction: finish queued requests (true) or cancel them
+  /// with an error response (false).
+  bool drain_on_shutdown = true;
+};
+
+/// Decodes and measures one request against a resolved artifact — the shared
+/// core of the worker path and compile_sync. `batcher` is optional; without
+/// one, policy forwards run inline (still via forward_batch for beam fronts).
+Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
+                                      const CompileRequest& request,
+                                      runtime::EvalService& eval, PolicyBatcher* batcher);
+
+class CompileService {
+ public:
+  using ResponseFuture = std::future<Result<CompileResponse>>;
+
+  /// Latency samples retained for the metrics quantiles (ring buffer).
+  static constexpr std::size_t kLatencyWindow = 4096;
+
+  CompileService(std::shared_ptr<ModelRegistry> registry,
+                 std::shared_ptr<runtime::EvalService> eval, CompileServiceConfig config = {});
+  ~CompileService();
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Bounded enqueue. Blocks while the queue is full (backpressure); after
+  /// shutdown the future resolves immediately with a rejection status.
+  ResponseFuture submit(CompileRequest request);
+  /// Non-blocking variant: nullopt when the queue is full or shut down.
+  std::optional<ResponseFuture> try_submit(CompileRequest request);
+
+  /// Single-threaded reference path: runs the request inline on the caller
+  /// thread — no queue, no cross-request batching. Produces bit-identical
+  /// pass sequences to the worker path by construction.
+  Result<CompileResponse> compile_sync(const CompileRequest& request);
+
+  /// Idempotent; honours config.drain_on_shutdown. Called by the destructor,
+  /// which therefore never races queued work against member teardown.
+  void shutdown();
+
+  [[nodiscard]] ServeMetrics metrics() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const std::shared_ptr<runtime::EvalService>& eval_service() const noexcept {
+    return eval_;
+  }
+
+ private:
+  struct Job {
+    CompileRequest request;
+    std::promise<Result<CompileResponse>> promise;
+    std::uint64_t sequence = 0;  // FIFO tiebreak within a priority level
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  /// Max-heap order: higher priority first, then earlier submission.
+  struct JobOrder {
+    bool operator()(const Job& a, const Job& b) const noexcept {
+      if (a.request.priority != b.request.priority) {
+        return a.request.priority < b.request.priority;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void worker_loop();
+  Result<CompileResponse> run_request(const CompileRequest& request, PolicyBatcher* batcher);
+  ResponseFuture rejected_future();
+  /// Shared tail of submit/try_submit: builds the job, pushes it onto the
+  /// heap, and handles wakeups + depth bookkeeping. Consumes `lock` (held on
+  /// entry, released before notifying).
+  ResponseFuture enqueue_locked(CompileRequest request, std::unique_lock<std::mutex>& lock);
+  void finish_job(Job job);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  std::shared_ptr<runtime::EvalService> eval_;
+  CompileServiceConfig config_;
+  PolicyBatcher batcher_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  // workers: work available / stopping
+  std::condition_variable space_cv_;  // submitters: capacity available
+  std::vector<Job> queue_;            // heap under JobOrder
+  std::uint64_t next_sequence_ = 0;
+  bool stopping_ = false;
+
+  mutable std::mutex metrics_mutex_;
+  std::vector<double> latencies_ms_;  // ring of the last kLatencyWindow samples
+  std::size_t latency_next_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t max_queue_depth_ = 0;
+
+  /// Declared last so it is destroyed first; shutdown() has already stopped
+  /// the queue by the time the pool joins its workers.
+  ThreadPool pool_;
+};
+
+}  // namespace autophase::serve

@@ -1,0 +1,79 @@
+#include "serve/model_registry.hpp"
+
+#include <fstream>
+
+#include "serve/serialization.hpp"
+
+namespace autophase::serve {
+
+std::uint32_t ModelRegistry::publish(const std::string& name, PolicyArtifact artifact) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& versions = models_[name];
+  const std::uint32_t version = versions.empty() ? 1 : versions.rbegin()->first + 1;
+  artifact.name = name;
+  artifact.version = version;
+  versions.emplace(version, std::make_shared<const PolicyArtifact>(std::move(artifact)));
+  return version;
+}
+
+std::shared_ptr<const PolicyArtifact> ModelRegistry::get(const std::string& name,
+                                                         std::int64_t version) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end() || it->second.empty()) return nullptr;
+  if (version <= 0) return it->second.rbegin()->second;
+  const auto vit = it->second.find(static_cast<std::uint32_t>(version));
+  return vit == it->second.end() ? nullptr : vit->second;
+}
+
+std::vector<ModelRegistry::ModelKey> ModelRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelKey> out;
+  for (const auto& [name, versions] : models_) {
+    for (const auto& [version, artifact] : versions) out.push_back({name, version});
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, versions] : models_) n += versions.size();
+  return n;
+}
+
+Result<std::string> ModelRegistry::export_model(const std::string& name,
+                                                std::int64_t version) const {
+  const std::shared_ptr<const PolicyArtifact> artifact = get(name, version);
+  if (artifact == nullptr) return Status::error("export: unknown model " + name);
+  return serialize_artifact(*artifact);
+}
+
+Result<ModelRegistry::ModelKey> ModelRegistry::import_model(std::string_view bytes) {
+  auto artifact = deserialize_artifact(bytes);
+  if (!artifact.is_ok()) return artifact.status();
+  PolicyArtifact value = std::move(artifact).value();
+  if (value.name.empty()) return Status::error("import: artifact has no name");
+  ModelKey key{value.name, value.version == 0 ? 1 : value.version};
+  value.version = key.version;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  models_[key.name][key.version] = std::make_shared<const PolicyArtifact>(std::move(value));
+  return key;
+}
+
+Status ModelRegistry::export_file(const std::string& name, std::int64_t version,
+                                  const std::string& path) const {
+  const std::shared_ptr<const PolicyArtifact> artifact = get(name, version);
+  if (artifact == nullptr) return Status::error("export: unknown model " + name);
+  return save_artifact_file(*artifact, path);
+}
+
+Result<ModelRegistry::ModelKey> ModelRegistry::import_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::error("cannot open for reading: " + path);
+  const std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::error("read failed: " + path);
+  return import_model(bytes);
+}
+
+}  // namespace autophase::serve

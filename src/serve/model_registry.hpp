@@ -1,0 +1,63 @@
+// Thread-safe versioned model store, the hand-off point between training and
+// serving. publish() assigns monotonically increasing versions per name;
+// get() hands out immutable shared snapshots, so a model can be upgraded
+// under live traffic while in-flight requests keep serving the version they
+// resolved. Binary export/import (serve/serialization.hpp) moves models
+// between processes with their name + version identity intact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/artifact.hpp"
+#include "support/status.hpp"
+
+namespace autophase::serve {
+
+class ModelRegistry {
+ public:
+  struct ModelKey {
+    std::string name;
+    std::uint32_t version = 0;
+  };
+
+  /// Stores the artifact under `name` with the next version number (1-based)
+  /// and returns that version. The artifact's name/version fields are
+  /// stamped accordingly.
+  std::uint32_t publish(const std::string& name, PolicyArtifact artifact);
+
+  /// Immutable snapshot; version <= 0 selects the latest. Null when the
+  /// name/version is unknown.
+  [[nodiscard]] std::shared_ptr<const PolicyArtifact> get(const std::string& name,
+                                                          std::int64_t version = 0) const;
+
+  [[nodiscard]] std::vector<ModelKey> list() const;
+  /// Total artifacts across all names and versions.
+  [[nodiscard]] std::size_t size() const;
+
+  // ---- Binary transport between processes ----
+  [[nodiscard]] Result<std::string> export_model(const std::string& name,
+                                                 std::int64_t version = 0) const;
+  /// Installs a serialized artifact under its embedded name + version
+  /// (overwriting that exact version if present, so re-imports are
+  /// idempotent). Later publishes continue above the imported version.
+  Result<ModelKey> import_model(std::string_view bytes);
+
+  Status export_file(const std::string& name, std::int64_t version,
+                     const std::string& path) const;
+  Result<ModelKey> import_file(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  /// name -> version -> artifact (ordered so rbegin() is the latest).
+  std::unordered_map<std::string, std::map<std::uint32_t, std::shared_ptr<const PolicyArtifact>>>
+      models_;
+};
+
+}  // namespace autophase::serve

@@ -1,0 +1,87 @@
+// Versioned binary serialization for trained artifacts, so training and
+// serving are separate processes: a trainer exports a PolicyArtifact blob,
+// the serving fleet imports it into its ModelRegistry. The format is
+// little-endian, length-prefixed, framed with a magic + format version and
+// an FNV-1a payload checksum, and round-trips every weight bit-exactly
+// (doubles travel as their raw 64-bit patterns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/artifact.hpp"
+#include "support/status.hpp"
+
+namespace autophase::serve {
+
+/// Bumped whenever the payload layout changes; readers reject newer formats.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Little-endian append-only byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  /// Raw IEEE-754 bit pattern — bit-exact round trip, NaNs included.
+  void f64(double v);
+  void str(std::string_view v);
+  void f64_vec(const std::vector<double>& v);
+  void i32_vec(const std::vector<int>& v);
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a serialized blob. Out-of-bounds or oversized
+/// reads set a sticky error flag (and return zero values) instead of
+/// throwing — callers check ok() once per decoded unit.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  double f64();
+  std::string str();
+  std::vector<double> f64_vec();
+  std::vector<int> i32_vec();
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  bool take(void* out, std::size_t n);
+  /// Guards length prefixes against truncated/corrupt blobs: a count may
+  /// never promise more payload than bytes remaining.
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Component codecs (shared by the artifact format and future snapshots) ----
+void write_mlp(ByteWriter& w, const ml::Mlp& net);
+Result<ml::Mlp> read_mlp(ByteReader& r);
+void write_forest(ByteWriter& w, const ml::RandomForest& forest);
+Result<ml::RandomForest> read_forest(ByteReader& r);
+void write_normalizer(ByteWriter& w, const FeatureNormalizer& normalizer);
+Result<FeatureNormalizer> read_normalizer(ByteReader& r);
+
+// ---- Artifact framing ----
+std::string serialize_artifact(const PolicyArtifact& artifact);
+Result<PolicyArtifact> deserialize_artifact(std::string_view bytes);
+
+Status save_artifact_file(const PolicyArtifact& artifact, const std::string& path);
+Result<PolicyArtifact> load_artifact_file(const std::string& path);
+
+}  // namespace autophase::serve

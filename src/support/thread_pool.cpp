@@ -12,13 +12,28 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(ShutdownMode::kDrain); }
+
+void ThreadPool::shutdown(ShutdownMode mode) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    std::queue<std::packaged_task<void()>> discarded;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!stopping_) {
+        stopping_ = true;
+        cancel_ = mode == ShutdownMode::kCancel;
+      }
+      if (cancel_) discarded.swap(tasks_);
+    }
+    // `discarded` dies here — outside the queue lock and *before* the join:
+    // every unrun task breaks its promise immediately, so callers blocked on
+    // those futures are released even while a running task still finishes.
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -26,7 +41,11 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto future = packaged.get_future();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(packaged));
+    // After shutdown the task is dropped on the floor (broken promise)
+    // rather than enqueued onto a queue no worker will ever drain.
+    if (!stopping_) {
+      tasks_.push(std::move(packaged));
+    }
   }
   cv_.notify_one();
   return future;
@@ -61,7 +80,7 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
+      if (stopping_ && (cancel_ || tasks_.empty())) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }

@@ -15,13 +15,28 @@ namespace autophase {
 
 class ThreadPool {
  public:
+  /// What happens to still-queued tasks when the pool stops: kDrain runs
+  /// every one of them before the workers exit; kCancel discards them (their
+  /// futures observe std::future_error{broken_promise}).
+  enum class ShutdownMode { kDrain, kCancel };
+
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; the returned future resolves when it has run.
+  /// Stops the pool and joins the workers. Idempotent and safe to call from
+  /// multiple threads; the first caller's mode wins. Cancelled tasks break
+  /// their promises *before* the join, so a caller blocked on a queued
+  /// future is released even while a running task is still finishing — this
+  /// is what lets an owner (e.g. serve::CompileService) destroy a pool with
+  /// work still queued without dangling references into freed state.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  /// Enqueue a task; the returned future resolves when it has run. After
+  /// shutdown() the task is never enqueued and the future reports
+  /// broken_promise instead.
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
@@ -39,7 +54,9 @@ class ThreadPool {
   std::queue<std::packaged_task<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::mutex join_mutex_;  // serialises concurrent shutdown() callers
   bool stopping_ = false;
+  bool cancel_ = false;
 };
 
 }  // namespace autophase

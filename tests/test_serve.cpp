@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "passes/pass.hpp"
+#include "progen/chstone_like.hpp"
+#include "rl/env.hpp"
+#include "rl/ppo.hpp"
+#include "serve/batcher.hpp"
+#include "serve/compile_service.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/serialization.hpp"
+#include "support/thread_pool.hpp"
+
+namespace autophase::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+ml::Mlp random_mlp(std::size_t input, std::size_t output, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::MlpConfig c;
+  c.input = input;
+  c.hidden = {8, 8};
+  c.output = output;
+  return ml::Mlp(c, rng);
+}
+
+/// Histogram-only observations keep serve steps cheap (no feature
+/// extraction) while exercising the full decode/measure path.
+rl::EnvConfig tiny_env_config() {
+  rl::EnvConfig cfg;
+  cfg.episode_length = 4;
+  cfg.observation = rl::ObservationMode::kActionHistogram;
+  return cfg;
+}
+
+/// Artifact exported from a freshly initialised PPO trainer (deterministic
+/// per seed). iterations = 0 skips training — serving only needs weights.
+PolicyArtifact make_test_artifact(const ir::Module* program, const rl::EnvConfig& cfg,
+                                  std::uint64_t seed) {
+  rl::PhaseOrderEnv env({program}, cfg);
+  rl::PpoConfig ppo;
+  ppo.hidden = {12};
+  ppo.seed = seed;
+  rl::PpoTrainer trainer(env, ppo);
+  return make_artifact(trainer.export_policy(), cfg);
+}
+
+ml::RandomForest fitted_forest(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    x.push_back({a, b, rng.uniform()});
+    y.push_back(a + b > 1.0 ? 1 : 0);
+  }
+  ml::ForestConfig cfg;
+  cfg.num_trees = 5;
+  cfg.max_depth = 4;
+  cfg.seed = seed;
+  ml::RandomForest forest(cfg);
+  forest.fit(x, y);
+  return forest;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round trips
+// ---------------------------------------------------------------------------
+
+TEST(ServeSerialization, MlpRoundTripBitExact) {
+  const ml::Mlp net = random_mlp(7, 5, 42);
+  ByteWriter w;
+  write_mlp(w, net);
+  ByteReader r(w.bytes());
+  auto loaded = read_mlp(r);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(net.flatten(), loaded.value().flatten());  // bit-exact doubles
+  EXPECT_EQ(net.config().hidden, loaded.value().config().hidden);
+  ByteWriter again;
+  write_mlp(again, loaded.value());
+  EXPECT_EQ(w.bytes(), again.bytes());
+}
+
+TEST(ServeSerialization, ForestRoundTripBitExact) {
+  const ml::RandomForest forest = fitted_forest(7);
+  ByteWriter w;
+  write_forest(w, forest);
+  ByteReader r(w.bytes());
+  auto loaded = read_forest(r);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  EXPECT_EQ(forest.feature_importances(), loaded.value().feature_importances());
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> row = {rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_EQ(forest.predict(row), loaded.value().predict(row));
+  }
+  ByteWriter again;
+  write_forest(again, loaded.value());
+  EXPECT_EQ(w.bytes(), again.bytes());
+}
+
+TEST(ServeSerialization, NormalizerRoundTripBitExact) {
+  const FeatureNormalizer fitted =
+      FeatureNormalizer::fit({{1.0, 2.0, 3.0}, {2.0, 0.0, 3.5}, {0.5, 4.0, -1.0}});
+  ByteWriter w;
+  write_normalizer(w, fitted);
+  ByteReader r(w.bytes());
+  auto loaded = read_normalizer(r);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  EXPECT_EQ(fitted.mean, loaded.value().mean);
+  EXPECT_EQ(fitted.inv_std, loaded.value().inv_std);
+}
+
+TEST(ServeSerialization, ArtifactRoundTripStableBytes) {
+  auto m = progen::build_chstone_like("sha");
+  PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 11);
+  artifact.name = "ppo-sha";
+  artifact.version = 3;
+  artifact.forest = fitted_forest(5);
+  std::vector<std::vector<double>> rows(3, std::vector<double>(artifact.policy.config().input));
+  Rng rng(6);
+  for (auto& row : rows) {
+    for (double& v : row) v = rng.uniform();
+  }
+  artifact.normalizer = FeatureNormalizer::fit(rows);
+
+  const std::string bytes = serialize_artifact(artifact);
+  auto loaded = deserialize_artifact(bytes);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const PolicyArtifact& got = loaded.value();
+  EXPECT_EQ(got.name, "ppo-sha");
+  EXPECT_EQ(got.version, 3u);
+  EXPECT_EQ(got.action_arity, artifact.action_arity);
+  EXPECT_EQ(got.policy.flatten(), artifact.policy.flatten());
+  ASSERT_TRUE(got.value.has_value());
+  EXPECT_EQ(got.value->flatten(), artifact.value->flatten());
+  ASSERT_TRUE(got.forest.has_value());
+  EXPECT_EQ(got.normalizer.mean, artifact.normalizer.mean);
+  // Serialize-of-deserialize is byte-identical: the format is canonical.
+  EXPECT_EQ(serialize_artifact(got), bytes);
+}
+
+TEST(ServeSerialization, CorruptionIsRejected) {
+  auto m = progen::build_chstone_like("qsort");
+  PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 2);
+  artifact.name = "x";
+  std::string bytes = serialize_artifact(artifact);
+
+  EXPECT_FALSE(deserialize_artifact("not a model").is_ok());
+  EXPECT_FALSE(deserialize_artifact(std::string_view(bytes).substr(0, bytes.size() / 2)).is_ok());
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] = static_cast<char>(flipped[flipped.size() / 2] ^ 0x5a);
+  const auto result = deserialize_artifact(flipped);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(ServeSerialization, WellFramedButInvalidArtifactsRejected) {
+  // The checksum only catches accidental corruption; indices that would read
+  // out of bounds at serve time must be rejected at the trust boundary.
+  auto m = progen::build_chstone_like("sha");
+  const PolicyArtifact base = make_test_artifact(m.get(), tiny_env_config(), 8);
+
+  PolicyArtifact bad_feature = base;
+  bad_feature.name = "x";
+  bad_feature.spec.feature_subset = {999};
+  EXPECT_FALSE(deserialize_artifact(serialize_artifact(bad_feature)).is_ok());
+
+  PolicyArtifact bad_action = base;
+  bad_action.name = "x";
+  bad_action.spec.action_subset = {-1};
+  EXPECT_FALSE(deserialize_artifact(serialize_artifact(bad_action)).is_ok());
+
+  PolicyArtifact bad_normalizer = base;
+  bad_normalizer.name = "x";
+  bad_normalizer.normalizer = FeatureNormalizer::fit({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_FALSE(deserialize_artifact(serialize_artifact(bad_normalizer)).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+// ---------------------------------------------------------------------------
+
+TEST(ServeRegistry, PublishAssignsMonotonicVersions) {
+  auto m = progen::build_chstone_like("sha");
+  ModelRegistry registry;
+  EXPECT_EQ(registry.publish("agent", make_test_artifact(m.get(), tiny_env_config(), 1)), 1u);
+  EXPECT_EQ(registry.publish("agent", make_test_artifact(m.get(), tiny_env_config(), 2)), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.get("agent")->version, 2u);        // latest
+  EXPECT_EQ(registry.get("agent", 1)->version, 1u);     // pinned
+  EXPECT_EQ(registry.get("agent", 9), nullptr);
+  EXPECT_EQ(registry.get("missing"), nullptr);
+}
+
+TEST(ServeRegistry, ExportImportIntoFreshRegistry) {
+  auto m = progen::build_chstone_like("gsm");
+  ModelRegistry trainer_side;
+  trainer_side.publish("agent", make_test_artifact(m.get(), tiny_env_config(), 5));
+  const auto blob = trainer_side.export_model("agent");
+  ASSERT_TRUE(blob.is_ok()) << blob.message();
+
+  auto server_side = std::make_shared<ModelRegistry>();
+  const auto key = server_side->import_model(blob.value());
+  ASSERT_TRUE(key.is_ok()) << key.message();
+  EXPECT_EQ(key.value().name, "agent");
+  EXPECT_EQ(key.value().version, 1u);
+  EXPECT_EQ(server_side->get("agent")->policy.flatten(),
+            trainer_side.get("agent")->policy.flatten());
+
+  // The reloaded model serves the exact sequence the original would.
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  CompileService service(server_side, nullptr, {.workers = 0});
+  const auto served = service.compile_sync(request);
+  ASSERT_TRUE(served.is_ok()) << served.message();
+  runtime::EvalService eval;
+  const auto reference =
+      serve_compile(*trainer_side.get("agent"), request, eval, nullptr);
+  ASSERT_TRUE(reference.is_ok());
+  EXPECT_EQ(served.value().provenance.sequence, reference.value().provenance.sequence);
+}
+
+TEST(ServeRegistry, FileRoundTrip) {
+  auto m = progen::build_chstone_like("sha");
+  ModelRegistry registry;
+  registry.publish("agent", make_test_artifact(m.get(), tiny_env_config(), 9));
+  const std::string path = temp_path("autophase_test_model.bin");
+  ASSERT_TRUE(registry.export_file("agent", 0, path).is_ok());
+  ModelRegistry fresh;
+  const auto key = fresh.import_file(path);
+  ASSERT_TRUE(key.is_ok()) << key.message();
+  EXPECT_EQ(fresh.get("agent")->policy.flatten(), registry.get("agent")->policy.flatten());
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// PolicyBatcher
+// ---------------------------------------------------------------------------
+
+TEST(ServeBatcher, BatchedLogitsBitIdenticalToSingleRow) {
+  auto m = progen::build_chstone_like("sha");
+  const PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 21);
+  const std::size_t input = artifact.policy.config().input;
+
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<double> row(input);
+    for (double& v : row) v = rng.uniform();
+    rows.push_back(std::move(row));
+  }
+  // Reference: each row alone through the raw net.
+  std::vector<std::vector<double>> expected;
+  for (const auto& row : rows) {
+    const ml::Matrix out = artifact.policy.forward_batch({row});
+    expected.emplace_back(out.row(0), out.row(0) + out.cols());
+  }
+
+  PolicyBatcher batcher({.max_batch = 8, .window = std::chrono::microseconds(500)});
+  std::vector<std::vector<double>> got(rows.size());
+  ThreadPool pool(4);
+  pool.parallel_for(rows.size(),
+                    [&](std::size_t i) { got[i] = batcher.infer(artifact, rows[i]); });
+  for (std::size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(got[i], expected[i]) << "row " << i;
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.rows, rows.size());
+  EXPECT_GE(stats.batches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CompileService
+// ---------------------------------------------------------------------------
+
+TEST(ServeCompile, SyncGreedyDeterministicWithinBudget) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 31));
+  CompileService service(registry, nullptr, {.workers = 0});
+
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  request.objective = Objective::kFixedBudget;
+  request.pass_budget = 3;
+  auto first = service.compile_sync(request);
+  ASSERT_TRUE(first.is_ok()) << first.message();
+  EXPECT_LE(first.value().provenance.sequence.size(), 3u);
+  EXPECT_GT(first.value().provenance.measured_cycles, 0u);
+  EXPECT_GT(first.value().provenance.baseline_cycles, 0u);
+  EXPECT_EQ(first.value().provenance.model, "agent");
+  EXPECT_EQ(first.value().provenance.version, 1u);
+  ASSERT_NE(first.value().module, nullptr);
+
+  const auto second = service.compile_sync(request);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().provenance.sequence, second.value().provenance.sequence);
+  EXPECT_EQ(first.value().provenance.measured_cycles, second.value().provenance.measured_cycles);
+}
+
+TEST(ServeCompile, CyclesTimesAreaObjectiveReportsArea) {
+  auto m = progen::build_chstone_like("qsort");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 13));
+  CompileService service(registry, nullptr, {.workers = 0});
+
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  request.objective = Objective::kCyclesTimesArea;
+  request.beam_width = 2;
+  const auto response = service.compile_sync(request);
+  ASSERT_TRUE(response.is_ok()) << response.message();
+  EXPECT_GT(response.value().provenance.measured_area, 0.0);
+  EXPECT_GE(response.value().provenance.beams_evaluated, 1);
+}
+
+TEST(ServeCompile, ConcurrentServingMatchesSingleThreadedBitExactly) {
+  auto sha = progen::build_chstone_like("sha");
+  auto gsm = progen::build_chstone_like("gsm");
+  auto qsort = progen::build_chstone_like("qsort");
+  const std::vector<const ir::Module*> modules = {sha.get(), gsm.get(), qsort.get()};
+
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(sha.get(), tiny_env_config(), 41));
+  auto eval = std::make_shared<runtime::EvalService>();
+  CompileService service(registry, eval, {.workers = 4, .queue_capacity = 32});
+
+  std::vector<CompileRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    CompileRequest request;
+    request.module = modules[static_cast<std::size_t>(i) % modules.size()];
+    request.model = "agent";
+    request.objective = i % 2 == 0 ? Objective::kCycles : Objective::kFixedBudget;
+    request.pass_budget = 2 + i % 3;
+    request.beam_width = 1 + i % 2;
+    request.priority = i % 4;
+    requests.push_back(request);
+  }
+
+  // Single-threaded reference answers first.
+  std::vector<Provenance> expected;
+  for (const auto& request : requests) {
+    auto response = service.compile_sync(request);
+    ASSERT_TRUE(response.is_ok()) << response.message();
+    expected.push_back(std::move(response.value().provenance));
+  }
+
+  // Now the same ten requests through the concurrent queue+batcher path.
+  std::vector<CompileService::ResponseFuture> futures;
+  for (const auto& request : requests) futures.push_back(service.submit(request));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.is_ok()) << response.message();
+    EXPECT_EQ(response.value().provenance.sequence, expected[i].sequence) << "request " << i;
+    EXPECT_EQ(response.value().provenance.measured_cycles, expected[i].measured_cycles);
+    EXPECT_EQ(response.value().provenance.predicted_cycles, expected[i].predicted_cycles);
+  }
+
+  const ServeMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, futures.size());
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_GT(metrics.batcher.rows, 0u);
+  EXPECT_GT(metrics.latency.p95_ms, 0.0);
+  EXPECT_GE(metrics.latency.p95_ms, metrics.latency.p50_ms);
+}
+
+TEST(ServeCompile, DeterministicPerModelVersionUnderConcurrency) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 1));
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 2));
+  CompileService service(registry, nullptr, {.workers = 4});
+
+  CompileRequest v1;
+  v1.module = m.get();
+  v1.model = "agent";
+  v1.version = 1;
+  CompileRequest v2 = v1;
+  v2.version = 2;
+
+  const auto expected_v1 = service.compile_sync(v1);
+  const auto expected_v2 = service.compile_sync(v2);
+  ASSERT_TRUE(expected_v1.is_ok() && expected_v2.is_ok());
+
+  std::vector<CompileService::ResponseFuture> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(service.submit(i % 2 == 0 ? v1 : v2));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.is_ok()) << response.message();
+    const auto& expected = i % 2 == 0 ? expected_v1 : expected_v2;
+    EXPECT_EQ(response.value().provenance.version, i % 2 == 0 ? 1u : 2u);
+    EXPECT_EQ(response.value().provenance.sequence, expected.value().provenance.sequence);
+  }
+}
+
+TEST(ServeCompile, UnknownModelFailsGracefully) {
+  auto m = progen::build_chstone_like("sha");
+  CompileService service(std::make_shared<ModelRegistry>(), nullptr, {.workers = 1});
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "nope";
+  auto response = service.submit(request).get();
+  EXPECT_FALSE(response.is_ok());
+  EXPECT_EQ(service.metrics().failed, 1u);
+}
+
+TEST(ServeCompile, BackpressureBouncesOverflowDeterministically) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 3));
+  // Zero workers: nothing drains, so queue occupancy is fully deterministic.
+  CompileService service(registry, nullptr, {.workers = 0, .queue_capacity = 3});
+
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  std::vector<CompileService::ResponseFuture> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto f = service.try_submit(request);
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  EXPECT_EQ(service.queue_depth(), 3u);
+  EXPECT_FALSE(service.try_submit(request).has_value());  // overflow bounced
+  EXPECT_EQ(service.metrics().rejected, 1u);
+
+  // Destruction with queued work cancels every pending promise.
+  service.shutdown();
+  for (auto& f : futures) {
+    auto response = f.get();
+    EXPECT_FALSE(response.is_ok());
+    EXPECT_NE(response.message().find("cancelled"), std::string::npos);
+  }
+  EXPECT_EQ(service.metrics().cancelled, 3u);
+  // Post-shutdown submissions resolve immediately with a rejection.
+  EXPECT_FALSE(service.submit(request).get().is_ok());
+}
+
+TEST(ServeCompile, DrainingShutdownCompletesQueuedWork) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 6));
+  std::vector<CompileService::ResponseFuture> futures;
+  {
+    CompileService service(registry, nullptr, {.workers = 2, .queue_capacity = 16});
+    CompileRequest request;
+    request.module = m.get();
+    request.model = "agent";
+    request.objective = Objective::kFixedBudget;
+    request.pass_budget = 2;
+    for (int i = 0; i < 6; ++i) futures.push_back(service.submit(request));
+    // Destructor drains: queued work finishes before members tear down.
+  }
+  for (auto& f : futures) {
+    auto response = f.get();
+    EXPECT_TRUE(response.is_ok()) << response.message();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool shutdown ordering (the substrate CompileService relies on)
+// ---------------------------------------------------------------------------
+
+TEST(ServeThreadPool, CancelBreaksQueuedPromisesBeforeJoin) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  pool.submit([&] { gate.get_future().wait(); });  // occupies the only worker
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(pool.submit([&] { ++ran; }));
+
+  std::thread stopper([&] { pool.shutdown(ThreadPool::ShutdownMode::kCancel); });
+  // Cancelled futures break *before* the join completes — observable while
+  // the worker is still blocked inside its running task.
+  for (auto& f : queued) f.wait();
+  gate.set_value();
+  stopper.join();
+  EXPECT_EQ(ran.load(), 0);
+  for (auto& f : queued) EXPECT_THROW(f.get(), std::future_error);
+}
+
+TEST(ServeThreadPool, DrainRunsEveryQueuedTask) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  pool.submit([&] { gate.get_future().wait(); });
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(pool.submit([&] { ++ran; }));
+
+  std::thread stopper([&] { pool.shutdown(ThreadPool::ShutdownMode::kDrain); });
+  gate.set_value();
+  stopper.join();
+  EXPECT_EQ(ran.load(), 4);
+  for (auto& f : queued) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ServeThreadPool, SubmitAfterShutdownBreaksPromise) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  auto f = pool.submit([] {});
+  EXPECT_THROW(f.get(), std::future_error);
+}
+
+}  // namespace
+}  // namespace autophase::serve
