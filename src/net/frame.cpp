@@ -1,0 +1,139 @@
+#include "net/frame.hpp"
+
+#include "serve/serialization.hpp"
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace autophase::net {
+
+namespace {
+
+/// Decoded fixed-size header; one reader implementation (serve::ByteReader)
+/// for every little-endian integer on the wire.
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint8_t type = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t payload_len = 0;
+};
+
+FrameHeader parse_header(std::string_view bytes) {
+  serve::ByteReader r(bytes);
+  FrameHeader h;
+  h.magic = r.u32();
+  h.version = r.u32();
+  h.type = r.u8();
+  h.request_id = r.u64();
+  h.payload_len = r.u64();
+  return h;  // bytes is always exactly kFrameHeaderBytes long
+}
+
+std::uint64_t load_u64(const char* p) {
+  serve::ByteReader r(std::string_view(p, 8));
+  return r.u64();
+}
+
+}  // namespace
+
+bool msg_type_known(std::uint8_t raw) noexcept {
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kPing:
+    case MsgType::kCompile:
+    case MsgType::kPublish:
+    case MsgType::kReplicate:
+    case MsgType::kListModels:
+    case MsgType::kStats:
+    case MsgType::kError: return true;
+  }
+  return false;
+}
+
+std::string encode_frame(const Frame& frame) {
+  serve::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u32(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.u64(frame.request_id);
+  w.u64(frame.payload.size());
+  std::string out = w.take();
+  out += frame.payload;
+  serve::ByteWriter tail;
+  tail.u64(fnv1a(frame.payload));
+  out += tail.bytes();
+  return out;
+}
+
+FrameParse try_parse_frame(std::string& buffer, Frame& out, std::string& error,
+                           std::size_t max_payload) {
+  if (buffer.size() < kFrameHeaderBytes) return FrameParse::kNeedMore;
+  const FrameHeader h = parse_header(std::string_view(buffer.data(), kFrameHeaderBytes));
+  if (h.magic != kWireMagic) {
+    error = "bad magic (not an AutoPhase wire frame)";
+    return FrameParse::kError;
+  }
+  if (h.version == 0 || h.version > kWireVersion) {
+    error = strf("unsupported protocol version %u (peer supports <= %u)", h.version,
+                 kWireVersion);
+    return FrameParse::kError;
+  }
+  if (h.payload_len > max_payload) {
+    error = strf("oversize frame payload (%llu bytes, cap %zu)",
+                 static_cast<unsigned long long>(h.payload_len), max_payload);
+    return FrameParse::kError;
+  }
+  if (!msg_type_known(h.type)) {
+    error = strf("unknown message type %u", h.type);
+    return FrameParse::kError;
+  }
+  const std::size_t total = kFrameHeaderBytes + static_cast<std::size_t>(h.payload_len) + 8;
+  if (buffer.size() < total) return FrameParse::kNeedMore;
+  const std::string_view payload(buffer.data() + kFrameHeaderBytes,
+                                 static_cast<std::size_t>(h.payload_len));
+  const std::uint64_t checksum = load_u64(buffer.data() + total - 8);
+  if (fnv1a(payload) != checksum) {
+    error = "frame checksum mismatch";
+    return FrameParse::kError;
+  }
+  out.type = static_cast<MsgType>(h.type);
+  out.request_id = h.request_id;
+  out.payload.assign(payload);
+  buffer.erase(0, total);
+  return FrameParse::kFrame;
+}
+
+Status write_frame(TcpStream& stream, const Frame& frame, Deadline deadline) {
+  const std::string bytes = encode_frame(frame);
+  return stream.write_all(bytes.data(), bytes.size(), deadline);
+}
+
+Result<Frame> read_frame(TcpStream& stream, Deadline deadline, std::size_t max_payload) {
+  char header[kFrameHeaderBytes];
+  if (const Status s = stream.read_exact(header, sizeof(header), deadline); !s.is_ok()) return s;
+  const FrameHeader h = parse_header(std::string_view(header, sizeof(header)));
+  if (h.magic != kWireMagic) return Status::error("bad magic in frame header");
+  if (h.version == 0 || h.version > kWireVersion) {
+    return Status::error(strf("unsupported protocol version %u", h.version));
+  }
+  if (!msg_type_known(h.type)) return Status::error(strf("unknown message type %u", h.type));
+  if (h.payload_len > max_payload) {
+    return Status::error(strf("oversize frame payload (%llu bytes)",
+                              static_cast<unsigned long long>(h.payload_len)));
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(h.type);
+  frame.request_id = h.request_id;
+  frame.payload.resize(static_cast<std::size_t>(h.payload_len));
+  if (h.payload_len > 0) {
+    if (const Status s = stream.read_exact(frame.payload.data(), frame.payload.size(), deadline);
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  char tail[8];
+  if (const Status s = stream.read_exact(tail, sizeof(tail), deadline); !s.is_ok()) return s;
+  if (fnv1a(frame.payload) != load_u64(tail)) return Status::error("frame checksum mismatch");
+  return frame;
+}
+
+}  // namespace autophase::net

@@ -1,0 +1,65 @@
+// Wire framing for the serving protocol: every message is one frame —
+//
+//   +-------+---------+------+------------+-------------+---------+----------+
+//   | magic | version | type | request id | payload len | payload | checksum |
+//   | u32   | u32     | u8   | u64        | u64         | bytes   | u64      |
+//   +-------+---------+------+------------+-------------+---------+----------+
+//
+// little-endian throughout, FNV-1a over the payload (the same checksum
+// discipline as the artifact format in serve/serialization). The request id
+// lets clients pipeline: responses echo the id of the request they answer,
+// so they may arrive in any order. Readers enforce a payload cap before
+// allocating — an oversize or corrupt length prefix is a clean protocol
+// error, never a giant allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "support/status.hpp"
+
+namespace autophase::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x50575041;  // "APWP" little-endian
+/// Bumped whenever the frame header or any payload layout changes; peers
+/// reject frames from a newer protocol.
+inline constexpr std::uint32_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8 + 8;
+inline constexpr std::size_t kDefaultMaxPayload = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kPing = 1,
+  kCompile = 2,     // CompileRequest -> CompileResponse
+  kPublish = 3,     // named artifact -> assigned version (+ peer replication)
+  kReplicate = 4,   // versioned artifact push between nodes
+  kListModels = 5,  // -> (name, version, bytes, checksum) per model
+  kStats = 6,       // -> node serving/eval counters
+  kError = 15,      // server could not even frame a typed reply
+};
+
+[[nodiscard]] bool msg_type_known(std::uint8_t raw) noexcept;
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+enum class FrameParse { kNeedMore, kFrame, kError };
+
+/// Incremental parse for the server's non-blocking reads: consumes one
+/// complete frame from the front of `buffer` when available. kError means
+/// the byte stream is unrecoverable (bad magic/version/checksum or oversize
+/// length) and the connection should be dropped after the error reply.
+FrameParse try_parse_frame(std::string& buffer, Frame& out, std::string& error,
+                           std::size_t max_payload = kDefaultMaxPayload);
+
+/// Blocking (deadline-bounded) client-side frame IO.
+Status write_frame(TcpStream& stream, const Frame& frame, Deadline deadline);
+Result<Frame> read_frame(TcpStream& stream, Deadline deadline,
+                         std::size_t max_payload = kDefaultMaxPayload);
+
+}  // namespace autophase::net

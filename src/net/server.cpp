@@ -1,0 +1,387 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/serialization.hpp"
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace autophase::net {
+
+namespace {
+
+/// Replies are written by pool workers with the epoll loop still reading the
+/// same socket; a stalled client gets this long before the node gives up on
+/// the connection.
+constexpr std::chrono::milliseconds kReplyTimeout{30'000};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+void ServeNode::Connection::send(const Frame& frame) {
+  // Encode outside the lock: a multi-MB reply must not serialise other
+  // workers' sends behind its memcpy.
+  const std::string bytes = encode_frame(frame);
+  const std::lock_guard<std::mutex> lock(write_mutex);
+  if (!open) return;
+  if (!stream.write_all(bytes.data(), bytes.size(), deadline_in(kReplyTimeout)).is_ok()) {
+    open = false;
+    stream.shutdown();
+  }
+}
+
+void ServeNode::Connection::close() {
+  const std::lock_guard<std::mutex> lock(write_mutex);
+  open = false;
+  stream.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
+                     std::shared_ptr<runtime::EvalService> eval, ServeNodeConfig config)
+    : registry_(registry != nullptr ? std::move(registry)
+                                    : std::make_shared<serve::ModelRegistry>()),
+      config_(config) {
+  // A node whose inner service cannot drain would deadlock its own frame
+  // handlers; net workers likewise must exist to answer anything at all.
+  config_.compile.workers = std::max<std::size_t>(1, config_.compile.workers);
+  config_.net_workers = std::max<std::size_t>(1, config_.net_workers);
+  service_ = std::make_unique<serve::CompileService>(registry_, std::move(eval), config_.compile);
+  net_pool_ = std::make_unique<ThreadPool>(config_.net_workers);
+}
+
+ServeNode::~ServeNode() { shutdown(); }
+
+Status ServeNode::start() {
+  if (started_) return Status::error("serve node already started");
+  auto listener = TcpListener::bind_loopback(config_.port);
+  if (!listener.is_ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+
+  epoll_fd_ = OwnedFd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) return Status::error(strf("epoll_create1: %s", std::strerror(errno)));
+  wake_fd_ = OwnedFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd_.valid()) return Status::error(strf("eventfd: %s", std::strerror(errno)));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.fd();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    return Status::error(strf("epoll_ctl(listener): %s", std::strerror(errno)));
+  }
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    return Status::error(strf("epoll_ctl(wakeup): %s", std::strerror(errno)));
+  }
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { event_loop(); });
+  return Status::ok();
+}
+
+void ServeNode::shutdown() {
+  // Serialised: concurrent callers (an owner and the destructor, say) must
+  // not race the thread join or tear members down twice.
+  const std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (stopping_.exchange(true)) return;
+  if (started_ && loop_thread_.joinable()) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+    loop_thread_.join();
+  }
+  // The epoll thread is gone; the connection map is now single-owner. Shut
+  // every socket down first so a worker blocked writing a reply fails fast
+  // instead of holding the drain hostage.
+  for (auto& [fd, conn] : connections_) conn->close();
+  // Queued-but-unstarted handlers are cancelled (their connections are
+  // closed anyway); running ones finish against shut-down sockets.
+  net_pool_->shutdown(ThreadPool::ShutdownMode::kCancel);
+  connections_.clear();
+  service_->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void ServeNode::event_loop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd itself broke; shutdown() will clean up
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t rd = ::read(wake_fd_.get(), &drained, sizeof(drained));
+        // A resume nudge: re-drive the parser for connections whose inbuf
+        // still holds bytes (stop flag is re-checked at loop top; a still-
+        // paused connection just re-pauses inside drain_buffered).
+        for (auto it = connections_.begin(); it != connections_.end();) {
+          const std::shared_ptr<Connection> conn = it->second;
+          ++it;  // handle_readable may erase the current entry
+          if (!conn->inbuf.empty()) handle_readable(conn);
+        }
+        continue;
+      }
+      if (fd == listener_.fd()) {
+        for (;;) {
+          auto accepted = listener_.accept_nonblocking();
+          if (!accepted.is_ok() || accepted.value() < 0) break;
+          const int conn_fd = accepted.value();
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = conn_fd;
+          if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn_fd, &ev) != 0) {
+            ::close(conn_fd);
+            continue;
+          }
+          connections_.emplace(conn_fd, std::make_shared<Connection>(conn_fd));
+        }
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      handle_readable(it->second);
+    }
+  }
+}
+
+/// Parses whatever is buffered, dispatching frames until the in-flight cap
+/// pauses the connection. Returns false when the connection is gone or
+/// paused (the caller must stop touching it).
+bool ServeNode::drain_buffered(const std::shared_ptr<Connection>& conn) {
+  Frame frame;
+  std::string error;
+  for (;;) {
+    if (conn->in_flight.load() >= config_.max_in_flight_per_connection) {
+      // Residue stays in inbuf; resume re-drives this parser. When the cap
+      // cleared between our check and the pause, just keep parsing.
+      if (pause_reading(*conn)) return false;
+      continue;
+    }
+    const FrameParse parsed =
+        try_parse_frame(conn->inbuf, frame, error, config_.max_frame_payload);
+    if (parsed == FrameParse::kNeedMore) return true;
+    if (parsed == FrameParse::kError) {
+      // One best-effort diagnostic, then cut the byte stream: after a
+      // framing error there is no way back to a frame boundary.
+      Frame reply;
+      reply.type = MsgType::kError;
+      reply.payload = encode_status_reply(Status::error("protocol error: " + error));
+      conn->send(reply);
+      drop_connection(conn->stream.fd());
+      return false;
+    }
+    dispatch(conn, std::move(frame));
+  }
+}
+
+void ServeNode::handle_readable(const std::shared_ptr<Connection>& conn) {
+  // Buffered frames first (a resume nudge re-enters here with no new bytes),
+  // then read and parse in alternation: a pipelining client is throttled by
+  // the in-flight cap instead of ballooning inbuf — once the cap is hit the
+  // socket stays unread and TCP backpressure does the rest.
+  if (!drain_buffered(conn)) return;
+  const int fd = conn->stream.fd();
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (got == 0) {  // orderly close
+      drop_connection(fd);
+      return;
+    }
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      drop_connection(fd);
+      return;
+    }
+    conn->inbuf.append(chunk, static_cast<std::size_t>(got));
+    if (!drain_buffered(conn)) return;
+  }
+}
+
+bool ServeNode::pause_reading(Connection& conn) {
+  const std::lock_guard<std::mutex> lock(conn.flow_mutex);
+  // Re-checked under the lock: a worker finishing concurrently either sees
+  // paused == true here-after and resumes us, or drained first and we skip
+  // the pause entirely. Either way no wakeup is lost.
+  if (conn.in_flight.load() < config_.max_in_flight_per_connection) return false;
+  conn.paused = true;
+  epoll_event ev{};
+  ev.events = 0;
+  ev.data.fd = conn.stream.fd();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.stream.fd(), &ev);
+  return true;
+}
+
+void ServeNode::resume_reading(Connection& conn) {
+  const std::lock_guard<std::mutex> lock(conn.flow_mutex);
+  if (!conn.paused) return;
+  conn.paused = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn.stream.fd();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.stream.fd(), &ev);
+  // Frames already sitting in inbuf are invisible to epoll (it reports
+  // socket bytes, not our buffer), so nudge the event loop to re-run the
+  // parser for resumed connections.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void ServeNode::drop_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  it->second->close();
+  connections_.erase(it);  // workers may still hold the shared_ptr
+}
+
+void ServeNode::dispatch(std::shared_ptr<Connection> conn, Frame frame) {
+  conn->in_flight.fetch_add(1);
+  // The future is intentionally dropped: replies flow through the
+  // connection, and pool shutdown (kCancel) discards whatever never ran.
+  (void)net_pool_->submit(
+      [this, conn = std::move(conn), frame = std::move(frame)] { handle_frame(conn, frame); });
+}
+
+// ---------------------------------------------------------------------------
+// Frame handlers
+// ---------------------------------------------------------------------------
+
+void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Frame& frame) {
+  Frame reply;
+  reply.type = frame.type;
+  reply.request_id = frame.request_id;
+  bool answer = true;
+  switch (frame.type) {
+    case MsgType::kPing: break;  // empty payload echo
+    case MsgType::kCompile: reply.payload = handle_compile(frame); break;
+    case MsgType::kPublish: reply.payload = handle_publish(frame); break;
+    case MsgType::kReplicate: reply.payload = handle_replicate(frame); break;
+    case MsgType::kListModels: reply.payload = handle_list(); break;
+    case MsgType::kStats: reply.payload = encode_node_stats(stats()); break;
+    case MsgType::kError: answer = false; break;  // a peer's diagnostic
+  }
+  if (answer) conn->send(reply);
+  // Flow control: this frame is done; wake the connection if the in-flight
+  // cap had paused it (resume_reading no-ops otherwise).
+  conn->in_flight.fetch_sub(1);
+  if (conn->in_flight.load() < config_.max_in_flight_per_connection) resume_reading(*conn);
+}
+
+std::string ServeNode::handle_compile(const Frame& frame) {
+  auto decoded = decode_compile_request(frame.payload);
+  if (!decoded.is_ok()) {
+    return encode_compile_response(decoded.status());
+  }
+  // The decoded module lives on this stack frame until the future resolves,
+  // exactly as long as the in-flight request needs it.
+  auto future = service_->submit(std::move(decoded.value().request));
+  return encode_compile_response(future.get());
+}
+
+std::string ServeNode::handle_publish(const Frame& frame) {
+  auto request = decode_publish_request(frame.payload);
+  if (!request.is_ok()) return encode_publish_reply(request.status());
+  auto artifact = serve::deserialize_artifact(request.value().artifact_blob);
+  if (!artifact.is_ok()) {
+    return encode_publish_reply(Status::error("publish: " + artifact.message()));
+  }
+  return encode_publish_reply(publish(request.value().name, std::move(artifact).value()));
+}
+
+std::string ServeNode::handle_replicate(const Frame& frame) {
+  auto key = registry_->import_model(frame.payload);
+  if (!key.is_ok()) return encode_publish_reply(Status::error("replicate: " + key.message()));
+  PublishReply reply;
+  reply.name = key.value().name;
+  reply.version = key.value().version;
+  return encode_publish_reply(reply);
+}
+
+std::string ServeNode::handle_list() const {
+  std::vector<ModelSummary> models;
+  for (const auto& key : registry_->list()) {
+    const auto blob = registry_->export_model(key.name, key.version);
+    if (!blob.is_ok()) continue;  // raced with nothing — list() snapshots
+    ModelSummary m;
+    m.name = key.name;
+    m.version = key.version;
+    m.blob_bytes = blob.value().size();
+    m.blob_checksum = fnv1a(blob.value());
+    models.push_back(std::move(m));
+  }
+  return encode_model_list(models);
+}
+
+// ---------------------------------------------------------------------------
+// Publish + replication
+// ---------------------------------------------------------------------------
+
+void ServeNode::add_peer(RemoteEndpoint peer) {
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  peers_.push_back(std::move(peer));
+}
+
+Result<PublishReply> ServeNode::publish(const std::string& name,
+                                        serve::PolicyArtifact artifact) {
+  const std::uint32_t version = registry_->publish(name, std::move(artifact));
+  const auto blob = registry_->export_model(name, version);
+  if (!blob.is_ok()) return blob.status();  // cannot happen right after publish
+  PublishReply reply;
+  reply.name = name;
+  reply.version = version;
+  reply.peer_failures = replicate_to_peers(blob.value());
+  return reply;
+}
+
+std::uint32_t ServeNode::replicate_to_peers(const std::string& blob) {
+  std::vector<RemoteEndpoint> peers;
+  {
+    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    peers = peers_;
+  }
+  std::uint32_t failures = 0;
+  for (const RemoteEndpoint& peer : peers) {
+    auto stream = TcpStream::connect(peer.host, peer.port, config_.peer_timeout);
+    if (!stream.is_ok()) {
+      ++failures;
+      continue;
+    }
+    const Deadline deadline = deadline_in(config_.peer_timeout);
+    Frame push;
+    push.type = MsgType::kReplicate;
+    push.request_id = 1;
+    push.payload = blob;
+    if (!write_frame(stream.value(), push, deadline).is_ok()) {
+      ++failures;
+      continue;
+    }
+    auto ack = read_frame(stream.value(), deadline, config_.max_frame_payload);
+    if (!ack.is_ok() || ack.value().type != MsgType::kReplicate ||
+        !decode_publish_reply(ack.value().payload).is_ok()) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace autophase::net

@@ -1,0 +1,154 @@
+// ServeNode: one member of a serving fleet. Exposes a CompileService +
+// ModelRegistry on a loopback TCP port — an epoll thread owns all socket
+// reads (accept, buffer, frame extraction) and hands complete frames to a
+// small worker pool, which decodes, runs the request through the in-process
+// CompileService (so cross-request policy batching still applies to network
+// traffic), and writes the framed reply under a per-connection lock.
+// Responses carry the originating request id, so one connection can have any
+// number of requests in flight (client-side pipelining).
+//
+// Replication: publishing through a node stamps the artifact with its
+// registry version, then pushes the exported blob to every registered peer,
+// which imports it at that exact embedded version — N nodes converge on
+// bit-identical registries (ModelRegistry::import_model is idempotent, so
+// re-pushes are harmless).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/compile_service.hpp"
+#include "serve/model_registry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace autophase::net {
+
+struct ServeNodeConfig {
+  /// 0 binds an ephemeral port; read it back via port().
+  std::uint16_t port = 0;
+  /// Frame-handling workers (decode + wait on the compile service + reply).
+  std::size_t net_workers = 2;
+  std::size_t max_frame_payload = kDefaultMaxPayload;
+  /// Timeout for this node's *outbound* calls (replication to peers).
+  std::chrono::milliseconds peer_timeout{10'000};
+  /// Frames a single connection may have queued or executing before the
+  /// node stops reading its socket (EPOLLIN paused until handlers drain).
+  /// This extends the CompileService's bounded-queue backpressure out to
+  /// the network: a pipelining client can never grow server memory beyond
+  /// connections x this cap x frame size.
+  std::size_t max_in_flight_per_connection = 64;
+  /// The wrapped CompileService; workers is clamped to >= 1 (a node with an
+  /// undrainable queue would deadlock its own net workers).
+  serve::CompileServiceConfig compile{};
+};
+
+class ServeNode {
+ public:
+  ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
+            std::shared_ptr<runtime::EvalService> eval, ServeNodeConfig config = {});
+  ~ServeNode();
+
+  ServeNode(const ServeNode&) = delete;
+  ServeNode& operator=(const ServeNode&) = delete;
+
+  /// Binds + starts the epoll loop. Must be called (once) before traffic.
+  Status start();
+  /// Idempotent: closes the listener and every connection, drains in-flight
+  /// frame handlers, then shuts the compile service down.
+  void shutdown();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] RemoteEndpoint endpoint() const { return {"127.0.0.1", port_}; }
+
+  /// Replication targets. Peers receive every subsequent publish.
+  void add_peer(RemoteEndpoint peer);
+
+  /// Publishes locally (assigning the next version) and pushes the stamped
+  /// blob to every peer. Local publish always wins: peer failures are
+  /// reported in the reply, not rolled back.
+  Result<PublishReply> publish(const std::string& name, serve::PolicyArtifact artifact);
+
+  [[nodiscard]] serve::CompileService& service() noexcept { return *service_; }
+  [[nodiscard]] const std::shared_ptr<serve::ModelRegistry>& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] NodeStats stats() const { return collect_node_stats(*service_); }
+
+ private:
+  /// Per-connection state. The epoll thread owns `inbuf`; writers (frame
+  /// handlers on the worker pool) serialise on `write_mutex`. The fd is
+  /// closed only by the destructor, after every holder dropped its
+  /// reference — a worker finishing a stale request can never write into a
+  /// recycled descriptor.
+  struct Connection {
+    explicit Connection(int fd) : stream(OwnedFd(fd)) {}
+    TcpStream stream;
+    std::string inbuf;
+    std::mutex write_mutex;
+    bool open = true;
+    /// Dispatched-but-unfinished frames (flow control; see ServeNodeConfig).
+    std::atomic<std::size_t> in_flight{0};
+    /// Guards `paused` + the matching epoll_ctl: pause (epoll thread) and
+    /// resume (any worker) must check-and-modify atomically, or a resume
+    /// landing between the other side's check and its MOD is lost and the
+    /// connection stays muted forever.
+    std::mutex flow_mutex;
+    bool paused = false;
+
+    /// Best-effort framed reply; failures (peer went away) mark the
+    /// connection closed and are otherwise ignored.
+    void send(const Frame& frame);
+    void close();
+  };
+
+  void event_loop();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  bool drain_buffered(const std::shared_ptr<Connection>& conn);
+  void drop_connection(int fd);
+  void dispatch(std::shared_ptr<Connection> conn, Frame frame);
+  void handle_frame(const std::shared_ptr<Connection>& conn, const Frame& frame);
+  /// Flow control: stop/resume epoll read interest for one connection.
+  /// pause runs on the epoll thread and reports whether it actually paused
+  /// (a concurrent worker may already have drained below the cap); resume
+  /// may run on any worker.
+  bool pause_reading(Connection& conn);
+  void resume_reading(Connection& conn);
+
+  std::string handle_compile(const Frame& frame);
+  std::string handle_publish(const Frame& frame);
+  std::string handle_replicate(const Frame& frame);
+  std::string handle_list() const;
+  /// Pushes one exported blob to every peer; returns the failure count.
+  std::uint32_t replicate_to_peers(const std::string& blob);
+
+  std::shared_ptr<serve::ModelRegistry> registry_;
+  std::unique_ptr<serve::CompileService> service_;
+  ServeNodeConfig config_;
+
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  OwnedFd epoll_fd_;
+  OwnedFd wake_fd_;  // eventfd: nudges the epoll loop on shutdown
+  std::thread loop_thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mutex_;  // serialises shutdown(); see there
+  bool started_ = false;
+
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;  // epoll thread only
+
+  mutable std::mutex peers_mutex_;
+  std::vector<RemoteEndpoint> peers_;
+
+  std::unique_ptr<ThreadPool> net_pool_;
+};
+
+}  // namespace autophase::net

@@ -1,0 +1,188 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/str.hpp"
+
+namespace autophase::net {
+
+namespace {
+
+Status errno_status(const char* what) {
+  return Status::error(strf("%s: %s", what, std::strerror(errno)));
+}
+
+/// Remaining budget in ms for poll(); 0 when the deadline has passed.
+int remaining_ms(Deadline deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<std::int64_t>(left.count(), 60'000));
+}
+
+/// Waits until fd is ready for `events`; distinguishes timeout from error.
+Status wait_ready(int fd, short events, Deadline deadline) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int ms = remaining_ms(deadline);
+    if (ms == 0) return Status::error("deadline exceeded");
+    const int rc = ::poll(&p, 1, ms);
+    if (rc > 0) return Status::ok();
+    if (rc == 0) continue;  // re-check the deadline
+    if (errno == EINTR) continue;
+    return errno_status("poll");
+  }
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+}  // namespace
+
+Deadline deadline_in(std::chrono::milliseconds ms) {
+  return std::chrono::steady_clock::now() + ms;
+}
+
+OwnedFd::~OwnedFd() { reset(); }
+
+OwnedFd& OwnedFd::operator=(OwnedFd&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = std::exchange(o.fd_, -1);
+  }
+  return *this;
+}
+
+void OwnedFd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpStream> TcpStream::connect(const std::string& host, std::uint16_t port,
+                                     std::chrono::milliseconds timeout) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::error("invalid IPv4 address: " + host);
+  }
+
+  // Non-blocking connect so the timeout is enforceable, then back to
+  // blocking: reads/writes do their own poll-based deadlines.
+  set_nonblocking(fd.get(), true);
+  const Deadline deadline = deadline_in(timeout);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return errno_status("connect");
+    if (const Status s = wait_ready(fd.get(), POLLOUT, deadline); !s.is_ok()) {
+      return Status::error("connect to " + host + ": " + s.message());
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return errno_status("connect");
+    }
+  }
+  set_nonblocking(fd.get(), false);
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(fd));
+}
+
+Status TcpStream::write_all(const void* data, std::size_t n, Deadline deadline) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_.get(), p, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (sent > 0) {
+      p += sent;
+      n -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (const Status s = wait_ready(fd_.get(), POLLOUT, deadline); !s.is_ok()) return s;
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return errno_status("send");
+  }
+  return Status::ok();
+}
+
+Status TcpStream::read_exact(void* out, std::size_t n, Deadline deadline) {
+  char* p = static_cast<char*>(out);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd_.get(), p, n, MSG_DONTWAIT);
+    if (got > 0) {
+      p += got;
+      n -= static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return Status::error("connection closed by peer");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (const Status s = wait_ready(fd_.get(), POLLIN, deadline); !s.is_ok()) return s;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return errno_status("recv");
+  }
+  return Status::ok();
+}
+
+void TcpStream::shutdown() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<TcpListener> TcpListener::bind_loopback(std::uint16_t port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_status("bind");
+  }
+  if (::listen(fd.get(), 128) != 0) return errno_status("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_status("getsockname");
+  }
+  set_nonblocking(fd.get(), true);
+  return TcpListener(std::move(fd), ntohs(addr.sin_port));
+}
+
+Result<int> TcpListener::accept_nonblocking() {
+  for (;;) {
+    const int conn = ::accept(fd_.get(), nullptr, nullptr);
+    if (conn >= 0) {
+      const int one = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EINTR) continue;
+    return errno_status("accept");
+  }
+}
+
+}  // namespace autophase::net

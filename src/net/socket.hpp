@@ -1,0 +1,98 @@
+// Thin RAII wrappers over POSIX TCP sockets, scoped to what the serving wire
+// protocol needs: a loopback-friendly listener with a non-blocking accept for
+// the epoll loop, and a stream with deadline-bounded reads/writes (poll +
+// recv/send, MSG_NOSIGNAL — a peer vanishing mid-frame is a Status, never a
+// SIGPIPE). No name resolution: hosts are numeric IPv4 strings.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "support/status.hpp"
+
+namespace autophase::net {
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// Deadline `ms` from now (the per-call convention of TcpStream).
+Deadline deadline_in(std::chrono::milliseconds ms);
+
+/// Where a serving peer lives. Numeric IPv4 only (loopback in every test and
+/// demo; a production fleet would front this with its own discovery).
+struct RemoteEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Owned file descriptor; closes on destruction, move-only.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd();
+  OwnedFd(OwnedFd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  OwnedFd& operator=(OwnedFd&& o) noexcept;
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream. All blocking calls take an absolute deadline;
+/// hitting it returns a "deadline exceeded" error and leaves the stream in
+/// an undefined protocol position (callers should discard it).
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(OwnedFd fd) : fd_(std::move(fd)) {}
+
+  static Result<TcpStream> connect(const std::string& host, std::uint16_t port,
+                                   std::chrono::milliseconds timeout);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+  Status write_all(const void* data, std::size_t n, Deadline deadline);
+  Status read_exact(void* out, std::size_t n, Deadline deadline);
+
+  /// Half-close both directions (wakes a peer blocked in read); the fd stays
+  /// owned so a concurrent reader never touches a reused descriptor.
+  void shutdown() noexcept;
+  void close() { fd_.reset(); }
+
+ private:
+  OwnedFd fd_;
+};
+
+/// Listening socket bound to 127.0.0.1 (the serving fleet fronts its own
+/// transport security; this process never listens on a public interface).
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// port 0 binds an ephemeral port; port() reports the actual one.
+  static Result<TcpListener> bind_loopback(std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  /// Non-blocking accept: a connected fd, -1 when no connection is pending
+  /// (EAGAIN), or an error for anything else.
+  Result<int> accept_nonblocking();
+
+ private:
+  TcpListener(OwnedFd fd, std::uint16_t port) : fd_(std::move(fd)), port_(port) {}
+
+  OwnedFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace autophase::net

@@ -1,0 +1,282 @@
+#include "net/wire.hpp"
+
+#include <bit>
+
+#include "serve/module_codec.hpp"
+#include "serve/serialization.hpp"
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace autophase::net {
+
+namespace {
+
+using serve::ByteReader;
+using serve::ByteWriter;
+
+constexpr std::uint8_t kMaxObjective = static_cast<std::uint8_t>(serve::Objective::kFixedBudget);
+
+void write_provenance(ByteWriter& w, const serve::Provenance& p) {
+  w.str(p.model);
+  w.u32(p.version);
+  w.i32_vec(p.sequence);
+  w.u64(p.baseline_cycles);
+  w.u64(p.predicted_cycles);
+  w.u64(p.measured_cycles);
+  w.f64(p.measured_area);
+  w.i32(p.beams_evaluated);
+}
+
+serve::Provenance read_provenance(ByteReader& r) {
+  serve::Provenance p;
+  p.model = r.str();
+  p.version = r.u32();
+  p.sequence = r.i32_vec();
+  p.baseline_cycles = r.u64();
+  p.predicted_cycles = r.u64();
+  p.measured_cycles = r.u64();
+  p.measured_area = r.f64();
+  p.beams_evaluated = r.i32();
+  return p;
+}
+
+/// ok flag + error text; returns true when the payload continues with a body.
+void write_status_prefix(ByteWriter& w, const Status& status) {
+  w.u8(status.is_ok() ? 1 : 0);
+  if (!status.is_ok()) w.str(status.message());
+}
+
+/// Reads the shared prefix. ok() on the reader still needs checking.
+Status read_status_prefix(ByteReader& r) {
+  if (r.u8() != 0) return Status::ok();
+  std::string message = r.str();
+  return Status::error(message.empty() ? "remote error (no message)" : message);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compile
+// ---------------------------------------------------------------------------
+
+std::string encode_compile_request(const serve::CompileRequest& request) {
+  ByteWriter w;
+  w.str(serve::serialize_module(*request.module));
+  w.u8(static_cast<std::uint8_t>(request.objective));
+  w.i32(request.pass_budget);
+  w.i32(request.beam_width);
+  w.str(request.model);
+  w.u64(std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(request.version)));
+  w.i32(request.priority);
+  return w.take();
+}
+
+Result<DecodedCompileRequest> decode_compile_request(std::string_view payload) {
+  ByteReader r(payload);
+  const std::string module_blob = r.str();
+  DecodedCompileRequest out;
+  const std::uint8_t objective = r.u8();
+  if (objective > kMaxObjective) return Status::error("compile request: unknown objective");
+  out.request.objective = static_cast<serve::Objective>(objective);
+  out.request.pass_budget = r.i32();
+  out.request.beam_width = r.i32();
+  out.request.model = r.str();
+  out.request.version = std::bit_cast<std::int64_t>(r.u64());
+  out.request.priority = r.i32();
+  if (!r.ok() || !r.at_end()) return Status::error("compile request: truncated payload");
+  auto module = serve::deserialize_module(module_blob);
+  if (!module.is_ok()) return Status::error("compile request: " + module.message());
+  out.module = std::move(module).value();
+  out.request.module = out.module.get();
+  return out;
+}
+
+std::string encode_compile_response(const Result<serve::CompileResponse>& response) {
+  ByteWriter w;
+  write_status_prefix(w, response.status());
+  if (response.is_ok()) {
+    write_provenance(w, response.value().provenance);
+    w.str(serve::serialize_module(*response.value().module));
+    w.u64(response.value().queue_nanos);
+    w.u64(response.value().serve_nanos);
+  }
+  return w.take();
+}
+
+Result<serve::CompileResponse> decode_compile_response(std::string_view payload) {
+  ByteReader r(payload);
+  if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  serve::CompileResponse response;
+  response.provenance = read_provenance(r);
+  const std::string module_blob = r.str();
+  response.queue_nanos = r.u64();
+  response.serve_nanos = r.u64();
+  if (!r.ok() || !r.at_end()) return Status::error("compile response: truncated payload");
+  auto module = serve::deserialize_module(module_blob);
+  if (!module.is_ok()) return Status::error("compile response: " + module.message());
+  response.module = std::move(module).value();
+  return response;
+}
+
+std::string response_identity_bytes(const serve::CompileResponse& response) {
+  ByteWriter w;
+  write_provenance(w, response.provenance);
+  w.str(serve::serialize_module(*response.module));
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Publish / replicate
+// ---------------------------------------------------------------------------
+
+std::string encode_publish_request(std::string_view name, std::string_view artifact_blob) {
+  ByteWriter w;
+  w.str(name);
+  w.str(artifact_blob);
+  return w.take();
+}
+
+Result<PublishRequest> decode_publish_request(std::string_view payload) {
+  ByteReader r(payload);
+  PublishRequest out;
+  out.name = r.str();
+  out.artifact_blob = r.str();
+  if (!r.ok() || !r.at_end()) return Status::error("publish request: truncated payload");
+  if (out.name.empty()) return Status::error("publish request: empty model name");
+  return out;
+}
+
+std::string encode_publish_reply(const Result<PublishReply>& reply) {
+  ByteWriter w;
+  write_status_prefix(w, reply.status());
+  if (reply.is_ok()) {
+    w.str(reply.value().name);
+    w.u32(reply.value().version);
+    w.u32(reply.value().peer_failures);
+  }
+  return w.take();
+}
+
+Result<PublishReply> decode_publish_reply(std::string_view payload) {
+  ByteReader r(payload);
+  if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  PublishReply reply;
+  reply.name = r.str();
+  reply.version = r.u32();
+  reply.peer_failures = r.u32();
+  if (!r.ok() || !r.at_end()) return Status::error("publish reply: truncated payload");
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Model listing
+// ---------------------------------------------------------------------------
+
+std::string encode_model_list(const std::vector<ModelSummary>& models) {
+  ByteWriter w;
+  w.u8(1);
+  w.u64(models.size());
+  for (const ModelSummary& m : models) {
+    w.str(m.name);
+    w.u32(m.version);
+    w.u64(m.blob_bytes);
+    w.u64(m.blob_checksum);
+  }
+  return w.take();
+}
+
+Result<std::vector<ModelSummary>> decode_model_list(std::string_view payload) {
+  ByteReader r(payload);
+  if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  const std::uint64_t n = r.u64();
+  // Each entry is at least a name length prefix (8) + u32 + u64 + u64: the
+  // count guard must be in entries, not bytes, or a corrupt count triggers a
+  // count-sized allocation before the per-entry reads can fail.
+  if (!r.ok() || n > r.remaining() / 28) return Status::error("model list: corrupt count");
+  std::vector<ModelSummary> models;
+  models.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    ModelSummary m;
+    m.name = r.str();
+    m.version = r.u32();
+    m.blob_bytes = r.u64();
+    m.blob_checksum = r.u64();
+    models.push_back(std::move(m));
+  }
+  if (!r.ok() || !r.at_end()) return Status::error("model list: truncated payload");
+  return models;
+}
+
+// ---------------------------------------------------------------------------
+// Node stats
+// ---------------------------------------------------------------------------
+
+NodeStats collect_node_stats(const serve::CompileService& service) {
+  const serve::ServeMetrics metrics = service.metrics();
+  const runtime::EvalStats eval = service.eval_service()->stats();
+  NodeStats stats;
+  stats.completed = metrics.completed;
+  stats.failed = metrics.failed;
+  stats.rejected = metrics.rejected;
+  stats.queue_depth = metrics.queue_depth;
+  stats.p50_ms = metrics.latency.p50_ms;
+  stats.p95_ms = metrics.latency.p95_ms;
+  stats.eval_hits = eval.hits;
+  stats.eval_misses = eval.misses;
+  stats.eval_sequence_hits = eval.sequence_hits;
+  stats.models = service.registry()->size();
+  return stats;
+}
+
+std::string encode_node_stats(const NodeStats& stats) {
+  ByteWriter w;
+  w.u8(1);
+  w.u64(stats.completed);
+  w.u64(stats.failed);
+  w.u64(stats.rejected);
+  w.u64(stats.queue_depth);
+  w.f64(stats.p50_ms);
+  w.f64(stats.p95_ms);
+  w.u64(stats.eval_hits);
+  w.u64(stats.eval_misses);
+  w.u64(stats.eval_sequence_hits);
+  w.u64(stats.models);
+  return w.take();
+}
+
+Result<NodeStats> decode_node_stats(std::string_view payload) {
+  ByteReader r(payload);
+  if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  NodeStats stats;
+  stats.completed = r.u64();
+  stats.failed = r.u64();
+  stats.rejected = r.u64();
+  stats.queue_depth = r.u64();
+  stats.p50_ms = r.f64();
+  stats.p95_ms = r.f64();
+  stats.eval_hits = r.u64();
+  stats.eval_misses = r.u64();
+  stats.eval_sequence_hits = r.u64();
+  stats.models = r.u64();
+  if (!r.ok() || !r.at_end()) return Status::error("node stats: truncated payload");
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Status-only replies
+// ---------------------------------------------------------------------------
+
+std::string encode_status_reply(const Status& status) {
+  ByteWriter w;
+  write_status_prefix(w, status);
+  return w.take();
+}
+
+Status decode_status_reply(std::string_view payload) {
+  ByteReader r(payload);
+  const Status prefix = read_status_prefix(r);
+  if (!r.ok()) return Status::error("status reply: truncated payload");
+  return prefix;
+}
+
+}  // namespace autophase::net

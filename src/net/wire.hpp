@@ -1,0 +1,98 @@
+// Payload codecs for the serving wire protocol (net/frame.hpp carries the
+// bytes; this is what the bytes mean). Every reply payload starts with a
+// status byte + error string, so transport errors and application errors stay
+// distinguishable. Compile responses are canonical: the same CompileResponse
+// always encodes to the same bytes, which is what lets tests assert that a
+// remote answer is byte-identical to compile_sync on the owning node.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/eval_service.hpp"
+#include "serve/compile_service.hpp"
+#include "support/status.hpp"
+
+namespace autophase::net {
+
+// ---- Compile ----
+
+std::string encode_compile_request(const serve::CompileRequest& request);
+
+/// The decoded module owns the IR the embedded request points at; keep it
+/// alive for as long as the request is in flight.
+struct DecodedCompileRequest {
+  std::unique_ptr<ir::Module> module;
+  serve::CompileRequest request;
+};
+Result<DecodedCompileRequest> decode_compile_request(std::string_view payload);
+
+std::string encode_compile_response(const Result<serve::CompileResponse>& response);
+Result<serve::CompileResponse> decode_compile_response(std::string_view payload);
+
+/// Deterministic bytes of a successful response — provenance + optimized
+/// module, with transport timings (queue/serve nanos) excluded. Two nodes
+/// serving the same model version must produce identical identity bytes.
+std::string response_identity_bytes(const serve::CompileResponse& response);
+
+// ---- Publish / replicate ----
+
+std::string encode_publish_request(std::string_view name, std::string_view artifact_blob);
+struct PublishRequest {
+  std::string name;
+  std::string artifact_blob;
+};
+Result<PublishRequest> decode_publish_request(std::string_view payload);
+
+struct PublishReply {
+  std::string name;
+  std::uint32_t version = 0;
+  std::uint32_t peer_failures = 0;  // peers that did not ack the replication
+};
+std::string encode_publish_reply(const Result<PublishReply>& reply);
+Result<PublishReply> decode_publish_reply(std::string_view payload);
+
+// kReplicate's payload is the raw artifact blob itself (name + version are
+// embedded); its reply reuses the publish reply codec.
+
+// ---- Model listing ----
+
+struct ModelSummary {
+  std::string name;
+  std::uint32_t version = 0;
+  std::uint64_t blob_bytes = 0;
+  /// FNV-1a of the exported blob: equal checksums across nodes mean the
+  /// registries converged on bit-identical artifacts.
+  std::uint64_t blob_checksum = 0;
+};
+std::string encode_model_list(const std::vector<ModelSummary>& models);
+Result<std::vector<ModelSummary>> decode_model_list(std::string_view payload);
+
+// ---- Node stats ----
+
+struct NodeStats {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t queue_depth = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::uint64_t eval_hits = 0;
+  std::uint64_t eval_misses = 0;      // simulator samples on this node
+  std::uint64_t eval_sequence_hits = 0;
+  std::uint64_t models = 0;
+};
+NodeStats collect_node_stats(const serve::CompileService& service);
+std::string encode_node_stats(const NodeStats& stats);
+Result<NodeStats> decode_node_stats(std::string_view payload);
+
+// ---- Shared status prefix ----
+
+/// Replies whose only content is success/failure (and error text).
+std::string encode_status_reply(const Status& status);
+Status decode_status_reply(std::string_view payload);
+
+}  // namespace autophase::net

@@ -27,8 +27,15 @@ std::vector<Instruction*> split_array_allocas(Function& f, std::size_t max_eleme
   std::vector<Instruction*> created;
   if (f.entry() == nullptr) return created;
 
-  for (Instruction* alloca_inst : f.entry()->instructions()) {
-    if (alloca_inst->opcode() != Opcode::kAlloca) continue;
+  // Collect the candidate allocas before rewriting anything: splitting one
+  // alloca erases its geps, and a plain instructions() snapshot would keep
+  // dangling pointers to those for later iterations (erased geps can never
+  // be allocas, so this worklist stays valid throughout).
+  std::vector<Instruction*> allocas;
+  for (Instruction* inst : f.entry()->instructions()) {
+    if (inst->opcode() == Opcode::kAlloca) allocas.push_back(inst);
+  }
+  for (Instruction* alloca_inst : allocas) {
     const std::size_t count = alloca_inst->alloca_count();
     if (count < 2 || count > max_elements) continue;
 

@@ -44,6 +44,14 @@ struct EvalStats {
     eval_nanos += o.eval_nanos;
     return *this;
   }
+
+  /// Fraction of lookups answered without a simulator call — the quantity
+  /// cluster routing (consistent-hash by program fingerprint) protects.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t total = hits + sequence_hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits + sequence_hits) / static_cast<double>(total);
+  }
 };
 
 /// Secondary cache key for an un-materialised evaluation request.

@@ -1,0 +1,127 @@
+// RemoteCompileClient: the build-farm side of the serving wire protocol.
+// Holds a small connection pool per node, pipelines batches of requests over
+// one connection (responses are matched by request id, so they may return in
+// any order), enforces per-request deadlines, and routes every compile
+// request by consistent-hashing its program fingerprint onto the node ring —
+// the same program always lands on the same node, so each node's EvalService
+// cache stays hot no matter how many clients are spraying the fleet.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/compile_service.hpp"
+#include "serve/model_registry.hpp"
+
+namespace autophase::serve {
+
+struct RemoteClientConfig {
+  std::chrono::milliseconds connect_timeout{2'000};
+  /// Per-call default; the explicit-deadline overloads override it.
+  std::chrono::milliseconds request_deadline{30'000};
+  /// Idle connections kept per node beyond which release() closes instead.
+  std::size_t pool_per_node = 4;
+  /// Ring points per node. More points = smoother key spread.
+  std::size_t virtual_nodes = 64;
+  std::size_t max_frame_payload = net::kDefaultMaxPayload;
+};
+
+struct RemoteClientStats {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;  // transport or remote errors
+  std::uint64_t timeouts = 0;  // deadline expiries (also counted as failures)
+  std::uint64_t connects = 0;  // fresh TCP connections established
+};
+
+class RemoteCompileClient {
+ public:
+  explicit RemoteCompileClient(std::vector<net::RemoteEndpoint> nodes,
+                               RemoteClientConfig config = {});
+
+  RemoteCompileClient(const RemoteCompileClient&) = delete;
+  RemoteCompileClient& operator=(const RemoteCompileClient&) = delete;
+
+  /// One request, routed by program fingerprint, answered within the
+  /// deadline or failed with a "deadline exceeded" error. A timed-out
+  /// connection is discarded — a late response must never be mistaken for
+  /// the answer to the next request.
+  Result<CompileResponse> compile(const CompileRequest& request);
+  Result<CompileResponse> compile(const CompileRequest& request,
+                                  std::chrono::milliseconds deadline);
+
+  /// Pipelined batch: requests are partitioned by routing, each node's share
+  /// is written back-to-back on one connection before any response is read,
+  /// and results[i] always corresponds to requests[i].
+  std::vector<Result<CompileResponse>> compile_batch(const std::vector<CompileRequest>& requests);
+
+  /// Publishes through `node` (which replicates to its peers per its own
+  /// config) — the explicit "owning node" of the model. Success means the
+  /// owning node durably assigned the returned version; peer_failures > 0
+  /// reports replicas that missed the push (the version still exists, so a
+  /// blind retry would mint a duplicate — reconcile instead).
+  Result<net::PublishReply> publish(std::size_t node, const std::string& name,
+                                    const PolicyArtifact& artifact);
+
+  Result<std::vector<net::ModelSummary>> list_models(std::size_t node);
+  Result<net::NodeStats> node_stats(std::size_t node);
+
+  /// Ring lookup: which node a program's requests are routed to.
+  [[nodiscard]] std::size_t route(const ir::Module& module) const;
+  [[nodiscard]] std::size_t route_fingerprint(std::uint64_t fingerprint) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] RemoteClientStats stats() const;
+
+ private:
+  struct Lease {
+    net::TcpStream stream;
+    std::size_t node = 0;
+    /// Freshly connected (as opposed to reused from the pool). A pooled
+    /// connection may have died while idle (node restart), so transport
+    /// failures on a non-fresh lease are retried once on a fresh one.
+    bool fresh = false;
+  };
+
+  Result<Lease> acquire(std::size_t node, bool force_fresh = false);
+  /// Healthy connections return to the pool; poisoned ones are dropped.
+  void release(Lease lease, bool healthy);
+
+  /// One request/reply exchange with the stale-pooled-connection retry.
+  Result<net::Frame> exchange_op(std::size_t node, const net::Frame& frame);
+  /// Writes + reads one node's pipelined share of a batch; returns how many
+  /// responses arrived (0 on an immediately-dead connection).
+  std::size_t run_node_batch(Lease& lease, const std::vector<CompileRequest>& requests,
+                             const std::vector<std::size_t>& batch,
+                             std::vector<Result<CompileResponse>>& results, bool& healthy);
+
+  /// One request/response exchange on a leased connection. `transport_ok`
+  /// reports whether the stream is still on a frame boundary afterwards
+  /// (reusable), independent of the application-level result.
+  Result<CompileResponse> roundtrip(Lease& lease, const CompileRequest& request,
+                                    net::Deadline deadline, bool* transport_ok);
+  /// Sends `frame`, then reads frames until `request_id` answers (pipelined
+  /// peers' responses for other ids are never interleaved on a leased
+  /// connection, so in practice the first frame is the answer).
+  Result<net::Frame> exchange(Lease& lease, const net::Frame& frame, net::Deadline deadline);
+
+  std::uint64_t next_request_id();
+  void count_failure(const Status& status);
+
+  std::vector<net::RemoteEndpoint> nodes_;
+  RemoteClientConfig config_;
+  /// Consistent-hash ring: (point, node index), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<net::TcpStream>> idle_;  // per node
+  std::uint64_t next_id_ = 1;
+  RemoteClientStats stats_;
+};
+
+}  // namespace autophase::serve

@@ -57,12 +57,12 @@ class ByteReader {
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  /// Guards length prefixes against truncated/corrupt blobs: a count may
+  /// never promise more payload (or more loop iterations) than bytes remain.
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
 
  private:
   bool take(void* out, std::size_t n);
-  /// Guards length prefixes against truncated/corrupt blobs: a count may
-  /// never promise more payload than bytes remaining.
-  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
 
   std::string_view data_;
   std::size_t pos_ = 0;

@@ -1,0 +1,605 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "passes/pipelines.hpp"
+#include "progen/chstone_like.hpp"
+#include "progen/random_program.hpp"
+#include "rl/env.hpp"
+#include "rl/ppo.hpp"
+#include "serve/module_codec.hpp"
+#include "serve/remote_client.hpp"
+#include "serve/serialization.hpp"
+#include "support/hash.hpp"
+
+namespace autophase {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+rl::EnvConfig tiny_env_config() {
+  rl::EnvConfig cfg;
+  cfg.episode_length = 4;
+  cfg.observation = rl::ObservationMode::kActionHistogram;
+  return cfg;
+}
+
+serve::PolicyArtifact make_test_artifact(const ir::Module* program, std::uint64_t seed) {
+  const rl::EnvConfig cfg = tiny_env_config();
+  rl::PhaseOrderEnv env({program}, cfg);
+  rl::PpoConfig ppo;
+  ppo.hidden = {12};
+  ppo.seed = seed;
+  rl::PpoTrainer trainer(env, ppo);
+  return serve::make_artifact(trainer.export_policy(), cfg);
+}
+
+/// A started two-piece serving node for end-to-end tests.
+struct NodeHarness {
+  std::shared_ptr<serve::ModelRegistry> registry = std::make_shared<serve::ModelRegistry>();
+  std::shared_ptr<runtime::EvalService> eval = std::make_shared<runtime::EvalService>();
+  std::unique_ptr<net::ServeNode> node;
+
+  explicit NodeHarness(net::ServeNodeConfig config = {}) {
+    node = std::make_unique<net::ServeNode>(registry, eval, config);
+    const Status started = node->start();
+    EXPECT_TRUE(started.is_ok()) << started.message();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Module codec
+// ---------------------------------------------------------------------------
+
+TEST(ModuleCodec, ChstoneRoundTripPreservesPrintAndFingerprint) {
+  for (const char* name : {"sha", "gsm", "qsort", "adpcm"}) {
+    auto m = progen::build_chstone_like(name);
+    const std::string bytes = serve::serialize_module(*m);
+    auto decoded = serve::deserialize_module(bytes);
+    ASSERT_TRUE(decoded.is_ok()) << name << ": " << decoded.message();
+    EXPECT_EQ(ir::print_module(*decoded.value()), ir::print_module(*m)) << name;
+    EXPECT_EQ(ir::module_fingerprint(*decoded.value()), ir::module_fingerprint(*m));
+    EXPECT_TRUE(ir::verify_module(*decoded.value()).is_ok());
+    // Canonical: serialize-of-deserialize is byte-identical.
+    EXPECT_EQ(serve::serialize_module(*decoded.value()), bytes) << name;
+  }
+}
+
+TEST(ModuleCodec, RandomProgramsRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto m = progen::generate_filtered_program(seed * 7919);
+    auto decoded = serve::deserialize_module(serve::serialize_module(*m));
+    ASSERT_TRUE(decoded.is_ok()) << "seed " << seed << ": " << decoded.message();
+    EXPECT_EQ(ir::print_module(*decoded.value()), ir::print_module(*m)) << "seed " << seed;
+  }
+}
+
+TEST(ModuleCodec, OptimizedModuleRoundTrips) {
+  // -O3-style pipelines produce the IR shapes serving actually ships back
+  // (collapsed CFGs, phis, rewritten calls); they must survive the codec too.
+  auto m = progen::build_chstone_like("sha");
+  passes::run_o3(*m);
+  ASSERT_TRUE(ir::verify_module(*m).is_ok());
+  auto decoded = serve::deserialize_module(serve::serialize_module(*m));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  EXPECT_EQ(ir::print_module(*decoded.value()), ir::print_module(*m));
+}
+
+TEST(ModuleCodec, CorruptionIsRejectedCleanly) {
+  auto m = progen::build_chstone_like("qsort");
+  const std::string bytes = serve::serialize_module(*m);
+
+  EXPECT_FALSE(serve::deserialize_module("garbage").is_ok());
+  // Truncation at every 97th offset: never a crash, always an error.
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 97) {
+    EXPECT_FALSE(serve::deserialize_module(std::string_view(bytes).substr(0, cut)).is_ok());
+  }
+  // Flipped bytes either fail the checksum or (if they survive framing by
+  // absurd luck) the structural validation / verifier.
+  for (std::size_t at : {bytes.size() / 3, bytes.size() / 2, bytes.size() - 9}) {
+    std::string flipped = bytes;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x5a);
+    EXPECT_FALSE(serve::deserialize_module(flipped).is_ok()) << "offset " << at;
+  }
+}
+
+TEST(ModuleCodec, HostileArityCountsAreRejectedWithoutAllocating) {
+  // A hand-crafted blob (valid magic/version/checksum) declaring a call with
+  // ~2^26 arguments in a few dozen payload bytes: the decoder must reject it
+  // from the count guard, not iterate or allocate count-many entries.
+  serve::ByteWriter payload;
+  payload.str("evil");  // module name
+  payload.u64(0);       // globals
+  payload.u64(1);       // functions
+  payload.str("f");     // signature: name
+  payload.u8(0);        //   return type: void
+  payload.u64(0);       //   no args
+  payload.u8(0);        //   attrs
+  payload.u64(1);       // body: one block
+  payload.str("entry");
+  payload.u64(1);  // one instruction
+  payload.u8(static_cast<std::uint8_t>(ir::Opcode::kCall));
+  payload.str("");
+  payload.u8(0);            // result type: void
+  payload.u32(0);           // callee index
+  payload.u64(1ull << 26);  // 67M-argument promise in a tiny payload
+
+  serve::ByteWriter framed;
+  framed.u32(0x424D5041);  // "APMB"
+  framed.u32(1);
+  framed.str(payload.bytes());
+  framed.u64(fnv1a(payload.bytes()));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto decoded = serve::deserialize_module(framed.bytes());
+  EXPECT_FALSE(decoded.is_ok());
+  EXPECT_NE(decoded.message().find("call arity"), std::string::npos) << decoded.message();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(1));
+}
+
+// ---------------------------------------------------------------------------
+// Frame parsing
+// ---------------------------------------------------------------------------
+
+net::Frame ping_frame(std::uint64_t id, std::string payload) {
+  net::Frame f;
+  f.type = net::MsgType::kPing;
+  f.request_id = id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(WireFrame, RoundTripAndIncrementalDelivery) {
+  const std::string bytes = net::encode_frame(ping_frame(42, "hello"));
+  net::Frame out;
+  std::string error;
+
+  // Dribble the frame in one byte at a time: kNeedMore until the last byte.
+  std::string buffer;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    buffer.push_back(bytes[i]);
+    EXPECT_EQ(net::try_parse_frame(buffer, out, error), net::FrameParse::kNeedMore);
+  }
+  buffer.push_back(bytes.back());
+  ASSERT_EQ(net::try_parse_frame(buffer, out, error), net::FrameParse::kFrame);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.payload, "hello");
+  EXPECT_TRUE(buffer.empty());
+
+  // Two frames back to back parse in order and drain the buffer.
+  buffer = net::encode_frame(ping_frame(1, "a")) + net::encode_frame(ping_frame(2, "b"));
+  ASSERT_EQ(net::try_parse_frame(buffer, out, error), net::FrameParse::kFrame);
+  EXPECT_EQ(out.request_id, 1u);
+  ASSERT_EQ(net::try_parse_frame(buffer, out, error), net::FrameParse::kFrame);
+  EXPECT_EQ(out.request_id, 2u);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(WireFrame, ChecksumMismatchIsAProtocolError) {
+  std::string bytes = net::encode_frame(ping_frame(7, "payload"));
+  bytes[net::kFrameHeaderBytes + 2] ^= 0x40;  // corrupt the payload in place
+  net::Frame out;
+  std::string error;
+  EXPECT_EQ(net::try_parse_frame(bytes, out, error), net::FrameParse::kError);
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(WireFrame, OversizeLengthPrefixIsRejectedBeforeAllocation) {
+  serve::ByteWriter w;
+  w.u32(net::kWireMagic);
+  w.u32(net::kWireVersion);
+  w.u8(static_cast<std::uint8_t>(net::MsgType::kCompile));
+  w.u64(1);                      // request id
+  w.u64(1ull << 40);             // one-terabyte payload promise
+  std::string buffer = w.take();
+  net::Frame out;
+  std::string error;
+  EXPECT_EQ(net::try_parse_frame(buffer, out, error), net::FrameParse::kError);
+  EXPECT_NE(error.find("oversize"), std::string::npos) << error;
+}
+
+TEST(WireFrame, BadMagicAndFutureVersionAreRejected) {
+  std::string bytes = net::encode_frame(ping_frame(1, "x"));
+  net::Frame out;
+  std::string error;
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'Z';
+  EXPECT_EQ(net::try_parse_frame(bad_magic, out, error), net::FrameParse::kError);
+
+  std::string future = bytes;
+  future[4] = 99;  // version little-endian low byte
+  EXPECT_EQ(net::try_parse_frame(future, out, error), net::FrameParse::kError);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving over loopback
+// ---------------------------------------------------------------------------
+
+TEST(RemoteServe, ResponseBytesIdenticalToCompileSync) {
+  auto sha = progen::build_chstone_like("sha");
+  auto gsm = progen::build_chstone_like("gsm");
+  NodeHarness harness;
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 21));
+
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+  for (const ir::Module* module : {sha.get(), gsm.get()}) {
+    serve::CompileRequest request;
+    request.module = module;
+    request.model = "agent";
+    request.objective = serve::Objective::kFixedBudget;
+    request.pass_budget = 3;
+
+    auto remote = client.compile(request);
+    ASSERT_TRUE(remote.is_ok()) << remote.message();
+    auto local = harness.node->service().compile_sync(request);
+    ASSERT_TRUE(local.is_ok()) << local.message();
+
+    // The acceptance bar: the remote answer is byte-identical to the owning
+    // node's compile_sync — provenance and optimized module both.
+    EXPECT_EQ(net::response_identity_bytes(remote.value()),
+              net::response_identity_bytes(local.value()));
+    EXPECT_EQ(remote.value().provenance.sequence, local.value().provenance.sequence);
+    EXPECT_EQ(ir::print_module(*remote.value().module), ir::print_module(*local.value().module));
+  }
+}
+
+TEST(RemoteServe, PipelinedBatchMatchesSyncReference) {
+  auto sha = progen::build_chstone_like("sha");
+  auto gsm = progen::build_chstone_like("gsm");
+  auto qsort = progen::build_chstone_like("qsort");
+  const std::vector<const ir::Module*> modules = {sha.get(), gsm.get(), qsort.get()};
+  NodeHarness harness;
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 31));
+
+  std::vector<serve::CompileRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    serve::CompileRequest request;
+    request.module = modules[static_cast<std::size_t>(i) % modules.size()];
+    request.model = "agent";
+    request.objective = i % 2 == 0 ? serve::Objective::kCycles : serve::Objective::kFixedBudget;
+    request.pass_budget = 2 + i % 2;
+    request.beam_width = 1 + i % 2;
+    requests.push_back(request);
+  }
+  std::vector<std::string> expected;
+  for (const auto& request : requests) {
+    auto local = harness.node->service().compile_sync(request);
+    ASSERT_TRUE(local.is_ok()) << local.message();
+    expected.push_back(net::response_identity_bytes(local.value()));
+  }
+
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+  auto results = client.compile_batch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].is_ok()) << "request " << i << ": " << results[i].message();
+    EXPECT_EQ(net::response_identity_bytes(results[i].value()), expected[i]) << "request " << i;
+  }
+  // The whole pipeline rode one connection.
+  EXPECT_EQ(client.stats().connects, 1u);
+}
+
+TEST(RemoteServe, InFlightCapThrottlesPipelinesWithoutLosingFrames) {
+  // A cap far below the pipeline depth forces the server to pause EPOLLIN
+  // repeatedly and resume from frames already buffered in inbuf — the whole
+  // batch is written before any response is read, so every frame past the
+  // cap arrives while the connection is throttled. Nothing may be lost,
+  // reordered to the wrong id, or answered differently.
+  auto sha = progen::build_chstone_like("sha");
+  auto gsm = progen::build_chstone_like("gsm");
+  net::ServeNodeConfig config;
+  config.max_in_flight_per_connection = 2;
+  config.net_workers = 2;
+  NodeHarness harness(config);
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 17));
+
+  std::vector<serve::CompileRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    serve::CompileRequest request;
+    request.module = i % 2 == 0 ? sha.get() : gsm.get();
+    request.model = "agent";
+    request.objective = serve::Objective::kFixedBudget;
+    request.pass_budget = 1 + i % 3;
+    requests.push_back(request);
+  }
+  std::vector<std::string> expected;
+  for (const auto& request : requests) {
+    auto local = harness.node->service().compile_sync(request);
+    ASSERT_TRUE(local.is_ok());
+    expected.push_back(net::response_identity_bytes(local.value()));
+  }
+
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+  auto results = client.compile_batch(requests);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].is_ok()) << "request " << i << ": " << results[i].message();
+    EXPECT_EQ(net::response_identity_bytes(results[i].value()), expected[i]) << "request " << i;
+  }
+}
+
+TEST(RemoteServe, PublishReplicatesBitExactAcrossNodes) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness a;
+  NodeHarness b;
+  a.node->add_peer(b.node->endpoint());
+
+  serve::RemoteCompileClient client({a.node->endpoint(), b.node->endpoint()});
+  auto key = client.publish(0, "agent", make_test_artifact(sha.get(), 5));
+  ASSERT_TRUE(key.is_ok()) << key.message();
+  EXPECT_EQ(key.value().name, "agent");
+  EXPECT_EQ(key.value().version, 1u);
+  EXPECT_EQ(key.value().peer_failures, 0u);
+
+  // Registries converged on bit-identical blobs (the round-trip check the
+  // artifact format already guarantees makes this equality meaningful).
+  const auto blob_a = a.registry->export_model("agent", 1);
+  const auto blob_b = b.registry->export_model("agent", 1);
+  ASSERT_TRUE(blob_a.is_ok());
+  ASSERT_TRUE(blob_b.is_ok()) << "replication did not reach node B";
+  EXPECT_EQ(blob_a.value(), blob_b.value());
+
+  // The wire-level view agrees.
+  auto list_a = client.list_models(0);
+  auto list_b = client.list_models(1);
+  ASSERT_TRUE(list_a.is_ok() && list_b.is_ok());
+  ASSERT_EQ(list_a.value().size(), 1u);
+  ASSERT_EQ(list_b.value().size(), 1u);
+  EXPECT_EQ(list_a.value()[0].blob_checksum, list_b.value()[0].blob_checksum);
+  EXPECT_EQ(list_a.value()[0].version, list_b.value()[0].version);
+
+  // Both nodes now serve the same model: responses are byte-identical.
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  auto via_a = a.node->service().compile_sync(request);
+  auto via_b = b.node->service().compile_sync(request);
+  ASSERT_TRUE(via_a.is_ok() && via_b.is_ok());
+  EXPECT_EQ(net::response_identity_bytes(via_a.value()),
+            net::response_identity_bytes(via_b.value()));
+}
+
+TEST(RemoteServe, UnknownModelIsARemoteErrorAndConnectionIsReused) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness harness;
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 3));
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+
+  serve::CompileRequest bogus;
+  bogus.module = sha.get();
+  bogus.model = "nope";
+  auto error = client.compile(bogus);
+  EXPECT_FALSE(error.is_ok());
+  EXPECT_NE(error.message().find("unknown model"), std::string::npos) << error.message();
+
+  serve::CompileRequest good = bogus;
+  good.model = "agent";
+  auto response = client.compile(good);
+  ASSERT_TRUE(response.is_ok()) << response.message();
+  // The application error did not poison the transport: one connection total.
+  EXPECT_EQ(client.stats().connects, 1u);
+}
+
+TEST(RemoteServe, ClientDeadlineExpiresCleanly) {
+  // A listener that accepts nothing: connects succeed (backlog), requests
+  // vanish. The client must fail with a deadline error, not hang.
+  auto listener = net::TcpListener::bind_loopback(0);
+  ASSERT_TRUE(listener.is_ok());
+
+  auto sha = progen::build_chstone_like("sha");
+  serve::RemoteClientConfig config;
+  config.request_deadline = 100ms;
+  serve::RemoteCompileClient client({{"127.0.0.1", listener.value().port()}}, config);
+
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  const auto t0 = std::chrono::steady_clock::now();
+  auto response = client.compile(request);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(response.is_ok());
+  EXPECT_NE(response.message().find("deadline exceeded"), std::string::npos)
+      << response.message();
+  EXPECT_LT(elapsed, 5s);  // bounded, not wedged
+  EXPECT_EQ(client.stats().timeouts, 1u);
+}
+
+TEST(RemoteServe, ServerSurvivesGarbageAndAbandonedConnections) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness harness;
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 9));
+
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+
+  // 1. Pure garbage: the server answers with a protocol error frame and
+  //    drops the connection.
+  {
+    auto raw = net::TcpStream::connect("127.0.0.1", harness.node->port(), 2000ms);
+    ASSERT_TRUE(raw.is_ok());
+    const char garbage[] = "definitely not an AutoPhase frame";
+    ASSERT_TRUE(raw.value()
+                    .write_all(garbage, sizeof(garbage), net::deadline_in(2000ms))
+                    .is_ok());
+    auto reply = net::read_frame(raw.value(), net::deadline_in(5000ms));
+    ASSERT_TRUE(reply.is_ok()) << reply.message();
+    EXPECT_EQ(reply.value().type, net::MsgType::kError);
+    EXPECT_FALSE(net::decode_status_reply(reply.value().payload).is_ok());
+  }
+
+  // 2. A checksum-corrupted frame is equally fatal for that connection.
+  {
+    auto raw = net::TcpStream::connect("127.0.0.1", harness.node->port(), 2000ms);
+    ASSERT_TRUE(raw.is_ok());
+    std::string bytes = net::encode_frame(ping_frame(5, "ok"));
+    bytes[bytes.size() - 1] ^= 0x11;  // checksum trailer
+    ASSERT_TRUE(
+        raw.value().write_all(bytes.data(), bytes.size(), net::deadline_in(2000ms)).is_ok());
+    auto reply = net::read_frame(raw.value(), net::deadline_in(5000ms));
+    ASSERT_TRUE(reply.is_ok());
+    EXPECT_EQ(reply.value().type, net::MsgType::kError);
+  }
+
+  // 3. A client that sends a real request and hangs up before the answer:
+  //    the server's worker writes into a dead socket and must shrug.
+  {
+    auto raw = net::TcpStream::connect("127.0.0.1", harness.node->port(), 2000ms);
+    ASSERT_TRUE(raw.is_ok());
+    net::Frame frame;
+    frame.type = net::MsgType::kCompile;
+    frame.request_id = 77;
+    frame.payload = net::encode_compile_request(request);
+    ASSERT_TRUE(net::write_frame(raw.value(), frame, net::deadline_in(2000ms)).is_ok());
+    raw.value().shutdown();  // gone before the response exists
+  }
+  // 4. A half-frame then silence (the abandoned connection just idles).
+  {
+    auto raw = net::TcpStream::connect("127.0.0.1", harness.node->port(), 2000ms);
+    ASSERT_TRUE(raw.is_ok());
+    const std::string bytes = net::encode_frame(ping_frame(6, "partial"));
+    ASSERT_TRUE(raw.value()
+                    .write_all(bytes.data(), bytes.size() / 2, net::deadline_in(2000ms))
+                    .is_ok());
+  }
+
+  // After all of that, the worker pool still serves: repeated full requests
+  // succeed with the usual bit-exact answer.
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+  auto local = harness.node->service().compile_sync(request);
+  ASSERT_TRUE(local.is_ok());
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.compile(request);
+    ASSERT_TRUE(response.is_ok()) << "attempt " << i << ": " << response.message();
+    EXPECT_EQ(net::response_identity_bytes(response.value()),
+              net::response_identity_bytes(local.value()));
+  }
+}
+
+TEST(RemoteServe, ConsistentHashRoutingIsStableAndCacheAffine) {
+  auto sha = progen::build_chstone_like("sha");
+  auto gsm = progen::build_chstone_like("gsm");
+  NodeHarness a;
+  NodeHarness b;
+  const std::vector<net::RemoteEndpoint> endpoints = {a.node->endpoint(), b.node->endpoint()};
+
+  serve::RemoteCompileClient first(endpoints);
+  serve::RemoteCompileClient second(endpoints);
+  for (const ir::Module* m : {sha.get(), gsm.get()}) {
+    const std::size_t node = first.route(*m);
+    EXPECT_LT(node, endpoints.size());
+    // Identical endpoint lists route identically — affinity does not depend
+    // on which client instance (or process) computed it.
+    EXPECT_EQ(second.route(*m), node);
+    // The fingerprint is the print-based module fingerprint, so a clone of
+    // the program lands on the same node's warm cache.
+    EXPECT_EQ(first.route_fingerprint(ir::module_fingerprint(*m)), node);
+  }
+
+  // Requests actually land where route() says: publish everywhere, serve one
+  // module, and check the owning node's counters moved.
+  a.node->add_peer(b.node->endpoint());
+  serve::RemoteCompileClient client(endpoints);
+  auto key = client.publish(0, "agent", make_test_artifact(sha.get(), 13));
+  ASSERT_TRUE(key.is_ok()) << key.message();
+
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  const std::size_t owner = client.route(*sha);
+  auto response = client.compile(request);
+  ASSERT_TRUE(response.is_ok()) << response.message();
+
+  auto owner_stats = client.node_stats(owner);
+  auto other_stats = client.node_stats(1 - owner);
+  ASSERT_TRUE(owner_stats.is_ok() && other_stats.is_ok());
+  EXPECT_EQ(owner_stats.value().completed, 1u);
+  EXPECT_EQ(other_stats.value().completed, 0u);
+  EXPECT_GT(owner_stats.value().eval_misses, 0u);  // its EvalService did the work
+}
+
+TEST(RemoteServe, PublishSurvivesUnreachablePeerWithVersionIntact) {
+  // A dead peer must not erase the fact that the owning node assigned a
+  // version: the reply is success + peer_failures, never a lost ModelKey.
+  auto sha = progen::build_chstone_like("sha");
+  net::ServeNodeConfig config;
+  config.peer_timeout = std::chrono::milliseconds(200);
+  NodeHarness harness(config);
+  // A peer that accepts TCP but never speaks the protocol (a bound listener
+  // nobody drains) — replication to it times out.
+  auto dead_peer = net::TcpListener::bind_loopback(0);
+  ASSERT_TRUE(dead_peer.is_ok());
+  harness.node->add_peer({"127.0.0.1", dead_peer.value().port()});
+
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+  auto reply = client.publish(0, "agent", make_test_artifact(sha.get(), 23));
+  ASSERT_TRUE(reply.is_ok()) << reply.message();
+  EXPECT_EQ(reply.value().version, 1u);
+  EXPECT_EQ(reply.value().peer_failures, 1u);
+  EXPECT_NE(harness.registry->get("agent"), nullptr);  // durably published
+}
+
+TEST(RemoteServe, StalePooledConnectionIsRetriedOnce) {
+  auto sha = progen::build_chstone_like("sha");
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+
+  auto first = std::make_unique<NodeHarness>();
+  first->registry->publish("agent", make_test_artifact(sha.get(), 29));
+  const std::uint16_t port = first->node->port();
+
+  serve::RemoteCompileClient client({{"127.0.0.1", port}});
+  auto before = client.compile(request);
+  ASSERT_TRUE(before.is_ok()) << before.message();
+
+  // Node restarts on the same port; the client's pooled connection is dead.
+  first.reset();
+  net::ServeNodeConfig config;
+  config.port = port;
+  NodeHarness second(config);
+  second.registry->publish("agent", make_test_artifact(sha.get(), 29));
+
+  auto after = client.compile(request);
+  ASSERT_TRUE(after.is_ok()) << after.message();  // retried on a fresh connection
+  EXPECT_EQ(after.value().provenance.sequence, before.value().provenance.sequence);
+  EXPECT_GE(client.stats().connects, 2u);
+}
+
+TEST(RemoteServe, NodeShutdownRejectsLateClients) {
+  auto sha = progen::build_chstone_like("sha");
+  auto harness = std::make_unique<NodeHarness>();
+  harness->registry->publish("agent", make_test_artifact(sha.get(), 4));
+  const net::RemoteEndpoint endpoint = harness->node->endpoint();
+
+  serve::RemoteCompileClient client({endpoint});
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  ASSERT_TRUE(client.compile(request).is_ok());
+
+  harness->node->shutdown();
+  serve::RemoteClientConfig config;
+  config.request_deadline = 500ms;
+  config.connect_timeout = 500ms;
+  serve::RemoteCompileClient late({endpoint}, config);
+  EXPECT_FALSE(late.compile(request).is_ok());  // refused or reset, never a hang
+}
+
+}  // namespace
+}  // namespace autophase
