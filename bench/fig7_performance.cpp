@@ -146,8 +146,10 @@ int main(int argc, char** argv) {
     std::vector<Outcome> outcomes;
     outcomes.push_back({o0, 1});
     outcomes.push_back({o3, 1});
-    outcomes.push_back(run_ppo(*program, rl::ObservationMode::kProgramFeatures, true, b, args.seed));
-    outcomes.push_back(run_ppo(*program, rl::ObservationMode::kActionHistogram, false, b, args.seed));
+    outcomes.push_back(
+        run_ppo(*program, rl::ObservationMode::kProgramFeatures, true, b, args.seed));
+    outcomes.push_back(
+        run_ppo(*program, rl::ObservationMode::kActionHistogram, false, b, args.seed));
     outcomes.push_back(run_a3c(*program, b, args.seed));
     sb.max_samples = b.greedy_samples;
     {
@@ -192,8 +194,9 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\nper-benchmark improvement over -O3:\n%s\n", summary.render().c_str(),
               per_bench.render().c_str());
-  std::printf("paper values: -O0 -23%%, RL-PPO1 +9%%, RL-PPO2 +24%% @88, RL-A3C +25%%, Greedy +3%%,\n"
-              "RL-PPO3 +28%%, OpenTuner +28%% @4384, RL-ES +26%%, Genetic +27%%, Random +7%%.\n"
-              "Expect the same ordering shape; magnitudes differ on the simulated substrate.\n");
+  std::printf(
+      "paper values: -O0 -23%%, RL-PPO1 +9%%, RL-PPO2 +24%% @88, RL-A3C +25%%, Greedy +3%%,\n"
+      "RL-PPO3 +28%%, OpenTuner +28%% @4384, RL-ES +26%%, Genetic +27%%, Random +7%%.\n"
+      "Expect the same ordering shape; magnitudes differ on the simulated substrate.\n");
   return 0;
 }

@@ -102,7 +102,8 @@ int main(int argc, char** argv) {
     }
     const double speedup = r.cold_ms > 0.0 ? baseline.cold_ms / r.cold_ms : 0.0;
     table.add_row({strf("%zu", threads), strf("%.1f", r.cold_ms), strf("%.2fx", speedup),
-                   strf("%.1f", r.warm_ms), strf("%zu", r.samples), strf("%.1f%%", 100.0 * r.hit_rate)});
+                   strf("%.1f", r.warm_ms), strf("%zu", r.samples),
+                   strf("%.1f%%", 100.0 * r.hit_rate)});
     bench::JsonObject row;
     row.field("threads", static_cast<std::uint64_t>(threads))
         .field("cold_ms", r.cold_ms)

@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
     const auto fv = features::extract_features(*program);
     const std::uint64_t o0 = core::o0_cycles(*program);
     const std::uint64_t o3 = core::o3_cycles(*program);
-    const double speedup = static_cast<double>(o0) / static_cast<double>(std::max<std::uint64_t>(1, o3));
+    const double speedup =
+        static_cast<double>(o0) / static_cast<double>(std::max<std::uint64_t>(1, o3));
     speedup_sum += speedup;
     table.add_row({std::to_string(seed), std::to_string(fv[51]), std::to_string(fv[50]),
                    std::to_string(fv[15]), std::to_string(fv[33]), std::to_string(o0),

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a CI bench run against committed baselines.
+
+The benches emit one JSON object each (the `bench-trajectory` artifact).
+This gate is deliberately generous — micro-VM runners are noisy — and only
+fails on signals that are almost certainly real:
+
+  * a throughput metric (any key ending in `_rps`) dropping below
+    baseline / THRESHOLD (default 2.0, i.e. a >2x regression), or
+  * a request-identity invariant (`serial_identical`, `counts_consistent`)
+    reporting anything but "true" in the *new* run, or
+  * a bench that has a committed baseline but produced no output / lost a
+    metric the baseline has.
+
+Latency quantiles and cache counters are trend data, not gates: they ride
+along in the artifact but are never compared here.
+
+Usage:
+    check_bench.py [--baseline-dir bench/baseline] [--threshold 2.0] OUT_DIR
+    check_bench.py --update OUT_DIR     # reseed baselines from OUT_DIR
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+IDENTITY_KEYS = ("serial_identical", "counts_consistent", "identical")
+
+
+def is_true(value):
+    return value is True or value == "true"
+
+
+def load(path):
+    """Parse the bench JSON object out of a (possibly tee'd) output stream.
+
+    Benches print human-readable tables before the JSON line, and CI captures
+    the whole stream; the JSON object is the last line that parses.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for line in reversed(lines):
+        brace = line.find("{")
+        if brace < 0:
+            continue
+        try:
+            return json.loads(line[brace:])  # tolerate a "JSON: " style prefix
+        except json.JSONDecodeError:
+            continue
+    raise ValueError(f"{path}: no JSON object found in bench output")
+
+
+def check_file(name, baseline, new, threshold):
+    """Returns a list of failure strings for one bench."""
+    failures = []
+    for key in IDENTITY_KEYS:
+        if key in baseline or key in new:
+            if key not in new:
+                failures.append(f"{name}: identity metric '{key}' missing from new output")
+            elif not is_true(new[key]):
+                failures.append(f"{name}: request-identity mismatch ({key}={new[key]!r})")
+    for key, old_value in baseline.items():
+        if not (key.endswith("_rps") or key == "requests_per_sec"):
+            continue
+        if key not in new:
+            failures.append(f"{name}: throughput metric '{key}' missing from new output")
+            continue
+        new_value, old_value = float(new[key]), float(old_value)
+        floor = old_value / threshold
+        status = "ok"
+        if old_value > 0 and new_value < floor:
+            failures.append(
+                f"{name}: {key} regressed >{threshold:g}x "
+                f"(baseline {old_value:.1f}, now {new_value:.1f}, floor {floor:.1f})"
+            )
+            status = "REGRESSED"
+        print(
+            f"  {name}: {key} baseline={old_value:.1f} now={new_value:.1f} "
+            f"floor={floor:.1f} [{status}]"
+        )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out_dir", type=pathlib.Path, help="directory with fresh bench JSON")
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=pathlib.Path("bench/baseline"))
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail only when throughput drops below baseline/THRESHOLD")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baselines with OUT_DIR's results")
+    args = parser.parse_args()
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in sorted(args.out_dir.glob("*.json")):
+            load(path)  # refuse to commit malformed baselines
+            shutil.copy(path, args.baseline_dir / path.name)
+            print(f"baseline updated: {args.baseline_dir / path.name}")
+        return 0
+
+    baselines = sorted(args.baseline_dir.glob("*.json"))
+    if not baselines:
+        print(f"error: no baselines in {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for baseline_path in baselines:
+        name = baseline_path.name
+        new_path = args.out_dir / name
+        if not new_path.exists():
+            failures.append(f"{name}: bench output missing from {args.out_dir}")
+            continue
+        failures.extend(check_file(name, load(baseline_path), load(new_path), args.threshold))
+
+    extra = {p.name for p in args.out_dir.glob("*.json")} - {p.name for p in baselines}
+    for name in sorted(extra):
+        print(f"  note: {name} has no baseline yet (run with --update to seed it)")
+
+    if failures:
+        print("\nbench-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench-regression gate passed ({len(baselines)} benches checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,9 @@ class ResourceTracker {
     if (cls == ResourceClass::kNone) return;
     auto& usage = usage_for(cls);
     for (int c = cycle; c < cycle + initiation_interval; ++c) {
-      if (static_cast<std::size_t>(c) >= usage.size()) usage.resize(static_cast<std::size_t>(c) + 1, 0);
+      if (static_cast<std::size_t>(c) >= usage.size()) {
+        usage.resize(static_cast<std::size_t>(c) + 1, 0);
+      }
       ++usage[static_cast<std::size_t>(c)];
     }
   }

@@ -417,7 +417,8 @@ struct Interpreter::Impl {
           const std::size_t bytes = d.alloca_count * d.elem_size;
           if (sp + bytes > memory.size()) return Status::error("interpreter: stack overflow");
           fr.slots[static_cast<std::size_t>(d.dest_slot)] = static_cast<std::int64_t>(sp);
-          stack_ptr = sp + bytes;  // arena already zeroed at run start; freed regions re-zeroed on pop
+          // Arena already zeroed at run start; freed regions re-zeroed on pop.
+          stack_ptr = sp + bytes;
           ++fr.ip;
           break;
         }
@@ -451,12 +452,15 @@ struct Interpreter::Impl {
         case Opcode::kMemSet: {
           const auto addr = static_cast<std::uint64_t>(value_of(d.ops[0]));
           const std::int64_t count_signed = value_of(d.ops[2]);
-          const std::uint64_t count = count_signed <= 0 ? 0 : static_cast<std::uint64_t>(count_signed);
+          const std::uint64_t count =
+              count_signed <= 0 ? 0 : static_cast<std::uint64_t>(count_signed);
           if (count > 0 && !mem_ok(addr, count * d.elem_size)) {
             return Status::error("interpreter: out-of-bounds memset");
           }
           const std::int64_t v = value_of(d.ops[1]);
-          for (std::uint64_t i = 0; i < count; ++i) mem_write(addr + i * d.elem_size, d.elem_size, v);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            mem_write(addr + i * d.elem_size, d.elem_size, v);
+          }
           if (count > 0) mark_written(addr, count * d.elem_size);
           profile.mem_intrinsic_elems[d.src] += count;
           executed += count;  // budget scales with work
@@ -467,8 +471,10 @@ struct Interpreter::Impl {
           const auto dst = static_cast<std::uint64_t>(value_of(d.ops[0]));
           const auto src = static_cast<std::uint64_t>(value_of(d.ops[1]));
           const std::int64_t count_signed = value_of(d.ops[2]);
-          const std::uint64_t count = count_signed <= 0 ? 0 : static_cast<std::uint64_t>(count_signed);
-          if (count > 0 && (!mem_ok(dst, count * d.elem_size) || !mem_ok(src, count * d.elem_size))) {
+          const std::uint64_t count =
+              count_signed <= 0 ? 0 : static_cast<std::uint64_t>(count_signed);
+          if (count > 0 &&
+              (!mem_ok(dst, count * d.elem_size) || !mem_ok(src, count * d.elem_size))) {
             return Status::error("interpreter: out-of-bounds memcpy");
           }
           std::memmove(memory.data() + dst, memory.data() + src, count * d.elem_size);

@@ -28,27 +28,65 @@ class IRBuilder {
 
   // ---- Value ops ----
   Value* binary(Opcode op, Value* a, Value* b, std::string name = "");
-  Value* add(Value* a, Value* b, std::string name = "") { return binary(Opcode::kAdd, a, b, std::move(name)); }
-  Value* sub(Value* a, Value* b, std::string name = "") { return binary(Opcode::kSub, a, b, std::move(name)); }
-  Value* mul(Value* a, Value* b, std::string name = "") { return binary(Opcode::kMul, a, b, std::move(name)); }
-  Value* sdiv(Value* a, Value* b, std::string name = "") { return binary(Opcode::kSDiv, a, b, std::move(name)); }
-  Value* udiv(Value* a, Value* b, std::string name = "") { return binary(Opcode::kUDiv, a, b, std::move(name)); }
-  Value* srem(Value* a, Value* b, std::string name = "") { return binary(Opcode::kSRem, a, b, std::move(name)); }
-  Value* urem(Value* a, Value* b, std::string name = "") { return binary(Opcode::kURem, a, b, std::move(name)); }
-  Value* and_(Value* a, Value* b, std::string name = "") { return binary(Opcode::kAnd, a, b, std::move(name)); }
-  Value* or_(Value* a, Value* b, std::string name = "") { return binary(Opcode::kOr, a, b, std::move(name)); }
-  Value* xor_(Value* a, Value* b, std::string name = "") { return binary(Opcode::kXor, a, b, std::move(name)); }
-  Value* shl(Value* a, Value* b, std::string name = "") { return binary(Opcode::kShl, a, b, std::move(name)); }
-  Value* lshr(Value* a, Value* b, std::string name = "") { return binary(Opcode::kLShr, a, b, std::move(name)); }
-  Value* ashr(Value* a, Value* b, std::string name = "") { return binary(Opcode::kAShr, a, b, std::move(name)); }
+  Value* add(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kAdd, a, b, std::move(name));
+  }
+  Value* sub(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kSub, a, b, std::move(name));
+  }
+  Value* mul(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kMul, a, b, std::move(name));
+  }
+  Value* sdiv(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kSDiv, a, b, std::move(name));
+  }
+  Value* udiv(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kUDiv, a, b, std::move(name));
+  }
+  Value* srem(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kSRem, a, b, std::move(name));
+  }
+  Value* urem(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kURem, a, b, std::move(name));
+  }
+  Value* and_(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kAnd, a, b, std::move(name));
+  }
+  Value* or_(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kOr, a, b, std::move(name));
+  }
+  Value* xor_(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kXor, a, b, std::move(name));
+  }
+  Value* shl(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kShl, a, b, std::move(name));
+  }
+  Value* lshr(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kLShr, a, b, std::move(name));
+  }
+  Value* ashr(Value* a, Value* b, std::string name = "") {
+    return binary(Opcode::kAShr, a, b, std::move(name));
+  }
 
   Value* icmp(ICmpPred pred, Value* a, Value* b, std::string name = "");
-  Value* icmp_eq(Value* a, Value* b, std::string name = "") { return icmp(ICmpPred::kEq, a, b, std::move(name)); }
-  Value* icmp_ne(Value* a, Value* b, std::string name = "") { return icmp(ICmpPred::kNe, a, b, std::move(name)); }
-  Value* icmp_slt(Value* a, Value* b, std::string name = "") { return icmp(ICmpPred::kSlt, a, b, std::move(name)); }
-  Value* icmp_sle(Value* a, Value* b, std::string name = "") { return icmp(ICmpPred::kSle, a, b, std::move(name)); }
-  Value* icmp_sgt(Value* a, Value* b, std::string name = "") { return icmp(ICmpPred::kSgt, a, b, std::move(name)); }
-  Value* icmp_sge(Value* a, Value* b, std::string name = "") { return icmp(ICmpPred::kSge, a, b, std::move(name)); }
+  Value* icmp_eq(Value* a, Value* b, std::string name = "") {
+    return icmp(ICmpPred::kEq, a, b, std::move(name));
+  }
+  Value* icmp_ne(Value* a, Value* b, std::string name = "") {
+    return icmp(ICmpPred::kNe, a, b, std::move(name));
+  }
+  Value* icmp_slt(Value* a, Value* b, std::string name = "") {
+    return icmp(ICmpPred::kSlt, a, b, std::move(name));
+  }
+  Value* icmp_sle(Value* a, Value* b, std::string name = "") {
+    return icmp(ICmpPred::kSle, a, b, std::move(name));
+  }
+  Value* icmp_sgt(Value* a, Value* b, std::string name = "") {
+    return icmp(ICmpPred::kSgt, a, b, std::move(name));
+  }
+  Value* icmp_sge(Value* a, Value* b, std::string name = "") {
+    return icmp(ICmpPred::kSge, a, b, std::move(name));
+  }
 
   Value* zext(Value* v, Type* to, std::string name = "");
   Value* sext(Value* v, Type* to, std::string name = "");

@@ -44,6 +44,8 @@ bool msg_type_known(std::uint8_t raw) noexcept {
     case MsgType::kReplicate:
     case MsgType::kListModels:
     case MsgType::kStats:
+    case MsgType::kSyncRequest:
+    case MsgType::kSyncOffer:
     case MsgType::kError: return true;
   }
   return false;

@@ -24,18 +24,24 @@ namespace autophase::net {
 inline constexpr std::uint32_t kWireMagic = 0x50575041;  // "APWP" little-endian
 /// Bumped whenever the frame header or any payload layout changes; peers
 /// reject frames from a newer protocol.
-inline constexpr std::uint32_t kWireVersion = 1;
+///
+/// v2  kStats payload became versioned and grew the latency reservoir +
+///     per-model-version / per-objective breakdowns; kSyncRequest/kSyncOffer
+///     (replication catch-up) were added.
+inline constexpr std::uint32_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8 + 8;
 inline constexpr std::size_t kDefaultMaxPayload = 64u << 20;
 
 enum class MsgType : std::uint8_t {
   kPing = 1,
-  kCompile = 2,     // CompileRequest -> CompileResponse
-  kPublish = 3,     // named artifact -> assigned version (+ peer replication)
-  kReplicate = 4,   // versioned artifact push between nodes
-  kListModels = 5,  // -> (name, version, bytes, checksum) per model
-  kStats = 6,       // -> node serving/eval counters
-  kError = 15,      // server could not even frame a typed reply
+  kCompile = 2,      // CompileRequest -> CompileResponse
+  kPublish = 3,      // named artifact -> assigned version (+ peer replication)
+  kReplicate = 4,    // versioned artifact push between nodes
+  kListModels = 5,   // -> (name, version, bytes, checksum) per model
+  kStats = 6,        // -> node serving/eval counters (versioned payload)
+  kSyncRequest = 7,  // anti-entropy pull: inventory query / blob fetch
+  kSyncOffer = 8,    // reply to kSyncRequest: version vector or blobs
+  kError = 15,       // server could not even frame a typed reply
 };
 
 [[nodiscard]] bool msg_type_known(std::uint8_t raw) noexcept;

@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sys/epoll.h>
@@ -59,6 +60,17 @@ ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
   config_.net_workers = std::max<std::size_t>(1, config_.net_workers);
   service_ = std::make_unique<serve::CompileService>(registry_, std::move(eval), config_.compile);
   net_pool_ = std::make_unique<ThreadPool>(config_.net_workers);
+  if (config_.warm_up_on_install) {
+    // Every install path (publish, kReplicate push, catch-up fetch) funnels
+    // through the registry, so hooking it here warms them all. The hook
+    // captures the eval service by value, not `this` — a registry shared
+    // beyond this node's lifetime keeps a valid (if then-idle) hook.
+    registry_->set_install_hook(
+        [eval_service = service_->eval_service()](
+            const std::shared_ptr<const serve::PolicyArtifact>& artifact) {
+          serve::warm_up(*artifact, *eval_service);
+        });
+  }
 }
 
 ServeNode::~ServeNode() { shutdown(); }
@@ -278,7 +290,12 @@ void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Fram
     case MsgType::kReplicate: reply.payload = handle_replicate(frame); break;
     case MsgType::kListModels: reply.payload = handle_list(); break;
     case MsgType::kStats: reply.payload = encode_node_stats(stats()); break;
-    case MsgType::kError: answer = false; break;  // a peer's diagnostic
+    case MsgType::kSyncRequest:
+      reply.type = MsgType::kSyncOffer;
+      reply.payload = handle_sync(frame);
+      break;
+    case MsgType::kSyncOffer: answer = false; break;  // replies are client-side
+    case MsgType::kError: answer = false; break;      // a peer's diagnostic
   }
   if (answer) conn->send(reply);
   // Flow control: this frame is done; wake the connection if the in-flight
@@ -317,19 +334,66 @@ std::string ServeNode::handle_replicate(const Frame& frame) {
   return encode_publish_reply(reply);
 }
 
-std::string ServeNode::handle_list() const {
+std::vector<ModelSummary> ServeNode::local_inventory() const {
   std::vector<ModelSummary> models;
   for (const auto& key : registry_->list()) {
-    const auto blob = registry_->export_model(key.name, key.version);
-    if (!blob.is_ok()) continue;  // raced with nothing — list() snapshots
+    const std::shared_ptr<const serve::PolicyArtifact> artifact =
+        registry_->get(key.name, key.version);
+    if (artifact == nullptr) continue;  // raced with nothing — list() snapshots
     ModelSummary m;
     m.name = key.name;
     m.version = key.version;
-    m.blob_bytes = blob.value().size();
-    m.blob_checksum = fnv1a(blob.value());
+    {
+      // Serialize each installed artifact at most once: artifacts are
+      // immutable snapshots, so (bytes, checksum) keyed by pointer identity
+      // stays valid until an import replaces the version's snapshot.
+      const std::lock_guard<std::mutex> lock(inventory_mutex_);
+      auto& entry = inventory_cache_[{key.name, key.version}];
+      if (entry.artifact != artifact) {
+        const std::string blob = serve::serialize_artifact(*artifact);
+        entry = {artifact, blob.size(), fnv1a(blob)};
+      }
+      m.blob_bytes = entry.blob_bytes;
+      m.blob_checksum = entry.blob_checksum;
+    }
     models.push_back(std::move(m));
   }
-  return encode_model_list(models);
+  return models;
+}
+
+std::string ServeNode::handle_list() const { return encode_model_list(local_inventory()); }
+
+std::string ServeNode::handle_sync(const Frame& frame) const {
+  auto request = decode_sync_request(frame.payload);
+  if (!request.is_ok()) {
+    return encode_sync_offer(Status::error("sync: " + request.message()));
+  }
+  SyncOffer offer;
+  offer.mode = request.value().mode;
+  if (request.value().mode == SyncMode::kInventory) {
+    offer.inventory = local_inventory();
+  } else {
+    // One entry per requested key, in order; a key that vanished (a peer
+    // asking about a model this node never had) answers with an empty blob —
+    // the requester consumes the slot and moves on, so anti-entropy cannot
+    // loop on it. The reply is capped below the frame payload limit: a
+    // hand-rolled request for the whole registry gets a truncated offer
+    // (the requester re-asks for the unconsumed tail), never an unframeable
+    // reply or an unbounded server-side buffer.
+    const std::size_t reply_budget =
+        config_.max_frame_payload - std::min<std::size_t>(config_.max_frame_payload / 2, 4096);
+    std::size_t reply_bytes = 0;
+    for (const SyncKey& key : request.value().keys) {
+      auto blob = registry_->export_model(key.name, key.version);
+      std::string bytes = blob.is_ok() ? std::move(blob).value() : std::string();
+      // 16 bytes conservative per-entry framing overhead (8-byte length
+      // prefix + slack), so the encoded payload stays under the cap too.
+      if (reply_bytes + bytes.size() + 16 > reply_budget) break;
+      reply_bytes += bytes.size() + 16;
+      offer.blobs.push_back(std::move(bytes));
+    }
+  }
+  return encode_sync_offer(std::move(offer));
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +417,19 @@ Result<PublishReply> ServeNode::publish(const std::string& name,
   return reply;
 }
 
+Result<Frame> ServeNode::peer_exchange(const RemoteEndpoint& peer, const Frame& request) const {
+  auto stream = TcpStream::connect(peer.host, peer.port, config_.peer_timeout);
+  if (!stream.is_ok()) return stream.status();
+  const Deadline deadline = deadline_in(config_.peer_timeout);
+  if (const Status s = write_frame(stream.value(), request, deadline); !s.is_ok()) return s;
+  auto reply = read_frame(stream.value(), deadline, config_.max_frame_payload);
+  if (!reply.is_ok()) return reply.status();
+  if (reply.value().type == MsgType::kError) {
+    return Status::error(decode_status_reply(reply.value().payload).message());
+  }
+  return reply;
+}
+
 std::uint32_t ServeNode::replicate_to_peers(const std::string& blob) {
   std::vector<RemoteEndpoint> peers;
   {
@@ -361,27 +438,110 @@ std::uint32_t ServeNode::replicate_to_peers(const std::string& blob) {
   }
   std::uint32_t failures = 0;
   for (const RemoteEndpoint& peer : peers) {
-    auto stream = TcpStream::connect(peer.host, peer.port, config_.peer_timeout);
-    if (!stream.is_ok()) {
-      ++failures;
-      continue;
-    }
-    const Deadline deadline = deadline_in(config_.peer_timeout);
     Frame push;
     push.type = MsgType::kReplicate;
     push.request_id = 1;
     push.payload = blob;
-    if (!write_frame(stream.value(), push, deadline).is_ok()) {
-      ++failures;
-      continue;
-    }
-    auto ack = read_frame(stream.value(), deadline, config_.max_frame_payload);
+    auto ack = peer_exchange(peer, push);
     if (!ack.is_ok() || ack.value().type != MsgType::kReplicate ||
         !decode_publish_reply(ack.value().payload).is_ok()) {
       ++failures;
     }
   }
   return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Replication catch-up
+// ---------------------------------------------------------------------------
+
+Result<ServeNode::SyncReport> ServeNode::sync_from(const RemoteEndpoint& peer) {
+  // Pull the peer's version vector.
+  Frame query;
+  query.type = MsgType::kSyncRequest;
+  query.request_id = 1;
+  query.payload = encode_sync_request({SyncMode::kInventory, {}});
+  auto reply = peer_exchange(peer, query);
+  if (!reply.is_ok()) return reply.status();
+  if (reply.value().type != MsgType::kSyncOffer) {
+    return Status::error("sync: mismatched reply type");
+  }
+  auto offer = decode_sync_offer(reply.value().payload);
+  if (!offer.is_ok()) return Status::error("sync: " + offer.message());
+  if (offer.value().mode != SyncMode::kInventory) {
+    return Status::error("sync: expected an inventory offer");
+  }
+
+  // Diff against the local registry: fetch what is missing, and refetch any
+  // version whose bytes diverged (should not happen with deterministic
+  // serialization, but anti-entropy converges on the peer's truth rather
+  // than assuming it).
+  SyncReport report;
+  report.peer_models = offer.value().inventory.size();
+  std::unordered_map<std::string, std::uint64_t> local;
+  for (const ModelSummary& m : local_inventory()) {
+    local.emplace(m.name + "#" + std::to_string(m.version), m.blob_checksum);
+  }
+  std::vector<std::pair<SyncKey, std::uint64_t>> missing;  // key, advertised bytes
+  for (const ModelSummary& m : offer.value().inventory) {
+    const auto it = local.find(m.name + "#" + std::to_string(m.version));
+    if (it != local.end() && it->second == m.blob_checksum) {
+      ++report.already_present;
+    } else {
+      missing.push_back({{m.name, m.version}, m.blob_bytes});
+    }
+  }
+
+  // Fetch in chunks bounded by count AND advertised bytes, so one kSyncOffer
+  // reply never nears the frame payload cap however large the artifacts are
+  // (a single over-budget blob still travels — alone in its chunk).
+  const std::size_t chunk_count = std::max<std::size_t>(1, config_.sync_fetch_batch);
+  const std::uint64_t chunk_bytes = config_.max_frame_payload / 2;
+  for (std::size_t begin = 0; begin < missing.size();) {
+    Frame fetch;
+    fetch.type = MsgType::kSyncRequest;
+    fetch.request_id = 1;
+    SyncRequest request;
+    std::uint64_t bytes = 0;
+    request.mode = SyncMode::kFetch;
+    for (std::size_t i = begin; i < missing.size() && request.keys.size() < chunk_count; ++i) {
+      if (!request.keys.empty() && bytes + missing[i].second > chunk_bytes) break;
+      request.keys.push_back(missing[i].first);
+      bytes += missing[i].second;
+    }
+    fetch.payload = encode_sync_request(request);
+    auto fetched = peer_exchange(peer, fetch);
+    if (!fetched.is_ok()) return fetched.status();
+    auto blobs = decode_sync_offer(fetched.value().payload);
+    if (!blobs.is_ok()) return Status::error("sync fetch: " + blobs.message());
+    if (blobs.value().mode != SyncMode::kFetch) {
+      return Status::error("sync fetch: expected a blob offer");
+    }
+    // One offer entry per requested key, in order; the peer may truncate to
+    // stay under its frame cap, in which case only the consumed prefix
+    // advances and the tail is re-requested next chunk. Zero entries for a
+    // non-empty request means no pass can ever make progress (a blob larger
+    // than the frame cap), so fail loudly instead of reporting a clean sync.
+    if (blobs.value().blobs.empty()) {
+      return Status::error(strf("sync fetch: peer shipped none of %zu requested blobs "
+                                "(artifact larger than the frame payload cap?)",
+                                request.keys.size()));
+    }
+    if (blobs.value().blobs.size() > request.keys.size()) {
+      return Status::error("sync fetch: peer offered more blobs than requested");
+    }
+    for (const std::string& blob : blobs.value().blobs) {
+      ++begin;  // this key's slot was answered (possibly "not here")
+      if (blob.empty()) continue;  // vanished on the peer; next pass decides
+      // import_model re-validates framing + checksum, so a torn or corrupt
+      // blob fails here instead of landing in the registry.
+      auto key = registry_->import_model(blob);
+      if (!key.is_ok()) return Status::error("sync import: " + key.message());
+      ++report.fetched;
+      report.fetched_bytes += blob.size();
+    }
+  }
+  return report;
 }
 
 }  // namespace autophase::net

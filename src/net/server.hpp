@@ -11,16 +11,25 @@
 // registry version, then pushes the exported blob to every registered peer,
 // which imports it at that exact embedded version — N nodes converge on
 // bit-identical registries (ModelRegistry::import_model is idempotent, so
-// re-pushes are harmless).
+// re-pushes are harmless). A node that joins after publishes happened calls
+// sync_from(peer) — anti-entropy catch-up over kSyncRequest/kSyncOffer:
+// pull the peer's version vector, diff, fetch missing blobs in chunks.
+//
+// Warm-up: every artifact the registry installs (publish, replication push,
+// catch-up fetch) runs serve::warm_up before it can serve — weights are
+// pre-faulted and the EvalService cache is primed from the artifact's
+// training-corpus baselines, so a model's first request is never cold.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/frame.hpp"
@@ -46,6 +55,13 @@ struct ServeNodeConfig {
   /// the network: a pipelining client can never grow server memory beyond
   /// connections x this cap x frame size.
   std::size_t max_in_flight_per_connection = 64;
+  /// Blobs requested per kSyncRequest fetch during catch-up. Chunks are
+  /// additionally split by advertised blob bytes so one kSyncOffer reply
+  /// stays far below the frame payload cap even for huge artifacts.
+  std::size_t sync_fetch_batch = 4;
+  /// Run serve::warm_up for every artifact the registry installs (publish,
+  /// replication, catch-up). Off only for tests that pin down cold starts.
+  bool warm_up_on_install = true;
   /// The wrapped CompileService; workers is clamped to >= 1 (a node with an
   /// undrainable queue would deadlock its own net workers).
   serve::CompileServiceConfig compile{};
@@ -76,6 +92,20 @@ class ServeNode {
   /// blob to every peer. Local publish always wins: peer failures are
   /// reported in the reply, not rolled back.
   Result<PublishReply> publish(const std::string& name, serve::PolicyArtifact artifact);
+
+  /// One anti-entropy pass against `peer`'s registry: pull its version
+  /// vector, fetch every (name, version) this node lacks — or holds with a
+  /// different checksum — and import the blobs. Idempotent: a second pass
+  /// against an unchanged peer fetches nothing. Publishes racing the pass
+  /// land either in the pulled vector or in a later push/pass; blobs are
+  /// immutable registry snapshots, so none of it can ship torn bytes.
+  struct SyncReport {
+    std::size_t peer_models = 0;       // entries in the peer's version vector
+    std::size_t already_present = 0;   // identical (name, version, checksum)
+    std::size_t fetched = 0;           // blobs pulled and imported
+    std::uint64_t fetched_bytes = 0;
+  };
+  Result<SyncReport> sync_from(const RemoteEndpoint& peer);
 
   [[nodiscard]] serve::CompileService& service() noexcept { return *service_; }
   [[nodiscard]] const std::shared_ptr<serve::ModelRegistry>& registry() const noexcept {
@@ -127,8 +157,14 @@ class ServeNode {
   std::string handle_publish(const Frame& frame);
   std::string handle_replicate(const Frame& frame);
   std::string handle_list() const;
+  std::string handle_sync(const Frame& frame) const;
   /// Pushes one exported blob to every peer; returns the failure count.
   std::uint32_t replicate_to_peers(const std::string& blob);
+  /// (name, version, bytes, checksum) snapshot of the local registry.
+  std::vector<ModelSummary> local_inventory() const;
+  /// One framed request/reply round trip to a peer (outbound client side of
+  /// replication and catch-up).
+  Result<Frame> peer_exchange(const RemoteEndpoint& peer, const Frame& request) const;
 
   std::shared_ptr<serve::ModelRegistry> registry_;
   std::unique_ptr<serve::CompileService> service_;
@@ -147,6 +183,20 @@ class ServeNode {
 
   mutable std::mutex peers_mutex_;
   std::vector<RemoteEndpoint> peers_;
+
+  /// (bytes, checksum) per installed artifact, so inventory queries don't
+  /// re-serialize the whole registry. Entries are validated against the
+  /// artifact snapshot they summarize: a version overwritten by an import
+  /// gets a fresh snapshot and is re-summarized on the next lookup. The
+  /// shared_ptr is held (not a raw pointer) so a replaced artifact's address
+  /// can never be recycled into a false identity match.
+  struct InventoryEntry {
+    std::shared_ptr<const serve::PolicyArtifact> artifact;
+    std::uint64_t blob_bytes = 0;
+    std::uint64_t blob_checksum = 0;
+  };
+  mutable std::mutex inventory_mutex_;
+  mutable std::map<std::pair<std::string, std::uint32_t>, InventoryEntry> inventory_cache_;
 
   std::unique_ptr<ThreadPool> net_pool_;
 };

@@ -224,13 +224,18 @@ NodeStats collect_node_stats(const serve::CompileService& service) {
   stats.eval_hits = eval.hits;
   stats.eval_misses = eval.misses;
   stats.eval_sequence_hits = eval.sequence_hits;
+  stats.eval_primed = eval.primed;
   stats.models = service.registry()->size();
+  stats.latency_ms = metrics.latency_samples_ms;
+  stats.per_model = metrics.per_model;
+  stats.objective_completed = metrics.objective_completed;
   return stats;
 }
 
 std::string encode_node_stats(const NodeStats& stats) {
   ByteWriter w;
   w.u8(1);
+  w.u32(kNodeStatsVersion);
   w.u64(stats.completed);
   w.u64(stats.failed);
   w.u64(stats.rejected);
@@ -240,13 +245,28 @@ std::string encode_node_stats(const NodeStats& stats) {
   w.u64(stats.eval_hits);
   w.u64(stats.eval_misses);
   w.u64(stats.eval_sequence_hits);
+  w.u64(stats.eval_primed);
   w.u64(stats.models);
+  w.f64_vec(stats.latency_ms);
+  w.u64(stats.per_model.size());
+  for (const serve::ModelVersionStats& m : stats.per_model) {
+    w.str(m.model);
+    w.u32(m.version);
+    w.u64(m.completed);
+    w.u64(m.failed);
+  }
+  for (const std::uint64_t count : stats.objective_completed) w.u64(count);
   return w.take();
 }
 
 Result<NodeStats> decode_node_stats(std::string_view payload) {
   ByteReader r(payload);
   if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  const std::uint32_t version = r.u32();
+  if (!r.ok() || version != kNodeStatsVersion) {
+    return Status::error(strf("node stats: unsupported stats version %u (expected %u)",
+                              version, kNodeStatsVersion));
+  }
   NodeStats stats;
   stats.completed = r.u64();
   stats.failed = r.u64();
@@ -257,9 +277,118 @@ Result<NodeStats> decode_node_stats(std::string_view payload) {
   stats.eval_hits = r.u64();
   stats.eval_misses = r.u64();
   stats.eval_sequence_hits = r.u64();
+  stats.eval_primed = r.u64();
   stats.models = r.u64();
+  stats.latency_ms = r.f64_vec();
+  const std::uint64_t models = r.u64();
+  // Each entry is at least a name length prefix (8) + u32 + 2 x u64.
+  if (!r.ok() || models > r.remaining() / 28) {
+    return Status::error("node stats: corrupt model count");
+  }
+  stats.per_model.reserve(models);
+  for (std::uint64_t i = 0; i < models && r.ok(); ++i) {
+    serve::ModelVersionStats m;
+    m.model = r.str();
+    m.version = r.u32();
+    m.completed = r.u64();
+    m.failed = r.u64();
+    stats.per_model.push_back(std::move(m));
+  }
+  for (std::uint64_t& count : stats.objective_completed) count = r.u64();
   if (!r.ok() || !r.at_end()) return Status::error("node stats: truncated payload");
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Replication catch-up
+// ---------------------------------------------------------------------------
+
+std::string encode_sync_request(const SyncRequest& request) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(request.mode));
+  w.u64(request.keys.size());
+  for (const SyncKey& key : request.keys) {
+    w.str(key.name);
+    w.u32(key.version);
+  }
+  return w.take();
+}
+
+Result<SyncRequest> decode_sync_request(std::string_view payload) {
+  ByteReader r(payload);
+  SyncRequest request;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(SyncMode::kFetch)) {
+    return Status::error("sync request: unknown mode");
+  }
+  request.mode = static_cast<SyncMode>(mode);
+  const std::uint64_t n = r.u64();
+  // Each key is at least a name length prefix (8) + u32 version.
+  if (!r.ok() || n > r.remaining() / 12) return Status::error("sync request: corrupt key count");
+  request.keys.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    SyncKey key;
+    key.name = r.str();
+    key.version = r.u32();
+    request.keys.push_back(std::move(key));
+  }
+  if (!r.ok() || !r.at_end()) return Status::error("sync request: truncated payload");
+  if (request.mode == SyncMode::kInventory && !request.keys.empty()) {
+    return Status::error("sync request: inventory query carries keys");
+  }
+  return request;
+}
+
+std::string encode_sync_offer(const Result<SyncOffer>& offer) {
+  ByteWriter w;
+  write_status_prefix(w, offer.status());
+  if (!offer.is_ok()) return w.take();
+  const SyncOffer& o = offer.value();
+  w.u8(static_cast<std::uint8_t>(o.mode));
+  if (o.mode == SyncMode::kInventory) {
+    w.u64(o.inventory.size());
+    for (const ModelSummary& m : o.inventory) {
+      w.str(m.name);
+      w.u32(m.version);
+      w.u64(m.blob_bytes);
+      w.u64(m.blob_checksum);
+    }
+  } else {
+    w.u64(o.blobs.size());
+    for (const std::string& blob : o.blobs) w.str(blob);
+  }
+  return w.take();
+}
+
+Result<SyncOffer> decode_sync_offer(std::string_view payload) {
+  ByteReader r(payload);
+  if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  SyncOffer offer;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(SyncMode::kFetch)) {
+    return Status::error("sync offer: unknown mode");
+  }
+  offer.mode = static_cast<SyncMode>(mode);
+  const std::uint64_t n = r.u64();
+  if (offer.mode == SyncMode::kInventory) {
+    if (!r.ok() || n > r.remaining() / 28) return Status::error("sync offer: corrupt count");
+    offer.inventory.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      ModelSummary m;
+      m.name = r.str();
+      m.version = r.u32();
+      m.blob_bytes = r.u64();
+      m.blob_checksum = r.u64();
+      offer.inventory.push_back(std::move(m));
+    }
+  } else {
+    // Each blob is at least its own length prefix.
+    if (!r.ok() || n > r.remaining() / 8) return Status::error("sync offer: corrupt count");
+    offer.blobs.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) offer.blobs.push_back(r.str());
+  }
+  if (!r.ok() || !r.at_end()) return Status::error("sync offer: truncated payload");
+  return offer;
 }
 
 // ---------------------------------------------------------------------------

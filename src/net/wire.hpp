@@ -6,6 +6,7 @@
 // remote answer is byte-identical to compile_sync on the owning node.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -73,6 +74,11 @@ Result<std::vector<ModelSummary>> decode_model_list(std::string_view payload);
 
 // ---- Node stats ----
 
+/// Bumped whenever the kStats payload layout changes; the payload leads
+/// with this so a fleet monitor fails a mismatched node loudly instead of
+/// misparsing its counters.
+inline constexpr std::uint32_t kNodeStatsVersion = 2;
+
 struct NodeStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
@@ -83,11 +89,58 @@ struct NodeStats {
   std::uint64_t eval_hits = 0;
   std::uint64_t eval_misses = 0;      // simulator samples on this node
   std::uint64_t eval_sequence_hits = 0;
+  std::uint64_t eval_primed = 0;      // warm-up cache entries installed
   std::uint64_t models = 0;
+  /// Raw latency reservoir (submit -> response, ms, unsorted). Fleet
+  /// quantiles are computed from the *merged* samples of every node —
+  /// averaging per-node percentiles would be statistically meaningless.
+  std::vector<double> latency_ms;
+  /// Per-(model, version) outcomes, sorted by (model, version).
+  std::vector<serve::ModelVersionStats> per_model;
+  /// Completed requests by serve::Objective.
+  std::array<std::uint64_t, serve::kNumObjectives> objective_completed{};
 };
 NodeStats collect_node_stats(const serve::CompileService& service);
 std::string encode_node_stats(const NodeStats& stats);
 Result<NodeStats> decode_node_stats(std::string_view payload);
+
+// ---- Replication catch-up (anti-entropy) ----
+
+/// kSyncRequest comes in two modes: an inventory query ("what do you
+/// have?") answered with the registry's version vector, and a fetch
+/// ("ship me these") answered with the serialized artifact blobs. The
+/// late-joining node drives both from sync_from(): pull the vector, diff it
+/// against its own registry, fetch what is missing. Blobs are exported as
+/// immutable registry snapshots, so a publish racing the sync can never
+/// produce a torn blob; imports are idempotent at the embedded version.
+enum class SyncMode : std::uint8_t {
+  kInventory = 0,
+  kFetch = 1,
+};
+
+struct SyncKey {
+  std::string name;
+  std::uint32_t version = 0;
+};
+
+struct SyncRequest {
+  SyncMode mode = SyncMode::kInventory;
+  std::vector<SyncKey> keys;  // fetch mode: which blobs to ship
+};
+std::string encode_sync_request(const SyncRequest& request);
+Result<SyncRequest> decode_sync_request(std::string_view payload);
+
+struct SyncOffer {
+  SyncMode mode = SyncMode::kInventory;
+  std::vector<ModelSummary> inventory;  // kInventory
+  /// kFetch: one entry per requested key, in request order. An empty string
+  /// means the peer does not have that key (vanished; skip it). Fewer
+  /// entries than requested keys means the reply was truncated to fit the
+  /// frame payload cap — re-request the unconsumed tail.
+  std::vector<std::string> blobs;
+};
+std::string encode_sync_offer(const Result<SyncOffer>& offer);
+Result<SyncOffer> decode_sync_offer(std::string_view payload);
 
 // ---- Shared status prefix ----
 

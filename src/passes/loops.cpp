@@ -635,7 +635,8 @@ class LoopUnrollPass final : public Pass {
       std::unordered_map<Instruction*, Value*> seeds;
       for (Instruction* phi : header_phis) {
         Value* prev_next = next_of[phi];
-        Value* seed = k == 1 ? prev_next : ctxs[static_cast<std::size_t>(k - 2)].map_value(prev_next);
+        Value* seed =
+            k == 1 ? prev_next : ctxs[static_cast<std::size_t>(k - 2)].map_value(prev_next);
         seeds[phi] = seed;
       }
       clone_blocks(f, orig_blocks, c, ".u" + std::to_string(k));

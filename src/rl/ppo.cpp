@@ -193,7 +193,8 @@ void PpoTrainer::update(RolloutBuffer& buffer) {
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.shuffle(order);
-    for (std::size_t start = 0; start < n; start += static_cast<std::size_t>(config_.minibatch_size)) {
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(config_.minibatch_size)) {
       const std::size_t end = std::min(n, start + static_cast<std::size_t>(config_.minibatch_size));
       const std::size_t batch = end - start;
 

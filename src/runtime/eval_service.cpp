@@ -1,6 +1,7 @@
 #include "runtime/eval_service.hpp"
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 
 #include "ir/clone.hpp"
@@ -180,6 +181,29 @@ EvalService::BatchResult EvalService::evaluate_batch(const ir::Module& program,
   }
   out.new_samples = new_samples.load(std::memory_order_relaxed);
   return out;
+}
+
+std::uint64_t EvalService::config_fingerprint() const noexcept {
+  std::uint64_t h = 0xa0707a5ecf9ULL;  // arbitrary seed
+  h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.constraints.clock_period_ns));
+  h = hash_combine(h, static_cast<std::uint64_t>(config_.constraints.memory_ports));
+  h = hash_combine(h, static_cast<std::uint64_t>(config_.constraints.multipliers));
+  h = hash_combine(h, static_cast<std::uint64_t>(config_.constraints.dividers));
+  h = hash_combine(h, config_.interp_options.max_instructions);
+  h = hash_combine(h, static_cast<std::uint64_t>(config_.interp_options.max_call_depth));
+  h = hash_combine(h, static_cast<std::uint64_t>(config_.interp_options.memory_bytes));
+  return h;
+}
+
+bool EvalService::prime(std::uint64_t fingerprint, Measure measure) {
+  Shard& shard = shard_for(fingerprint);
+  auto entry = std::make_shared<ModuleEntry>();
+  entry->measure = measure;
+  entry->ready = true;  // never pending: a primed entry has no owner thread
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.modules.try_emplace(fingerprint, std::move(entry));
+  if (inserted) ++shard.stats.primed;
+  return inserted;
 }
 
 std::size_t EvalService::samples() const {

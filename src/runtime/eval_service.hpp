@@ -35,12 +35,14 @@ struct EvalStats {
   std::size_t hits = 0;           // module-fingerprint cache hits
   std::size_t misses = 0;         // real simulator calls (the Samples metric)
   std::size_t sequence_hits = 0;  // (program, sequence) short-circuits
+  std::size_t primed = 0;         // entries installed by prime(), not measured
   std::uint64_t eval_nanos = 0;   // wall time spent inside the profiler
 
   EvalStats& operator+=(const EvalStats& o) {
     hits += o.hits;
     misses += o.misses;
     sequence_hits += o.sequence_hits;
+    primed += o.primed;
     eval_nanos += o.eval_nanos;
     return *this;
   }
@@ -105,6 +107,22 @@ class EvalService {
   /// regardless of thread count or scheduling.
   BatchResult evaluate_batch(const ir::Module& program,
                              std::span<const std::vector<int>> sequences);
+
+  /// Installs an already-measured result under a module fingerprint without
+  /// running the simulator (model warm-up: training-corpus baselines travel
+  /// with the artifact and pre-fill the cache on import). Returns true when
+  /// the entry was inserted; a fingerprint that is already cached — measured
+  /// or pending — is left untouched, so priming can never overwrite a real
+  /// measurement or race an evaluation in flight. Primed entries answer
+  /// later lookups as ordinary hits and are never counted as samples.
+  bool prime(std::uint64_t fingerprint, Measure measure);
+
+  /// Fingerprint of everything that shapes a measurement (HLS resource
+  /// constraints + interpreter budgets). Two services agreeing here produce
+  /// identical Measures for identical modules, which is the precondition for
+  /// shipping one service's results into another's cache (warm-up baselines
+  /// are stamped with this and refused on mismatch).
+  [[nodiscard]] std::uint64_t config_fingerprint() const noexcept;
 
   /// Real simulator calls so far (== stats().misses).
   [[nodiscard]] std::size_t samples() const;

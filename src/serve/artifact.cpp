@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "ir/printer.hpp"
+
 namespace autophase::serve {
 
 void FeatureNormalizer::apply(std::vector<double>& observation) const {
@@ -77,6 +79,24 @@ PolicyArtifact make_artifact(const rl::PolicyExport& exported, const rl::EnvConf
                           .normalizer = std::move(normalizer)};
   if (exported.value != nullptr) artifact.value = *exported.value;
   return artifact;
+}
+
+std::vector<CorpusBaseline> collect_baselines(const std::vector<const ir::Module*>& corpus,
+                                              runtime::EvalService& eval) {
+  std::vector<CorpusBaseline> baselines;
+  baselines.reserve(corpus.size());
+  for (const ir::Module* program : corpus) {
+    if (program == nullptr) continue;
+    const runtime::Measure m = eval.measure(*program);
+    baselines.push_back({ir::module_fingerprint(*program), m.cycles, m.area});
+  }
+  return baselines;
+}
+
+void attach_baselines(PolicyArtifact& artifact, const std::vector<const ir::Module*>& corpus,
+                      runtime::EvalService& eval) {
+  artifact.baselines = collect_baselines(corpus, eval);
+  artifact.baselines_config = eval.config_fingerprint();
 }
 
 }  // namespace autophase::serve

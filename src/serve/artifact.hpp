@@ -15,6 +15,7 @@
 #include "ml/random_forest.hpp"
 #include "rl/env.hpp"
 #include "rl/ppo.hpp"
+#include "runtime/eval_service.hpp"
 
 namespace autophase::serve {
 
@@ -49,6 +50,17 @@ ObservationSpec spec_of(const rl::EnvConfig& config);
 /// constraints, services — is left at defaults for the caller to fill).
 rl::EnvConfig env_config_of(const ObservationSpec& spec);
 
+/// One training-corpus measurement that ships with the artifact (format-v2
+/// optional section). On import a serving node primes its EvalService cache
+/// with these, so the first request for a program the model was trained on
+/// finds its baseline measure already resolved instead of running the
+/// simulator cold.
+struct CorpusBaseline {
+  std::uint64_t fingerprint = 0;  // ir::module_fingerprint of the program
+  std::uint64_t cycles = 0;
+  double area = 0.0;
+};
+
 /// A versioned, self-contained trained artifact. `name`/`version` are
 /// assigned by ModelRegistry::publish and embedded in the serialized blob so
 /// an imported model keeps its identity across processes.
@@ -62,11 +74,30 @@ struct PolicyArtifact {
   std::optional<ml::Mlp> value;            // return predictor (provenance)
   std::optional<ml::RandomForest> forest;  // §4 pass-relevance classifier
   FeatureNormalizer normalizer;
+  /// Optional warm-up section. Empty = none (the blob serializes as v1).
+  std::vector<CorpusBaseline> baselines;
+  /// EvalService::config_fingerprint() of the service that measured the
+  /// baselines. Warm-up refuses to prime a node whose eval config disagrees
+  /// (the trainer's cycle counts would be wrong there). 0 = unstamped
+  /// (hand-built baselines; trusted as-is).
+  std::uint64_t baselines_config = 0;
 };
 
 /// Packages a trainer's exported nets with the env recipe they were trained
 /// on (copies the weights; the trainer can keep training afterwards).
 PolicyArtifact make_artifact(const rl::PolicyExport& exported, const rl::EnvConfig& env_config,
                              FeatureNormalizer normalizer = {});
+
+/// Measures each training-corpus program through `eval` (cache-served when
+/// the trainer already profiled it) and packages the results as the warm-up
+/// section for an artifact about to be published.
+std::vector<CorpusBaseline> collect_baselines(const std::vector<const ir::Module*>& corpus,
+                                              runtime::EvalService& eval);
+
+/// collect_baselines + stamps the artifact with `eval`'s config fingerprint
+/// — the form publishers should use, so serving nodes with a different eval
+/// configuration skip priming instead of caching the wrong cycle counts.
+void attach_baselines(PolicyArtifact& artifact, const std::vector<const ir::Module*>& corpus,
+                      runtime::EvalService& eval);
 
 }  // namespace autophase::serve

@@ -43,14 +43,14 @@ double predicted_improvement(double value, bool log_reward) {
   return value >= 0 ? std::expm1(value) : -std::expm1(-value);
 }
 
-double quantile(std::vector<double>& sorted, double q) {
+}  // namespace
+
+double latency_quantile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const std::size_t idx = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
 }
-
-}  // namespace
 
 Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
                                       const CompileRequest& request,
@@ -235,6 +235,30 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
   return response;
 }
 
+WarmupReport warm_up(const PolicyArtifact& artifact, runtime::EvalService& eval) {
+  WarmupReport report;
+  // Pre-fault the weight pages: one dummy row through every layer touches
+  // every matrix exactly the way the first real forward would.
+  const std::vector<std::vector<double>> dummy(
+      1, std::vector<double>(artifact.policy.config().input, 0.0));
+  (void)artifact.policy.forward_batch(dummy);
+  if (artifact.value.has_value()) (void)artifact.value->forward_batch(dummy);
+  report.forwards_run = true;
+
+  report.baselines = artifact.baselines.size();
+  // Stamped baselines are only valid on a node whose eval config matches the
+  // service that measured them; 0 = unstamped (hand-built), trusted as-is.
+  if (artifact.baselines_config != 0 &&
+      artifact.baselines_config != eval.config_fingerprint()) {
+    report.config_mismatch = true;
+    return report;
+  }
+  for (const CorpusBaseline& b : artifact.baselines) {
+    if (eval.prime(b.fingerprint, {b.cycles, b.area})) ++report.primed;
+  }
+  return report;
+}
+
 // ---------------------------------------------------------------------------
 // CompileService
 // ---------------------------------------------------------------------------
@@ -307,14 +331,23 @@ void CompileService::finish_job(Job job) {
   if (ok) result.value().queue_nanos = nanos_between(job.enqueued, start);
   const double total_ms =
       static_cast<double>(nanos_between(job.enqueued, Clock::now())) / 1e6;
+  // Success attributes to the version that served it; failure to the one
+  // requested (see ModelVersionStats).
+  const std::uint32_t version =
+      ok ? result.value().provenance.version
+         : static_cast<std::uint32_t>(std::max<std::int64_t>(0, job.request.version));
   {
     // Metrics are recorded *before* the promise resolves, so a caller that
     // just observed its future can already see the request in metrics().
     const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    auto& [model_completed, model_failed] = per_model_[{job.request.model, version}];
     if (ok) {
       ++completed_;
+      ++model_completed;
+      ++objective_completed_[static_cast<std::size_t>(job.request.objective)];
     } else {
       ++failed_;
+      ++model_failed;
     }
     if (latencies_ms_.size() < kLatencyWindow) {
       latencies_ms_.push_back(total_ms);
@@ -339,6 +372,16 @@ Result<CompileResponse> CompileService::run_request(const CompileRequest& reques
 
 Result<CompileResponse> CompileService::compile_sync(const CompileRequest& request) {
   return run_request(request, nullptr);
+}
+
+Result<WarmupReport> CompileService::warm_up_model(const std::string& name,
+                                                   std::int64_t version) {
+  const std::shared_ptr<const PolicyArtifact> artifact = registry_->get(name, version);
+  if (artifact == nullptr) {
+    return Status::error(strf("warm-up: unknown model '%s' (version %lld)", name.c_str(),
+                              static_cast<long long>(version)));
+  }
+  return warm_up(*artifact, *eval_);
 }
 
 CompileService::ResponseFuture CompileService::rejected_future() {
@@ -412,14 +455,20 @@ ServeMetrics CompileService::metrics() const {
     m.cancelled = cancelled_;
     m.max_queue_depth = max_queue_depth_;
     latencies = latencies_ms_;
+    m.per_model.reserve(per_model_.size());
+    for (const auto& [key, counts] : per_model_) {
+      m.per_model.push_back({key.first, key.second, counts.first, counts.second});
+    }
+    m.objective_completed = objective_completed_;
   }
+  m.latency_samples_ms = latencies;
   m.wall_seconds = static_cast<double>(nanos_between(started_, Clock::now())) / 1e9;
   m.throughput_rps =
       m.wall_seconds > 0 ? static_cast<double>(m.completed) / m.wall_seconds : 0.0;
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
-    m.latency.p50_ms = quantile(latencies, 0.5);
-    m.latency.p95_ms = quantile(latencies, 0.95);
+    m.latency.p50_ms = latency_quantile(latencies, 0.5);
+    m.latency.p95_ms = latency_quantile(latencies, 0.95);
     m.latency.max_ms = latencies.back();
     m.latency.mean_ms =
         std::accumulate(latencies.begin(), latencies.end(), 0.0) /

@@ -10,14 +10,17 @@
 // compile_sync() on one thread.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/module.hpp"
@@ -34,6 +37,9 @@ enum class Objective : std::uint8_t {
   kCyclesTimesArea,  // minimise the cycles x area latency-area product
   kFixedBudget,      // best cycles using at most `pass_budget` passes
 };
+
+/// Contiguous objective count (per-objective metric slots, wire payloads).
+inline constexpr std::size_t kNumObjectives = 3;
 
 struct CompileRequest {
   const ir::Module* module = nullptr;
@@ -74,6 +80,23 @@ struct LatencyQuantiles {
   double max_ms = 0.0;
 };
 
+/// Nearest-rank quantile of an ascending-sorted sample vector — the one
+/// convention shared by per-node metrics and fleet-merged reservoirs, so
+/// the two views can never silently diverge.
+double latency_quantile(const std::vector<double>& sorted, double q);
+
+/// Per-(model, version) request outcomes. Successful requests count under
+/// the version that actually served them (provenance), so "latest" requests
+/// attribute correctly across model upgrades; failures count under the
+/// version the request asked for (0 = latest) — the served version of a
+/// failed request is unknowable.
+struct ModelVersionStats {
+  std::string model;
+  std::uint32_t version = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
 struct ServeMetrics {
   std::size_t completed = 0;
   std::size_t failed = 0;     // resolved with an error status
@@ -86,6 +109,14 @@ struct ServeMetrics {
   /// submit -> response, over the most recent kLatencyWindow requests (a
   /// bounded reservoir: a long-lived service must not grow per-request).
   LatencyQuantiles latency;
+  /// Raw (unsorted) snapshot of the same reservoir. This is what crosses
+  /// the wire for fleet aggregation: percentiles merge by pooling samples,
+  /// never by averaging per-node quantiles.
+  std::vector<double> latency_samples_ms;
+  /// Sorted by (model, version); see ModelVersionStats for attribution.
+  std::vector<ModelVersionStats> per_model;
+  /// Completed requests by Objective (POSET-RL-style multi-objective ops).
+  std::array<std::uint64_t, kNumObjectives> objective_completed{};
   BatcherStats batcher;
 };
 
@@ -107,6 +138,25 @@ struct CompileServiceConfig {
 Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
                                       const CompileRequest& request,
                                       runtime::EvalService& eval, PolicyBatcher* batcher);
+
+/// What warm_up() did for one freshly installed artifact.
+struct WarmupReport {
+  std::size_t baselines = 0;  // warm-up entries the artifact carried
+  std::size_t primed = 0;     // entries newly inserted into the eval cache
+  bool forwards_run = false;  // dummy policy/value forwards executed
+  /// Baselines were stamped with a different eval-config fingerprint than
+  /// this node's, so priming was skipped: the trainer's cycle counts would
+  /// be wrong under this node's constraints.
+  bool config_mismatch = false;
+};
+
+/// Serving-time model warm-up, run when an artifact lands in a node's
+/// registry (publish, replication, or catch-up): pre-faults the policy and
+/// value weights with a dummy forward_batch — the first real request never
+/// pays first-touch page faults or lazily-grown allocator pools — and primes
+/// `eval`'s cycle cache from the artifact's training-corpus baseline section
+/// (v1 artifacts carry none; they skip priming and report baselines == 0).
+WarmupReport warm_up(const PolicyArtifact& artifact, runtime::EvalService& eval);
 
 class CompileService {
  public:
@@ -136,6 +186,11 @@ class CompileService {
   /// Idempotent; honours config.drain_on_shutdown. Called by the destructor,
   /// which therefore never races queued work against member teardown.
   void shutdown();
+
+  /// warm_up() for one registered model against this service's eval service
+  /// (ServeNode invokes this automatically for every artifact its registry
+  /// installs; standalone embedders call it by hand after publishing).
+  Result<WarmupReport> warm_up_model(const std::string& name, std::int64_t version = 0);
 
   [[nodiscard]] ServeMetrics metrics() const;
   [[nodiscard]] std::size_t queue_depth() const;
@@ -193,6 +248,11 @@ class CompileService {
   std::size_t rejected_ = 0;
   std::size_t cancelled_ = 0;
   std::size_t max_queue_depth_ = 0;
+  /// (model, version) -> {completed, failed}; ordered so metrics() emits a
+  /// deterministic breakdown.
+  std::map<std::pair<std::string, std::uint32_t>, std::pair<std::uint64_t, std::uint64_t>>
+      per_model_;
+  std::array<std::uint64_t, kNumObjectives> objective_completed_{};
 
   /// Declared last so it is destroyed first; shutdown() has already stopped
   /// the queue by the time the pool joins its workers.

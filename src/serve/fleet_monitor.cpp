@@ -1,0 +1,114 @@
+#include "serve/fleet_monitor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "support/str.hpp"
+
+namespace autophase::serve {
+
+std::string fleet_summary(const FleetStats& stats) {
+  return strf(
+      "fleet v%llu: nodes %zu/%zu completed=%llu failed=%llu p50=%.2fms p95=%.2fms "
+      "eval hit-rate=%.2f primed=%llu models=[%llu..%llu]",
+      static_cast<unsigned long long>(stats.snapshot_version), stats.reachable, stats.nodes,
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed), stats.latency.p50_ms, stats.latency.p95_ms,
+      stats.eval_hits + stats.eval_misses + stats.eval_sequence_hits == 0
+          ? 0.0
+          : static_cast<double>(stats.eval_hits + stats.eval_sequence_hits) /
+                static_cast<double>(stats.eval_hits + stats.eval_misses +
+                                    stats.eval_sequence_hits),
+      static_cast<unsigned long long>(stats.eval_primed),
+      static_cast<unsigned long long>(stats.models_min),
+      static_cast<unsigned long long>(stats.models_max));
+}
+
+FleetMonitor::FleetMonitor(std::shared_ptr<RemoteCompileClient> client)
+    : client_(std::move(client)) {}
+
+FleetStats FleetMonitor::poll() {
+  const std::size_t nodes = client_->node_count();
+  std::vector<FleetNodeReport> reports(nodes);
+
+  // One kStats round trip per node, concurrently: the client is thread-safe
+  // and each query rides its own pooled connection.
+  const auto query = [&](std::size_t n) {
+    FleetNodeReport& report = reports[n];
+    report.endpoint = client_->endpoints()[n];
+    auto stats = client_->node_stats(n);
+    if (stats.is_ok()) {
+      report.reachable = true;
+      report.stats = std::move(stats).value();
+    } else {
+      report.error = stats.message();
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(nodes > 0 ? nodes - 1 : 0);
+  for (std::size_t n = 1; n < nodes; ++n) workers.emplace_back(query, n);
+  if (nodes > 0) query(0);
+  for (std::thread& worker : workers) worker.join();
+
+  FleetStats merged;
+  merged.nodes = nodes;
+  std::vector<double> samples;
+  std::map<std::pair<std::string, std::uint32_t>, std::pair<std::uint64_t, std::uint64_t>>
+      per_model;
+  bool first_reachable = true;
+  for (const FleetNodeReport& report : reports) {
+    if (!report.reachable) continue;
+    ++merged.reachable;
+    const net::NodeStats& s = report.stats;
+    merged.completed += s.completed;
+    merged.failed += s.failed;
+    merged.rejected += s.rejected;
+    merged.queue_depth += s.queue_depth;
+    merged.eval_hits += s.eval_hits;
+    merged.eval_misses += s.eval_misses;
+    merged.eval_sequence_hits += s.eval_sequence_hits;
+    merged.eval_primed += s.eval_primed;
+    merged.models_min = first_reachable ? s.models : std::min(merged.models_min, s.models);
+    merged.models_max = std::max(merged.models_max, s.models);
+    first_reachable = false;
+    samples.insert(samples.end(), s.latency_ms.begin(), s.latency_ms.end());
+    for (const ModelVersionStats& m : s.per_model) {
+      auto& counts = per_model[{m.model, m.version}];
+      counts.first += m.completed;
+      counts.second += m.failed;
+    }
+    for (std::size_t o = 0; o < kNumObjectives; ++o) {
+      merged.objective_completed[o] += s.objective_completed[o];
+    }
+  }
+
+  merged.latency_samples = samples.size();
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    merged.latency.p50_ms = latency_quantile(samples, 0.5);
+    merged.latency.p95_ms = latency_quantile(samples, 0.95);
+    merged.latency.max_ms = samples.back();
+    merged.latency.mean_ms = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                             static_cast<double>(samples.size());
+  }
+  merged.per_model.reserve(per_model.size());
+  for (const auto& [key, counts] : per_model) {
+    merged.per_model.push_back({key.first, key.second, counts.first, counts.second});
+  }
+  merged.per_node = std::move(reports);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  merged.snapshot_version = next_version_++;
+  last_ = merged;
+  return merged;
+}
+
+FleetStats FleetMonitor::last() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_;
+}
+
+}  // namespace autophase::serve

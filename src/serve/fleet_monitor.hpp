@@ -1,0 +1,97 @@
+// Fleet-wide observability: one place that answers "what is the cluster
+// doing?". A FleetMonitor fans kStats requests out through a
+// RemoteCompileClient, decodes every node's versioned counters, and merges
+// them into a FleetStats snapshot — counters are summed, latency percentiles
+// are computed from the *pooled* per-node reservoirs (averaging per-node
+// p95s is statistically meaningless; merging the samples is exact up to
+// reservoir truncation), and per-model-version / per-objective breakdowns
+// are summed key-wise so a rollout's traffic split is visible fleet-wide.
+// Snapshots are versioned: each poll() increments a monotonic id, so two
+// observers can order the snapshots they hold.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "serve/compile_service.hpp"
+#include "serve/remote_client.hpp"
+
+namespace autophase::serve {
+
+/// One node's slice of a fleet snapshot. An unreachable node keeps its slot
+/// (index == client node index) with `reachable == false` and the transport
+/// error — a monitor must report a dead node, not silently shrink the fleet.
+struct FleetNodeReport {
+  net::RemoteEndpoint endpoint;
+  bool reachable = false;
+  std::string error;     // transport/decode failure when unreachable
+  net::NodeStats stats;  // meaningful only when reachable
+};
+
+struct FleetStats {
+  /// Monotonic per monitor instance; later polls have larger versions.
+  std::uint64_t snapshot_version = 0;
+  std::size_t nodes = 0;
+  std::size_t reachable = 0;
+
+  // Summed serving counters across reachable nodes.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t queue_depth = 0;
+
+  // Summed EvalService counters (the fleet's "Samples" economy).
+  std::uint64_t eval_hits = 0;
+  std::uint64_t eval_misses = 0;
+  std::uint64_t eval_sequence_hits = 0;
+  std::uint64_t eval_primed = 0;
+
+  /// Registry sizes: min == max on a converged fleet; a spread means some
+  /// node is missing versions and needs a catch-up pass.
+  std::uint64_t models_min = 0;
+  std::uint64_t models_max = 0;
+
+  /// Quantiles over the union of every node's latency reservoir.
+  LatencyQuantiles latency;
+  std::size_t latency_samples = 0;
+
+  /// Key-wise sums over nodes, sorted by (model, version) / objective.
+  std::vector<ModelVersionStats> per_model;
+  std::array<std::uint64_t, kNumObjectives> objective_completed{};
+
+  std::vector<FleetNodeReport> per_node;
+};
+
+/// One-line human summary ("nodes 3/3 completed=42 p50=1.2ms p95=3.4ms ...")
+/// for demo output and CI job logs.
+std::string fleet_summary(const FleetStats& stats);
+
+class FleetMonitor {
+ public:
+  explicit FleetMonitor(std::shared_ptr<RemoteCompileClient> client);
+
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  /// Queries every node (concurrently — a slow node delays the snapshot by
+  /// one timeout, not one timeout per node) and merges the replies. Never
+  /// fails as a whole: unreachable nodes are reported per-node.
+  FleetStats poll();
+
+  /// The most recent snapshot (empty, version 0, before the first poll).
+  [[nodiscard]] FleetStats last() const;
+
+ private:
+  std::shared_ptr<RemoteCompileClient> client_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t next_version_ = 1;
+  FleetStats last_;
+};
+
+}  // namespace autophase::serve

@@ -7,12 +7,18 @@
 namespace autophase::serve {
 
 std::uint32_t ModelRegistry::publish(const std::string& name, PolicyArtifact artifact) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  auto& versions = models_[name];
-  const std::uint32_t version = versions.empty() ? 1 : versions.rbegin()->first + 1;
-  artifact.name = name;
-  artifact.version = version;
-  versions.emplace(version, std::make_shared<const PolicyArtifact>(std::move(artifact)));
+  std::shared_ptr<const PolicyArtifact> installed;
+  std::uint32_t version = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& versions = models_[name];
+    version = versions.empty() ? 1 : versions.rbegin()->first + 1;
+    artifact.name = name;
+    artifact.version = version;
+    installed = std::make_shared<const PolicyArtifact>(std::move(artifact));
+    versions.emplace(version, installed);
+  }
+  notify_installed(installed);
   return version;
 }
 
@@ -56,9 +62,27 @@ Result<ModelRegistry::ModelKey> ModelRegistry::import_model(std::string_view byt
   if (value.name.empty()) return Status::error("import: artifact has no name");
   ModelKey key{value.name, value.version == 0 ? 1 : value.version};
   value.version = key.version;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  models_[key.name][key.version] = std::make_shared<const PolicyArtifact>(std::move(value));
+  auto installed = std::make_shared<const PolicyArtifact>(std::move(value));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    models_[key.name][key.version] = installed;
+  }
+  notify_installed(installed);
   return key;
+}
+
+void ModelRegistry::set_install_hook(InstallHook hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  install_hook_ = std::move(hook);
+}
+
+void ModelRegistry::notify_installed(const std::shared_ptr<const PolicyArtifact>& artifact) {
+  InstallHook hook;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hook = install_hook_;
+  }
+  if (hook) hook(artifact);
 }
 
 Status ModelRegistry::export_file(const std::string& name, std::int64_t version,

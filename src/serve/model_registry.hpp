@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,8 +54,19 @@ class ModelRegistry {
                      const std::string& path) const;
   Result<ModelKey> import_file(const std::string& path);
 
+  /// Called after every successful publish/import with the installed
+  /// snapshot, outside the registry lock (the hook may call back into the
+  /// registry). One hook per registry — the serving node that owns it wires
+  /// model warm-up here, so replicated and caught-up artifacts warm exactly
+  /// like locally published ones.
+  using InstallHook = std::function<void(const std::shared_ptr<const PolicyArtifact>&)>;
+  void set_install_hook(InstallHook hook);
+
  private:
+  void notify_installed(const std::shared_ptr<const PolicyArtifact>& artifact);
+
   mutable std::mutex mutex_;
+  InstallHook install_hook_;  // guarded by mutex_; copied out before invoking
   /// name -> version -> artifact (ordered so rbegin() is the latest).
   std::unordered_map<std::string, std::map<std::uint32_t, std::shared_ptr<const PolicyArtifact>>>
       models_;

@@ -75,6 +75,11 @@ class RemoteCompileClient {
   [[nodiscard]] std::size_t route(const ir::Module& module) const;
   [[nodiscard]] std::size_t route_fingerprint(std::uint64_t fingerprint) const;
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// The fleet this client talks to, in node-index order (FleetMonitor
+  /// labels its per-node reports with these).
+  [[nodiscard]] const std::vector<net::RemoteEndpoint>& endpoints() const noexcept {
+    return nodes_;
+  }
 
   [[nodiscard]] RemoteClientStats stats() const;
 

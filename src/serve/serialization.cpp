@@ -44,6 +44,36 @@ Status validate_artifact(const PolicyArtifact& a) {
   return Status::ok();
 }
 
+void write_baselines_section(ByteWriter& w, const PolicyArtifact& artifact) {
+  w.u64(artifact.baselines_config);  // measuring eval service's fingerprint
+  w.u64(artifact.baselines.size());
+  for (const CorpusBaseline& b : artifact.baselines) {
+    w.u64(b.fingerprint);
+    w.u64(b.cycles);
+    w.f64(b.area);
+  }
+}
+
+Status read_baselines_section(std::string_view bytes, PolicyArtifact& artifact) {
+  ByteReader r(bytes);
+  artifact.baselines_config = r.u64();
+  const std::uint64_t n = r.u64();
+  // 24 bytes per entry: a corrupt count must fail before the reserve.
+  if (!r.ok() || n > r.remaining() / 24) {
+    return Status::error("artifact baselines: corrupt entry count");
+  }
+  artifact.baselines.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CorpusBaseline b;
+    b.fingerprint = r.u64();
+    b.cycles = r.u64();
+    b.area = r.f64();
+    artifact.baselines.push_back(b);
+  }
+  if (!r.ok() || !r.at_end()) return Status::error("artifact baselines: truncated section");
+  return Status::ok();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -318,9 +348,27 @@ std::string serialize_artifact(const PolicyArtifact& artifact) {
   if (artifact.forest) write_forest(payload, *artifact.forest);
   write_normalizer(payload, artifact.normalizer);
 
+  // Optional sections (format v2). An artifact with none serializes as v1,
+  // so pre-v2 blobs and their checksums are reproduced bit-identically and
+  // replication across mixed-version fleets keeps converging.
+  const bool has_sections = !artifact.baselines.empty();
+  std::uint32_t format = 1;
+  if (has_sections) {
+    format = kFormatVersion;
+    std::uint32_t sections = 0;
+    if (!artifact.baselines.empty()) ++sections;
+    payload.u32(sections);
+    if (!artifact.baselines.empty()) {
+      payload.u32(static_cast<std::uint32_t>(ArtifactSection::kCorpusBaselines));
+      ByteWriter section;
+      write_baselines_section(section, artifact);
+      payload.str(section.bytes());  // length-prefixed: unknown tags are skippable
+    }
+  }
+
   ByteWriter framed;
   framed.u32(std::bit_cast<std::uint32_t>(kMagic));
-  framed.u32(kFormatVersion);
+  framed.u32(format);
   framed.str(payload.bytes());  // length-prefixed payload
   framed.u64(fnv1a(payload.bytes()));
   return framed.take();
@@ -387,6 +435,23 @@ Result<PolicyArtifact> deserialize_artifact(std::string_view bytes) {
   auto normalizer = read_normalizer(p);
   if (!normalizer.is_ok()) return Status::error("artifact: " + normalizer.message());
   artifact.normalizer = std::move(normalizer).value();
+  if (format >= 2) {
+    const std::uint32_t sections = p.u32();
+    if (!p.ok() || sections > 64) return Status::error("artifact: corrupt section count");
+    for (std::uint32_t s = 0; s < sections; ++s) {
+      const std::uint32_t tag = p.u32();
+      const std::string section = p.str();
+      if (!p.ok()) return Status::error("artifact: truncated section table");
+      switch (static_cast<ArtifactSection>(tag)) {
+        case ArtifactSection::kCorpusBaselines: {
+          if (const Status s = read_baselines_section(section, artifact); !s.is_ok()) return s;
+          break;
+        }
+        default:
+          break;  // an unknown optional section from a newer writer: skip
+      }
+    }
+  }
   if (!p.ok() || !p.at_end()) return Status::error("artifact: trailing garbage in payload");
   if (const Status valid = validate_artifact(artifact); !valid.is_ok()) return valid;
   return artifact;

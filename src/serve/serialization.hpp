@@ -17,7 +17,20 @@
 namespace autophase::serve {
 
 /// Bumped whenever the payload layout changes; readers reject newer formats.
-inline constexpr std::uint32_t kFormatVersion = 1;
+///
+/// v1  the mandatory artifact body (spec, nets, normalizer).
+/// v2  v1 body + a table of versioned optional sections, each length-
+///     prefixed and tagged so readers skip tags they do not know. Writers
+///     emit v1 whenever no optional section is present, so artifacts without
+///     extras stay bit-identical to pre-v2 blobs and old readers keep
+///     accepting them.
+inline constexpr std::uint32_t kFormatVersion = 2;
+
+/// Optional-section tags (format v2). New sections append new tags; tag
+/// values are never reused.
+enum class ArtifactSection : std::uint32_t {
+  kCorpusBaselines = 1,  // training-corpus measures for EvalService warm-up
+};
 
 /// Little-endian append-only byte sink.
 class ByteWriter {

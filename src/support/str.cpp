@@ -45,7 +45,10 @@ std::string_view trim(std::string_view text) {
   std::size_t b = 0;
   std::size_t e = text.size();
   while (b < e && (text[b] == ' ' || text[b] == '\t' || text[b] == '\n' || text[b] == '\r')) ++b;
-  while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' || text[e - 1] == '\n' || text[e - 1] == '\r')) --e;
+  while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' || text[e - 1] == '\n' ||
+                   text[e - 1] == '\r')) {
+    --e;
+  }
   return text.substr(b, e - b);
 }
 

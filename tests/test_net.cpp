@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "ir/printer.hpp"
@@ -17,6 +21,7 @@
 #include "progen/random_program.hpp"
 #include "rl/env.hpp"
 #include "rl/ppo.hpp"
+#include "serve/fleet_monitor.hpp"
 #include "serve/module_codec.hpp"
 #include "serve/remote_client.hpp"
 #include "serve/serialization.hpp"
@@ -599,6 +604,376 @@ TEST(RemoteServe, NodeShutdownRejectsLateClients) {
   config.connect_timeout = 500ms;
   serve::RemoteCompileClient late({endpoint}, config);
   EXPECT_FALSE(late.compile(request).is_ok());  // refused or reset, never a hang
+}
+
+// ---------------------------------------------------------------------------
+// Node stats v2 (versioned payload, reservoir + breakdowns)
+// ---------------------------------------------------------------------------
+
+TEST(WireNodeStats, V2PayloadRoundTripsBreakdowns) {
+  net::NodeStats stats;
+  stats.completed = 10;
+  stats.failed = 2;
+  stats.rejected = 1;
+  stats.queue_depth = 3;
+  stats.p50_ms = 1.25;
+  stats.p95_ms = 9.75;
+  stats.eval_hits = 4;
+  stats.eval_misses = 6;
+  stats.eval_sequence_hits = 2;
+  stats.eval_primed = 5;
+  stats.models = 2;
+  stats.latency_ms = {0.5, 3.5, 1.0, 2.0};
+  stats.per_model = {{"agent", 1, 6, 1}, {"agent", 2, 4, 0}, {"ghost", 7, 0, 1}};
+  stats.objective_completed = {7, 2, 1};
+
+  auto decoded = net::decode_node_stats(net::encode_node_stats(stats));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  const net::NodeStats& d = decoded.value();
+  EXPECT_EQ(d.completed, 10u);
+  EXPECT_EQ(d.eval_primed, 5u);
+  EXPECT_EQ(d.latency_ms, stats.latency_ms);
+  ASSERT_EQ(d.per_model.size(), 3u);
+  EXPECT_EQ(d.per_model[1].model, "agent");
+  EXPECT_EQ(d.per_model[1].version, 2u);
+  EXPECT_EQ(d.per_model[1].completed, 4u);
+  EXPECT_EQ(d.per_model[2].failed, 1u);
+  EXPECT_EQ(d.objective_completed, (std::array<std::uint64_t, 3>{7, 2, 1}));
+}
+
+TEST(WireNodeStats, WrongStatsVersionAndCorruptCountsAreRejected) {
+  net::NodeStats stats;
+  stats.completed = 1;
+  const std::string bytes = net::encode_node_stats(stats);
+  // Byte 0 is the status prefix; bytes 1..5 are the stats version.
+  std::string newer = bytes;
+  newer[1] = 99;
+  auto rejected = net::decode_node_stats(newer);
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_NE(rejected.message().find("stats version"), std::string::npos);
+  // Truncation anywhere is an error, never a misparse.
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 7) {
+    EXPECT_FALSE(net::decode_node_stats(std::string_view(bytes).substr(0, cut)).is_ok());
+  }
+}
+
+TEST(WireNodeStats, ServedStatsCarryPerModelVersionCounts) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness harness;
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 3));
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 4));
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  request.version = 1;
+  ASSERT_TRUE(client.compile(request).is_ok());
+  request.version = 0;  // latest == v2
+  ASSERT_TRUE(client.compile(request).is_ok());
+  ASSERT_TRUE(client.compile(request).is_ok());
+
+  auto stats = client.node_stats(0);
+  ASSERT_TRUE(stats.is_ok()) << stats.message();
+  EXPECT_EQ(stats.value().completed, 3u);
+  EXPECT_EQ(stats.value().latency_ms.size(), 3u);
+  ASSERT_EQ(stats.value().per_model.size(), 2u);
+  EXPECT_EQ(stats.value().per_model[0].version, 1u);
+  EXPECT_EQ(stats.value().per_model[0].completed, 1u);
+  EXPECT_EQ(stats.value().per_model[1].version, 2u);
+  EXPECT_EQ(stats.value().per_model[1].completed, 2u);
+  EXPECT_EQ(stats.value().objective_completed[0], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Replication catch-up (kSyncRequest / kSyncOffer)
+// ---------------------------------------------------------------------------
+
+TEST(WireSync, RequestAndOfferRoundTrip) {
+  net::SyncRequest inventory;
+  auto decoded_inv = net::decode_sync_request(net::encode_sync_request(inventory));
+  ASSERT_TRUE(decoded_inv.is_ok());
+  EXPECT_EQ(decoded_inv.value().mode, net::SyncMode::kInventory);
+  EXPECT_TRUE(decoded_inv.value().keys.empty());
+
+  net::SyncRequest fetch;
+  fetch.mode = net::SyncMode::kFetch;
+  fetch.keys = {{"agent", 1}, {"agent", 3}};
+  auto decoded_fetch = net::decode_sync_request(net::encode_sync_request(fetch));
+  ASSERT_TRUE(decoded_fetch.is_ok());
+  ASSERT_EQ(decoded_fetch.value().keys.size(), 2u);
+  EXPECT_EQ(decoded_fetch.value().keys[1].name, "agent");
+  EXPECT_EQ(decoded_fetch.value().keys[1].version, 3u);
+
+  net::SyncOffer offer;
+  offer.mode = net::SyncMode::kFetch;
+  offer.blobs = {"blob-one", std::string(1000, 'x')};
+  auto decoded_offer = net::decode_sync_offer(net::encode_sync_offer(offer));
+  ASSERT_TRUE(decoded_offer.is_ok());
+  ASSERT_EQ(decoded_offer.value().blobs.size(), 2u);
+  EXPECT_EQ(decoded_offer.value().blobs[0], "blob-one");
+  EXPECT_EQ(decoded_offer.value().blobs[1].size(), 1000u);
+
+  // Corruption: truncated payloads and absurd counts fail cleanly.
+  const std::string bytes = net::encode_sync_offer(offer);
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 11) {
+    EXPECT_FALSE(net::decode_sync_offer(std::string_view(bytes).substr(0, cut)).is_ok());
+  }
+  EXPECT_FALSE(net::decode_sync_request("garbage").is_ok());
+}
+
+TEST(SyncCatchUp, LateJoinerConvergesBitIdentically) {
+  auto sha = progen::build_chstone_like("sha");
+  auto qsort = progen::build_chstone_like("qsort");
+  NodeHarness seeded;
+  // Three artifacts across two names, published before the joiner exists.
+  ASSERT_TRUE(seeded.node->publish("agent", make_test_artifact(sha.get(), 1)).is_ok());
+  ASSERT_TRUE(seeded.node->publish("agent", make_test_artifact(sha.get(), 2)).is_ok());
+  ASSERT_TRUE(seeded.node->publish("other", make_test_artifact(qsort.get(), 3)).is_ok());
+
+  NodeHarness joiner;
+  auto report = joiner.node->sync_from(seeded.node->endpoint());
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().peer_models, 3u);
+  EXPECT_EQ(report.value().fetched, 3u);
+  EXPECT_EQ(report.value().already_present, 0u);
+  EXPECT_GT(report.value().fetched_bytes, 0u);
+
+  for (const auto& [name, version] :
+       std::vector<std::pair<std::string, std::uint32_t>>{
+           {"agent", 1}, {"agent", 2}, {"other", 1}}) {
+    const auto a = seeded.registry->export_model(name, version);
+    const auto b = joiner.registry->export_model(name, version);
+    ASSERT_TRUE(a.is_ok() && b.is_ok()) << name << " v" << version;
+    EXPECT_EQ(a.value(), b.value()) << name << " v" << version;
+  }
+
+  // Anti-entropy is idempotent: a second pass fetches nothing.
+  auto again = joiner.node->sync_from(seeded.node->endpoint());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().fetched, 0u);
+  EXPECT_EQ(again.value().already_present, 3u);
+}
+
+TEST(SyncCatchUp, ChunkedFetchCoversLargeInventories) {
+  auto sha = progen::build_chstone_like("sha");
+  net::ServeNodeConfig config;
+  config.sync_fetch_batch = 2;  // force multiple fetch round trips
+  NodeHarness seeded;
+  for (std::uint64_t v = 0; v < 7; ++v) {
+    ASSERT_TRUE(seeded.node->publish("agent", make_test_artifact(sha.get(), v + 1)).is_ok());
+  }
+  auto joiner_registry = std::make_shared<serve::ModelRegistry>();
+  auto joiner_eval = std::make_shared<runtime::EvalService>();
+  net::ServeNode joiner(joiner_registry, joiner_eval, config);
+  ASSERT_TRUE(joiner.start().is_ok());
+  auto report = joiner.sync_from(seeded.node->endpoint());
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().fetched, 7u);
+  EXPECT_EQ(joiner_registry->size(), 7u);
+  for (std::uint32_t v = 1; v <= 7; ++v) {
+    EXPECT_EQ(joiner_registry->export_model("agent", v).value(),
+              seeded.registry->export_model("agent", v).value());
+  }
+}
+
+TEST(SyncCatchUp, ConcurrentPublishNeverShipsATornBlob) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness seeded;
+  ASSERT_TRUE(seeded.node->publish("agent", make_test_artifact(sha.get(), 100)).is_ok());
+
+  NodeHarness joiner;
+  std::atomic<bool> done{false};
+  // Publisher thread: keeps minting versions while the joiner syncs.
+  std::thread publisher([&] {
+    for (std::uint64_t v = 0; v < 6; ++v) {
+      ASSERT_TRUE(seeded.node->publish("agent", make_test_artifact(sha.get(), v + 101)).is_ok());
+    }
+    done.store(true);
+  });
+  // Syncing against a registry that is being published into: every pass must
+  // succeed (sync_from fails loudly if any fetched blob fails validation —
+  // i.e. if a torn blob ever crossed the wire).
+  while (!done.load()) {
+    auto report = joiner.node->sync_from(seeded.node->endpoint());
+    ASSERT_TRUE(report.is_ok()) << report.message();
+  }
+  publisher.join();
+
+  // One final pass after the publisher stopped: full convergence.
+  auto final_pass = joiner.node->sync_from(seeded.node->endpoint());
+  ASSERT_TRUE(final_pass.is_ok()) << final_pass.message();
+  ASSERT_EQ(joiner.registry->size(), seeded.registry->size());
+  for (const auto& key : seeded.registry->list()) {
+    EXPECT_EQ(joiner.registry->export_model(key.name, key.version).value(),
+              seeded.registry->export_model(key.name, key.version).value())
+        << key.name << " v" << key.version;
+  }
+}
+
+TEST(SyncCatchUp, OversizeBlobFailsLoudlyInsteadOfSilentSuccess) {
+  auto sha = progen::build_chstone_like("sha");
+  // The seeded node's frame cap makes its kSyncOffer reply budget smaller
+  // than one artifact blob: it can never ship the model. The joiner must
+  // say so, not report a clean sync with nothing fetched.
+  net::ServeNodeConfig small;
+  small.max_frame_payload = 8 * 1024;
+  NodeHarness seeded(small);
+  ASSERT_TRUE(seeded.node->publish("big", make_test_artifact(sha.get(), 70)).is_ok());
+
+  NodeHarness joiner;
+  auto report = joiner.node->sync_from(seeded.node->endpoint());
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_NE(report.message().find("shipped none"), std::string::npos) << report.message();
+  EXPECT_EQ(joiner.registry->size(), 0u);
+}
+
+TEST(SyncCatchUp, CaughtUpArtifactsWarmTheJoinersEvalCache) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness seeded;
+  serve::PolicyArtifact artifact = make_test_artifact(sha.get(), 42);
+  artifact.baselines = {{ir::module_fingerprint(*sha), 777, 1.0}};
+  ASSERT_TRUE(seeded.node->publish("warm", std::move(artifact)).is_ok());
+
+  NodeHarness joiner;
+  EXPECT_EQ(joiner.eval->stats().primed, 0u);
+  ASSERT_TRUE(joiner.node->sync_from(seeded.node->endpoint()).is_ok());
+  // The install hook ran warm-up during the sync import.
+  EXPECT_EQ(joiner.eval->stats().primed, 1u);
+  bool sampled = true;
+  EXPECT_EQ(joiner.eval->measure(*sha, &sampled).cycles, 777u);
+  EXPECT_FALSE(sampled);
+}
+
+TEST(SyncCatchUp, V1ArtifactsImportCleanlyAndSkipWarmup) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness seeded;
+  // No baseline section: the blob serializes as format v1.
+  ASSERT_TRUE(seeded.node->publish("cold", make_test_artifact(sha.get(), 50)).is_ok());
+  const std::string blob = seeded.registry->export_model("cold", 1).value();
+  ASSERT_GE(blob.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(blob[4]), 1);  // format version byte
+
+  NodeHarness joiner;
+  auto report = joiner.node->sync_from(seeded.node->endpoint());
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().fetched, 1u);
+  EXPECT_EQ(joiner.registry->export_model("cold", 1).value(), blob);
+  // Warm-up ran (weight pre-fault) but had nothing to prime.
+  EXPECT_EQ(joiner.eval->stats().primed, 0u);
+  // And the model serves.
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "cold";
+  EXPECT_TRUE(joiner.node->service().compile_sync(request).is_ok());
+}
+
+TEST(SyncCatchUp, ReplicationPushAlsoWarmsReplicas) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness a;
+  NodeHarness b;
+  a.node->add_peer(b.node->endpoint());
+  serve::PolicyArtifact artifact = make_test_artifact(sha.get(), 60);
+  artifact.baselines = {{ir::module_fingerprint(*sha), 555, 2.0}};
+  auto reply = a.node->publish("warm", std::move(artifact));
+  ASSERT_TRUE(reply.is_ok()) << reply.message();
+  EXPECT_EQ(reply.value().peer_failures, 0u);
+  EXPECT_EQ(a.eval->stats().primed, 1u);  // publisher warms itself too
+  EXPECT_EQ(b.eval->stats().primed, 1u);  // replica warmed by the push
+}
+
+// ---------------------------------------------------------------------------
+// Fleet monitor
+// ---------------------------------------------------------------------------
+
+TEST(FleetMonitorTest, MergesCountersReservoirsAndBreakdowns) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness a;
+  NodeHarness b;
+  a.node->add_peer(b.node->endpoint());
+
+  auto client = std::make_shared<serve::RemoteCompileClient>(
+      std::vector<net::RemoteEndpoint>{a.node->endpoint(), b.node->endpoint()});
+  ASSERT_TRUE(client->publish(0, "agent", make_test_artifact(sha.get(), 8)).is_ok());
+
+  // Drive traffic across the fleet: distinct programs spread over the ring.
+  std::size_t issued = 0;
+  for (const char* name : {"sha", "gsm", "qsort", "adpcm", "aes"}) {
+    auto program = progen::build_chstone_like(name);
+    serve::CompileRequest request;
+    request.module = program.get();
+    request.model = "agent";
+    auto response = client->compile(request);
+    ASSERT_TRUE(response.is_ok()) << name << ": " << response.message();
+    ++issued;
+  }
+
+  serve::FleetMonitor monitor(client);
+  const serve::FleetStats fleet = monitor.poll();
+  EXPECT_EQ(fleet.snapshot_version, 1u);
+  EXPECT_EQ(fleet.nodes, 2u);
+  EXPECT_EQ(fleet.reachable, 2u);
+  // Per-node completions sum to exactly the client-observed total...
+  EXPECT_EQ(fleet.completed, issued);
+  std::uint64_t per_node_sum = 0;
+  for (const auto& report : fleet.per_node) {
+    ASSERT_TRUE(report.reachable) << report.error;
+    per_node_sum += report.stats.completed;
+  }
+  EXPECT_EQ(per_node_sum, issued);
+  // ...as do the merged reservoir and the per-model breakdown.
+  EXPECT_EQ(fleet.latency_samples, issued);
+  ASSERT_EQ(fleet.per_model.size(), 1u);
+  EXPECT_EQ(fleet.per_model[0].model, "agent");
+  EXPECT_EQ(fleet.per_model[0].completed, issued);
+  EXPECT_EQ(fleet.objective_completed[0], issued);
+  // Merged quantiles come from pooled samples: bounded by min/max.
+  EXPECT_GT(fleet.latency.p50_ms, 0.0);
+  EXPECT_LE(fleet.latency.p50_ms, fleet.latency.max_ms);
+  EXPECT_LE(fleet.latency.p95_ms, fleet.latency.max_ms);
+  // Registries converged, so the model spread is flat.
+  EXPECT_EQ(fleet.models_min, 1u);
+  EXPECT_EQ(fleet.models_max, 1u);
+
+  const serve::FleetStats again = monitor.poll();
+  EXPECT_EQ(again.snapshot_version, 2u);
+  EXPECT_EQ(monitor.last().snapshot_version, 2u);
+}
+
+TEST(FleetMonitorTest, ReportsUnreachableNodesWithoutFailingTheSnapshot) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness live;
+  live.registry->publish("agent", make_test_artifact(sha.get(), 9));
+
+  // A port with nothing behind it: bind a listener to reserve one, then
+  // close it so connects are refused quickly.
+  net::RemoteEndpoint dead;
+  {
+    auto listener = net::TcpListener::bind_loopback(0);
+    ASSERT_TRUE(listener.is_ok());
+    dead = {"127.0.0.1", listener.value().port()};
+  }
+
+  serve::RemoteClientConfig config;
+  config.connect_timeout = 500ms;
+  config.request_deadline = 2000ms;
+  auto client = std::make_shared<serve::RemoteCompileClient>(
+      std::vector<net::RemoteEndpoint>{live.node->endpoint(), dead}, config);
+
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  ASSERT_TRUE(client->node_stats(0).is_ok());
+
+  serve::FleetMonitor monitor(client);
+  const serve::FleetStats fleet = monitor.poll();
+  EXPECT_EQ(fleet.nodes, 2u);
+  EXPECT_EQ(fleet.reachable, 1u);
+  EXPECT_TRUE(fleet.per_node[0].reachable);
+  EXPECT_FALSE(fleet.per_node[1].reachable);
+  EXPECT_FALSE(fleet.per_node[1].error.empty());
+  EXPECT_EQ(fleet.models_min, 1u);  // merged view covers the live node only
+  EXPECT_EQ(fleet.models_max, 1u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "ir/printer.hpp"
 #include "passes/pass.hpp"
 #include "progen/chstone_like.hpp"
 #include "rl/env.hpp"
@@ -515,6 +516,253 @@ TEST(ServeThreadPool, SubmitAfterShutdownBreaksPromise) {
   pool.shutdown();
   auto f = pool.submit([] {});
   EXPECT_THROW(f.get(), std::future_error);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact format v2: optional training-corpus baseline section
+// ---------------------------------------------------------------------------
+
+TEST(ServeSerialization, ArtifactWithoutBaselinesStaysFormatV1) {
+  auto m = progen::build_chstone_like("sha");
+  const PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 3);
+  ASSERT_TRUE(artifact.baselines.empty());
+  const std::string bytes = serialize_artifact(artifact);
+  // Bytes 4..8 are the little-endian format version: no optional section
+  // means the blob is written as v1, bit-identical to pre-v2 writers.
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 1);
+  auto decoded = deserialize_artifact(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  EXPECT_TRUE(decoded.value().baselines.empty());
+}
+
+TEST(ServeSerialization, BaselineSectionRoundTripsAsFormatV2) {
+  auto m = progen::build_chstone_like("sha");
+  PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 3);
+  artifact.baselines = {{0x1234abcdu, 777, 1.5}, {0xfeedbeefu, 42, 0.25}};
+  artifact.baselines_config = 0xabcdef12u;
+  const std::string bytes = serialize_artifact(artifact);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 2);
+  auto decoded = deserialize_artifact(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  EXPECT_EQ(decoded.value().baselines_config, 0xabcdef12u);
+  ASSERT_EQ(decoded.value().baselines.size(), 2u);
+  EXPECT_EQ(decoded.value().baselines[0].fingerprint, 0x1234abcdu);
+  EXPECT_EQ(decoded.value().baselines[0].cycles, 777u);
+  EXPECT_EQ(decoded.value().baselines[0].area, 1.5);
+  EXPECT_EQ(decoded.value().baselines[1].fingerprint, 0xfeedbeefu);
+
+  // Corrupting bytes inside the section fails the frame checksum cleanly.
+  std::string flipped = bytes;
+  flipped[flipped.size() - 12] = static_cast<char>(flipped[flipped.size() - 12] ^ 0x5a);
+  EXPECT_FALSE(deserialize_artifact(flipped).is_ok());
+  // Truncating inside the section table is caught too.
+  EXPECT_FALSE(
+      deserialize_artifact(std::string_view(bytes).substr(0, bytes.size() - 20)).is_ok());
+}
+
+TEST(ServeSerialization, V2RegistryImportPreservesBaselines) {
+  auto m = progen::build_chstone_like("qsort");
+  PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 5);
+  artifact.baselines = {{99, 1000, 2.0}};
+  ModelRegistry a;
+  a.publish("warm", std::move(artifact));
+  const auto blob = a.export_model("warm", 1);
+  ASSERT_TRUE(blob.is_ok());
+  ModelRegistry b;
+  const auto key = b.import_model(blob.value());
+  ASSERT_TRUE(key.is_ok()) << key.message();
+  ASSERT_EQ(b.get("warm", 1)->baselines.size(), 1u);
+  EXPECT_EQ(b.get("warm", 1)->baselines[0].cycles, 1000u);
+  // Identity: re-export is bit-identical, baselines included.
+  EXPECT_EQ(b.export_model("warm", 1).value(), blob.value());
+}
+
+// ---------------------------------------------------------------------------
+// Model warm-up
+// ---------------------------------------------------------------------------
+
+TEST(ServeWarmup, EvalPrimeInstallsExactlyOnceAndServesHits) {
+  runtime::EvalService eval;
+  auto m = progen::build_chstone_like("sha");
+  const std::uint64_t fp = ir::module_fingerprint(*m);
+  EXPECT_TRUE(eval.prime(fp, {1234, 9.5}));
+  EXPECT_FALSE(eval.prime(fp, {999, 1.0}));  // never overwrites
+
+  bool sampled = true;
+  const runtime::Measure measure = eval.measure(*m, &sampled);
+  EXPECT_FALSE(sampled);  // served from the primed entry, no simulator run
+  EXPECT_EQ(measure.cycles, 1234u);
+  EXPECT_EQ(measure.area, 9.5);
+  const runtime::EvalStats stats = eval.stats();
+  EXPECT_EQ(stats.primed, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(eval.samples(), 0u);
+}
+
+TEST(ServeWarmup, PrimeNeverOverwritesMeasuredEntries) {
+  runtime::EvalService eval;
+  auto m = progen::build_chstone_like("gsm");
+  const runtime::Measure measured = eval.measure(*m);
+  EXPECT_FALSE(eval.prime(ir::module_fingerprint(*m), {1, 1.0}));
+  EXPECT_EQ(eval.measure(*m).cycles, measured.cycles);
+  EXPECT_EQ(eval.stats().primed, 0u);
+}
+
+TEST(ServeWarmup, WarmUpPrimesCacheFromArtifactBaselines) {
+  auto sha = progen::build_chstone_like("sha");
+  auto qsort = progen::build_chstone_like("qsort");
+
+  // Trainer side: measure the corpus and attach the stamped section.
+  runtime::EvalService trainer_eval;
+  PolicyArtifact artifact = make_test_artifact(sha.get(), tiny_env_config(), 7);
+  attach_baselines(artifact, {sha.get(), qsort.get()}, trainer_eval);
+  ASSERT_EQ(artifact.baselines.size(), 2u);
+  EXPECT_EQ(artifact.baselines_config, trainer_eval.config_fingerprint());
+
+  // Serving side: a cold eval service, warmed from the artifact alone.
+  runtime::EvalService serving_eval;
+  const WarmupReport report = warm_up(artifact, serving_eval);
+  EXPECT_TRUE(report.forwards_run);
+  EXPECT_EQ(report.baselines, 2u);
+  EXPECT_EQ(report.primed, 2u);
+
+  // First requests for corpus programs hit the primed entries: zero samples.
+  bool sampled = true;
+  EXPECT_EQ(serving_eval.measure(*sha, &sampled).cycles, trainer_eval.measure(*sha).cycles);
+  EXPECT_FALSE(sampled);
+  EXPECT_EQ(serving_eval.measure(*qsort).cycles, trainer_eval.measure(*qsort).cycles);
+  EXPECT_EQ(serving_eval.samples(), 0u);
+
+  // Idempotent: warming again primes nothing new.
+  EXPECT_EQ(warm_up(artifact, serving_eval).primed, 0u);
+}
+
+TEST(ServeWarmup, MismatchedEvalConfigRefusesToPrime) {
+  auto sha = progen::build_chstone_like("sha");
+  runtime::EvalService trainer_eval;  // default constraints
+  PolicyArtifact artifact = make_test_artifact(sha.get(), tiny_env_config(), 7);
+  attach_baselines(artifact, {sha.get()}, trainer_eval);
+
+  // A serving node with different HLS resources measures different cycle
+  // counts: the trainer's baselines must not land in its cache.
+  runtime::EvalServiceConfig other;
+  other.constraints.multipliers = 7;
+  runtime::EvalService serving_eval(other);
+  ASSERT_NE(serving_eval.config_fingerprint(), trainer_eval.config_fingerprint());
+  const WarmupReport report = warm_up(artifact, serving_eval);
+  EXPECT_TRUE(report.config_mismatch);
+  EXPECT_EQ(report.primed, 0u);
+  EXPECT_EQ(serving_eval.stats().primed, 0u);
+  EXPECT_TRUE(report.forwards_run);  // the weight pre-fault still happened
+}
+
+TEST(ServeWarmup, V1ArtifactSkipsPrimingCleanly) {
+  auto m = progen::build_chstone_like("sha");
+  const PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 9);
+  runtime::EvalService eval;
+  const WarmupReport report = warm_up(artifact, eval);
+  EXPECT_TRUE(report.forwards_run);
+  EXPECT_EQ(report.baselines, 0u);
+  EXPECT_EQ(report.primed, 0u);
+  EXPECT_EQ(eval.stats().primed, 0u);
+}
+
+TEST(ServeWarmup, RegistryInstallHookFiresOnPublishAndImport) {
+  auto m = progen::build_chstone_like("sha");
+  ModelRegistry registry;
+  std::vector<std::pair<std::string, std::uint32_t>> installed;
+  registry.set_install_hook(
+      [&](const std::shared_ptr<const PolicyArtifact>& artifact) {
+        installed.emplace_back(artifact->name, artifact->version);
+      });
+  registry.publish("hooked", make_test_artifact(m.get(), tiny_env_config(), 4));
+  ASSERT_EQ(installed.size(), 1u);
+  EXPECT_EQ(installed[0], (std::pair<std::string, std::uint32_t>{"hooked", 1}));
+
+  const auto blob = registry.export_model("hooked", 1);
+  ASSERT_TRUE(blob.is_ok());
+  ASSERT_TRUE(registry.import_model(blob.value()).is_ok());
+  ASSERT_EQ(installed.size(), 2u);  // idempotent re-import still re-warms
+  EXPECT_EQ(installed[1], (std::pair<std::string, std::uint32_t>{"hooked", 1}));
+}
+
+TEST(ServeWarmup, CompileServiceWarmUpModelResolvesRegistry) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  PolicyArtifact artifact = make_test_artifact(m.get(), tiny_env_config(), 6);
+  artifact.baselines = {{ir::module_fingerprint(*m), 555, 1.0}};
+  registry->publish("warm", std::move(artifact));
+
+  CompileServiceConfig config;
+  config.workers = 0;  // inline-only; no queue needed here
+  CompileService service(registry, nullptr, config);
+  const auto report = service.warm_up_model("warm");
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().primed, 1u);
+  EXPECT_FALSE(service.warm_up_model("missing").is_ok());
+  EXPECT_EQ(service.eval_service()->stats().primed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-model-version / per-objective metrics
+// ---------------------------------------------------------------------------
+
+TEST(ServeMetricsBreakdown, PerModelPerObjectiveCountsAndReservoir) {
+  auto sha = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(sha.get(), tiny_env_config(), 1));
+  registry->publish("agent", make_test_artifact(sha.get(), tiny_env_config(), 2));
+
+  CompileServiceConfig config;
+  config.workers = 2;
+  CompileService service(registry, nullptr, config);
+
+  const auto submit = [&](std::int64_t version, Objective objective) {
+    CompileRequest request;
+    request.module = sha.get();
+    request.model = "agent";
+    request.version = version;
+    request.objective = objective;
+    return service.submit(std::move(request));
+  };
+  std::vector<CompileService::ResponseFuture> futures;
+  futures.push_back(submit(1, Objective::kCycles));
+  futures.push_back(submit(1, Objective::kCycles));
+  futures.push_back(submit(2, Objective::kCyclesTimesArea));
+  futures.push_back(submit(0, Objective::kCycles));  // latest == v2
+  for (auto& f : futures) ASSERT_TRUE(f.get().is_ok());
+
+  // A failing request counts under the version it asked for.
+  CompileRequest unknown;
+  unknown.module = sha.get();
+  unknown.model = "ghost";
+  unknown.version = 7;
+  ASSERT_FALSE(service.submit(std::move(unknown)).get().is_ok());
+
+  const ServeMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, 4u);
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.latency_samples_ms.size(), 5u);
+  EXPECT_EQ(metrics.objective_completed[static_cast<std::size_t>(Objective::kCycles)], 3u);
+  EXPECT_EQ(
+      metrics.objective_completed[static_cast<std::size_t>(Objective::kCyclesTimesArea)], 1u);
+  EXPECT_EQ(metrics.objective_completed[static_cast<std::size_t>(Objective::kFixedBudget)], 0u);
+
+  ASSERT_EQ(metrics.per_model.size(), 3u);  // agent v1, agent v2, ghost v7
+  EXPECT_EQ(metrics.per_model[0].model, "agent");
+  EXPECT_EQ(metrics.per_model[0].version, 1u);
+  EXPECT_EQ(metrics.per_model[0].completed, 2u);
+  EXPECT_EQ(metrics.per_model[1].model, "agent");
+  EXPECT_EQ(metrics.per_model[1].version, 2u);
+  EXPECT_EQ(metrics.per_model[1].completed, 2u);  // explicit v2 + latest
+  EXPECT_EQ(metrics.per_model[2].model, "ghost");
+  EXPECT_EQ(metrics.per_model[2].version, 7u);
+  EXPECT_EQ(metrics.per_model[2].failed, 1u);
+  std::uint64_t per_model_completed = 0;
+  for (const auto& m : metrics.per_model) per_model_completed += m.completed;
+  EXPECT_EQ(per_model_completed, metrics.completed);
 }
 
 }  // namespace
