@@ -1,0 +1,100 @@
+// Gossip convergence cost vs fleet size, measured on the deterministic
+// network simulator: 3 / 9 / 27 virtual nodes under 10% message loss, three
+// models published on three different nodes, pure pull gossip until every
+// registry is bit-identical (checksum-verified). Reports rounds (full
+// sweeps: every node runs one anti-entropy pull per sweep), exchanges, and
+// bytes on the wire — the epidemic-replication scaling story in numbers.
+// The fleet harness is net/sim_fleet.hpp, shared with tests/test_sim.cpp,
+// so this measures exactly the protocol the chaos suite pins down.
+//
+// Virtual time makes the run exactly reproducible per seed, so the JSON is
+// stable enough to gate: `identical` asserts final bit-identity and the
+// process exits 1 if any fleet fails to converge.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "net/sim_fleet.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace autophase;
+
+struct FleetRun {
+  std::size_t nodes = 0;
+  std::size_t rounds = 0;  // sweeps until bit-identical
+  bool converged = false;
+  std::uint64_t exchanges = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t virtual_ms = 0;
+};
+
+FleetRun run_fleet(std::size_t count, std::uint64_t seed, double loss, std::size_t max_sweeps) {
+  net::SimFaultConfig faults;
+  faults.drop = loss;
+  net::SimFleet fleet(count, seed, faults);
+
+  // Three publishers spread across the fleet — worst case for owner-push,
+  // routine for gossip.
+  fleet.nodes[0]->registry->publish("alpha", net::tiny_sim_artifact(1));
+  fleet.nodes[count / 2]->registry->publish("beta", net::tiny_sim_artifact(2));
+  fleet.nodes[count - 1]->registry->publish("gamma", net::tiny_sim_artifact(3));
+
+  FleetRun run;
+  run.nodes = count;
+  const std::size_t sweeps = fleet.sweeps_until_converged(max_sweeps);
+  run.converged = sweeps <= max_sweeps;
+  run.rounds = run.converged ? sweeps : 0;
+  run.exchanges = fleet.world.counters().exchanges;
+  run.wire_bytes = fleet.world.counters().wire_bytes;
+  run.dropped = fleet.world.counters().dropped;
+  run.virtual_ms = fleet.world.now_us() / 1000;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = autophase::bench::BenchArgs::parse(argc, argv);
+  const double loss = 0.10;
+  const std::size_t max_sweeps = 64;
+
+  autophase::TextTable table({"nodes", "rounds", "exchanges", "wire KiB", "dropped", "virt ms"});
+  std::vector<FleetRun> runs;
+  bool all_converged = true;
+  for (const std::size_t count : {std::size_t{3}, std::size_t{9}, std::size_t{27}}) {
+    const FleetRun run = run_fleet(count, args.seed, loss, max_sweeps);
+    all_converged = all_converged && run.converged;
+    table.add_row({std::to_string(run.nodes),
+                   run.converged ? std::to_string(run.rounds) : "DNF",
+                   std::to_string(run.exchanges),
+                   autophase::strf("%.1f", static_cast<double>(run.wire_bytes) / 1024.0),
+                   std::to_string(run.dropped), std::to_string(run.virtual_ms)});
+    runs.push_back(run);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  autophase::bench::JsonArray fleets;
+  for (const FleetRun& run : runs) {
+    fleets.add_raw(autophase::bench::JsonObject()
+                       .field("nodes", static_cast<std::uint64_t>(run.nodes))
+                       .field("rounds", static_cast<std::uint64_t>(run.rounds))
+                       .field("exchanges", run.exchanges)
+                       .field("wire_bytes", run.wire_bytes)
+                       .field("dropped", run.dropped)
+                       .field("virtual_ms", run.virtual_ms)
+                       .str());
+  }
+  autophase::bench::JsonObject out;
+  out.field("bench", "gossip_convergence")
+      .field("seed", args.seed)
+      .field("loss", loss)
+      .raw("fleets", fleets.str())
+      .field("identical", all_converged ? "true" : "false");
+  std::printf("%s\n", out.str().c_str());
+  return all_converged ? 0 : 1;
+}

@@ -9,7 +9,7 @@
 #include <unistd.h>
 
 #include "serve/serialization.hpp"
-#include "support/hash.hpp"
+#include "support/rng.hpp"
 #include "support/str.hpp"
 
 namespace autophase::net {
@@ -20,6 +20,13 @@ namespace {
 /// same socket; a stalled client gets this long before the node gives up on
 /// the connection.
 constexpr std::chrono::milliseconds kReplyTimeout{30'000};
+
+/// Monotonic nanos for the gossip last-sync stamp (atomic-friendly scalar).
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -58,7 +65,14 @@ ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
   // handlers; net workers likewise must exist to answer anything at all.
   config_.compile.workers = std::max<std::size_t>(1, config_.compile.workers);
   config_.net_workers = std::max<std::size_t>(1, config_.net_workers);
+  // A non-positive gossip period would turn the background loop into a busy
+  // spin of back-to-back connects; floor it like the worker counts above.
+  config_.gossip.period = std::max(config_.gossip.period, std::chrono::milliseconds(1));
   service_ = std::make_unique<serve::CompileService>(registry_, std::move(eval), config_.compile);
+  transport_ = std::make_unique<TcpTransport>(
+      TcpTransportConfig{config_.peer_timeout, config_.max_frame_payload});
+  gossip_core_ = std::make_unique<GossipCore>(
+      registry_, GossipCoreConfig{config_.max_frame_payload, config_.sync_fetch_batch});
   net_pool_ = std::make_unique<ThreadPool>(config_.net_workers);
   if (config_.warm_up_on_install) {
     // Every install path (publish, kReplicate push, catch-up fetch) funnels
@@ -100,6 +114,7 @@ Status ServeNode::start() {
 
   started_ = true;
   loop_thread_ = std::thread([this] { event_loop(); });
+  if (config_.gossip.enabled) gossip_thread_ = std::thread([this] { gossip_loop(); });
   return Status::ok();
 }
 
@@ -108,6 +123,19 @@ void ServeNode::shutdown() {
   // not race the thread join or tear members down twice.
   const std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
   if (stopping_.exchange(true)) return;
+  // The gossip loop first: it makes outbound calls through the transport,
+  // and must not start a fresh pull against a fleet that is tearing down.
+  // A pull already in flight against a dead peer bounds this join by
+  // peer_timeout — the same outbound budget a publish push has always had;
+  // keep peer_timeout modest on fleets that restart often.
+  if (gossip_thread_.joinable()) {
+    // Taking the wait mutex orders the stop flag with the loop's predicate
+    // check — a notify can never slip between check and sleep. (The wait is
+    // bounded anyway, but shutdown should not eat a whole gossip period.)
+    { const std::lock_guard<std::mutex> gossip_lock(gossip_mutex_); }
+    gossip_cv_.notify_all();
+    gossip_thread_.join();
+  }
   if (started_ && loop_thread_.joinable()) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
@@ -292,7 +320,7 @@ void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Fram
     case MsgType::kStats: reply.payload = encode_node_stats(stats()); break;
     case MsgType::kSyncRequest:
       reply.type = MsgType::kSyncOffer;
-      reply.payload = handle_sync(frame);
+      reply.payload = gossip_core_->handle_sync(frame.payload);
       break;
     case MsgType::kSyncOffer: answer = false; break;  // replies are client-side
     case MsgType::kError: answer = false; break;      // a peer's diagnostic
@@ -334,66 +362,8 @@ std::string ServeNode::handle_replicate(const Frame& frame) {
   return encode_publish_reply(reply);
 }
 
-std::vector<ModelSummary> ServeNode::local_inventory() const {
-  std::vector<ModelSummary> models;
-  for (const auto& key : registry_->list()) {
-    const std::shared_ptr<const serve::PolicyArtifact> artifact =
-        registry_->get(key.name, key.version);
-    if (artifact == nullptr) continue;  // raced with nothing — list() snapshots
-    ModelSummary m;
-    m.name = key.name;
-    m.version = key.version;
-    {
-      // Serialize each installed artifact at most once: artifacts are
-      // immutable snapshots, so (bytes, checksum) keyed by pointer identity
-      // stays valid until an import replaces the version's snapshot.
-      const std::lock_guard<std::mutex> lock(inventory_mutex_);
-      auto& entry = inventory_cache_[{key.name, key.version}];
-      if (entry.artifact != artifact) {
-        const std::string blob = serve::serialize_artifact(*artifact);
-        entry = {artifact, blob.size(), fnv1a(blob)};
-      }
-      m.blob_bytes = entry.blob_bytes;
-      m.blob_checksum = entry.blob_checksum;
-    }
-    models.push_back(std::move(m));
-  }
-  return models;
-}
-
-std::string ServeNode::handle_list() const { return encode_model_list(local_inventory()); }
-
-std::string ServeNode::handle_sync(const Frame& frame) const {
-  auto request = decode_sync_request(frame.payload);
-  if (!request.is_ok()) {
-    return encode_sync_offer(Status::error("sync: " + request.message()));
-  }
-  SyncOffer offer;
-  offer.mode = request.value().mode;
-  if (request.value().mode == SyncMode::kInventory) {
-    offer.inventory = local_inventory();
-  } else {
-    // One entry per requested key, in order; a key that vanished (a peer
-    // asking about a model this node never had) answers with an empty blob —
-    // the requester consumes the slot and moves on, so anti-entropy cannot
-    // loop on it. The reply is capped below the frame payload limit: a
-    // hand-rolled request for the whole registry gets a truncated offer
-    // (the requester re-asks for the unconsumed tail), never an unframeable
-    // reply or an unbounded server-side buffer.
-    const std::size_t reply_budget =
-        config_.max_frame_payload - std::min<std::size_t>(config_.max_frame_payload / 2, 4096);
-    std::size_t reply_bytes = 0;
-    for (const SyncKey& key : request.value().keys) {
-      auto blob = registry_->export_model(key.name, key.version);
-      std::string bytes = blob.is_ok() ? std::move(blob).value() : std::string();
-      // 16 bytes conservative per-entry framing overhead (8-byte length
-      // prefix + slack), so the encoded payload stays under the cap too.
-      if (reply_bytes + bytes.size() + 16 > reply_budget) break;
-      reply_bytes += bytes.size() + 16;
-      offer.blobs.push_back(std::move(bytes));
-    }
-  }
-  return encode_sync_offer(std::move(offer));
+std::string ServeNode::handle_list() const {
+  return encode_model_list(gossip_core_->inventory());
 }
 
 // ---------------------------------------------------------------------------
@@ -403,6 +373,11 @@ std::string ServeNode::handle_sync(const Frame& frame) const {
 void ServeNode::add_peer(RemoteEndpoint peer) {
   const std::lock_guard<std::mutex> lock(peers_mutex_);
   peers_.push_back(std::move(peer));
+}
+
+std::vector<RemoteEndpoint> ServeNode::peers() const {
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  return peers_;
 }
 
 Result<PublishReply> ServeNode::publish(const std::string& name,
@@ -417,32 +392,14 @@ Result<PublishReply> ServeNode::publish(const std::string& name,
   return reply;
 }
 
-Result<Frame> ServeNode::peer_exchange(const RemoteEndpoint& peer, const Frame& request) const {
-  auto stream = TcpStream::connect(peer.host, peer.port, config_.peer_timeout);
-  if (!stream.is_ok()) return stream.status();
-  const Deadline deadline = deadline_in(config_.peer_timeout);
-  if (const Status s = write_frame(stream.value(), request, deadline); !s.is_ok()) return s;
-  auto reply = read_frame(stream.value(), deadline, config_.max_frame_payload);
-  if (!reply.is_ok()) return reply.status();
-  if (reply.value().type == MsgType::kError) {
-    return Status::error(decode_status_reply(reply.value().payload).message());
-  }
-  return reply;
-}
-
 std::uint32_t ServeNode::replicate_to_peers(const std::string& blob) {
-  std::vector<RemoteEndpoint> peers;
-  {
-    const std::lock_guard<std::mutex> lock(peers_mutex_);
-    peers = peers_;
-  }
   std::uint32_t failures = 0;
-  for (const RemoteEndpoint& peer : peers) {
+  for (const RemoteEndpoint& peer : peers()) {
     Frame push;
     push.type = MsgType::kReplicate;
     push.request_id = 1;
     push.payload = blob;
-    auto ack = peer_exchange(peer, push);
+    auto ack = transport_->exchange(peer, push);
     if (!ack.is_ok() || ack.value().type != MsgType::kReplicate ||
         !decode_publish_reply(ack.value().payload).is_ok()) {
       ++failures;
@@ -455,93 +412,58 @@ std::uint32_t ServeNode::replicate_to_peers(const std::string& blob) {
 // Replication catch-up
 // ---------------------------------------------------------------------------
 
-Result<ServeNode::SyncReport> ServeNode::sync_from(const RemoteEndpoint& peer) {
-  // Pull the peer's version vector.
-  Frame query;
-  query.type = MsgType::kSyncRequest;
-  query.request_id = 1;
-  query.payload = encode_sync_request({SyncMode::kInventory, {}});
-  auto reply = peer_exchange(peer, query);
-  if (!reply.is_ok()) return reply.status();
-  if (reply.value().type != MsgType::kSyncOffer) {
-    return Status::error("sync: mismatched reply type");
-  }
-  auto offer = decode_sync_offer(reply.value().payload);
-  if (!offer.is_ok()) return Status::error("sync: " + offer.message());
-  if (offer.value().mode != SyncMode::kInventory) {
-    return Status::error("sync: expected an inventory offer");
-  }
-
-  // Diff against the local registry: fetch what is missing, and refetch any
-  // version whose bytes diverged (should not happen with deterministic
-  // serialization, but anti-entropy converges on the peer's truth rather
-  // than assuming it).
-  SyncReport report;
-  report.peer_models = offer.value().inventory.size();
-  std::unordered_map<std::string, std::uint64_t> local;
-  for (const ModelSummary& m : local_inventory()) {
-    local.emplace(m.name + "#" + std::to_string(m.version), m.blob_checksum);
-  }
-  std::vector<std::pair<SyncKey, std::uint64_t>> missing;  // key, advertised bytes
-  for (const ModelSummary& m : offer.value().inventory) {
-    const auto it = local.find(m.name + "#" + std::to_string(m.version));
-    if (it != local.end() && it->second == m.blob_checksum) {
-      ++report.already_present;
-    } else {
-      missing.push_back({{m.name, m.version}, m.blob_bytes});
-    }
-  }
-
-  // Fetch in chunks bounded by count AND advertised bytes, so one kSyncOffer
-  // reply never nears the frame payload cap however large the artifacts are
-  // (a single over-budget blob still travels — alone in its chunk).
-  const std::size_t chunk_count = std::max<std::size_t>(1, config_.sync_fetch_batch);
-  const std::uint64_t chunk_bytes = config_.max_frame_payload / 2;
-  for (std::size_t begin = 0; begin < missing.size();) {
-    Frame fetch;
-    fetch.type = MsgType::kSyncRequest;
-    fetch.request_id = 1;
-    SyncRequest request;
-    std::uint64_t bytes = 0;
-    request.mode = SyncMode::kFetch;
-    for (std::size_t i = begin; i < missing.size() && request.keys.size() < chunk_count; ++i) {
-      if (!request.keys.empty() && bytes + missing[i].second > chunk_bytes) break;
-      request.keys.push_back(missing[i].first);
-      bytes += missing[i].second;
-    }
-    fetch.payload = encode_sync_request(request);
-    auto fetched = peer_exchange(peer, fetch);
-    if (!fetched.is_ok()) return fetched.status();
-    auto blobs = decode_sync_offer(fetched.value().payload);
-    if (!blobs.is_ok()) return Status::error("sync fetch: " + blobs.message());
-    if (blobs.value().mode != SyncMode::kFetch) {
-      return Status::error("sync fetch: expected a blob offer");
-    }
-    // One offer entry per requested key, in order; the peer may truncate to
-    // stay under its frame cap, in which case only the consumed prefix
-    // advances and the tail is re-requested next chunk. Zero entries for a
-    // non-empty request means no pass can ever make progress (a blob larger
-    // than the frame cap), so fail loudly instead of reporting a clean sync.
-    if (blobs.value().blobs.empty()) {
-      return Status::error(strf("sync fetch: peer shipped none of %zu requested blobs "
-                                "(artifact larger than the frame payload cap?)",
-                                request.keys.size()));
-    }
-    if (blobs.value().blobs.size() > request.keys.size()) {
-      return Status::error("sync fetch: peer offered more blobs than requested");
-    }
-    for (const std::string& blob : blobs.value().blobs) {
-      ++begin;  // this key's slot was answered (possibly "not here")
-      if (blob.empty()) continue;  // vanished on the peer; next pass decides
-      // import_model re-validates framing + checksum, so a torn or corrupt
-      // blob fails here instead of landing in the registry.
-      auto key = registry_->import_model(blob);
-      if (!key.is_ok()) return Status::error("sync import: " + key.message());
-      ++report.fetched;
-      report.fetched_bytes += blob.size();
-    }
+Result<SyncReport> ServeNode::sync_from(const RemoteEndpoint& peer) {
+  auto report = gossip_core_->pull_from(*transport_, peer);
+  if (report.is_ok()) {
+    gossip_fetched_.fetch_add(report.value().fetched, std::memory_order_relaxed);
+    last_sync_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   }
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Background gossip (epidemic anti-entropy)
+// ---------------------------------------------------------------------------
+
+void ServeNode::gossip_loop() {
+  Rng rng(config_.gossip.seed);
+  const double jitter = std::clamp(config_.gossip.jitter, 0.0, 1.0);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Jittered wait, interruptible by shutdown. The jitter factor is drawn
+    // from this node's seeded stream, so a fleet seeded distinctly
+    // desynchronises instead of all nodes pulling at the same instant.
+    const double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        config_.gossip.period * factor);
+    {
+      const auto stopped = [this] { return stopping_.load(std::memory_order_relaxed); };
+      std::unique_lock<std::mutex> lock(gossip_mutex_);
+      gossip_cv_.wait_for(lock, wait, stopped);
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    const std::vector<RemoteEndpoint> peers = this->peers();
+    if (peers.empty()) continue;
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(peers.size()) - 1));
+    // Pull, don't push: the peer's inventory diff decides what travels, so a
+    // round against an already-converged peer costs one inventory exchange.
+    // Failures are expected life in a fleet (peer down, partition, timeout)
+    // and simply leave convergence to a later round.
+    (void)sync_from(peers[pick]);
+    gossip_rounds_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+NodeStats ServeNode::stats() const {
+  NodeStats stats = collect_node_stats(*service_);
+  stats.gossip_rounds = gossip_rounds_.load(std::memory_order_relaxed);
+  stats.gossip_fetched = gossip_fetched_.load(std::memory_order_relaxed);
+  const std::int64_t last = last_sync_ns_.load(std::memory_order_relaxed);
+  if (last >= 0) {
+    const std::int64_t age = std::max<std::int64_t>(0, steady_now_ns() - last);
+    stats.last_sync_age_ms = static_cast<std::uint64_t>(age) / 1'000'000u;
+  }
+  return stats;
 }
 
 }  // namespace autophase::net

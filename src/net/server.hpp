@@ -9,21 +9,24 @@
 //
 // Replication: publishing through a node stamps the artifact with its
 // registry version, then pushes the exported blob to every registered peer,
-// which imports it at that exact embedded version — N nodes converge on
-// bit-identical registries (ModelRegistry::import_model is idempotent, so
-// re-pushes are harmless). A node that joins after publishes happened calls
-// sync_from(peer) — anti-entropy catch-up over kSyncRequest/kSyncOffer:
-// pull the peer's version vector, diff, fetch missing blobs in chunks.
+// which imports it at that exact embedded version. On top of the push, every
+// node can run epidemic gossip (ServeNodeConfig::gossip): a background loop
+// wakes on a jittered period drawn from the node's seeded RNG, picks one
+// random peer, and runs an anti-entropy pull (net::GossipCore over
+// kSyncRequest/kSyncOffer) — so publishes propagate fleet-wide without the
+// owner enumerating the fleet, and late joiners converge with no operator
+// sync_from call. All outbound peer traffic rides a net::Transport
+// (TcpTransport here; the deterministic simulator in tests).
 //
 // Warm-up: every artifact the registry installs (publish, replication push,
-// catch-up fetch) runs serve::warm_up before it can serve — weights are
-// pre-faulted and the EvalService cache is primed from the artifact's
+// gossip/catch-up fetch) runs serve::warm_up before it can serve — weights
+// are pre-faulted and the EvalService cache is primed from the artifact's
 // training-corpus baselines, so a model's first request is never cold.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,7 +36,9 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/gossip.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "serve/compile_service.hpp"
 #include "serve/model_registry.hpp"
@@ -41,13 +46,26 @@
 
 namespace autophase::net {
 
+/// Background anti-entropy scheduling. When enabled, the node runs one
+/// gossip round roughly every `period`, jittered by ±`jitter` x period with
+/// draws from the node's own seeded RNG stream — a fleet started from
+/// distinct seeds desynchronises naturally instead of thundering in lockstep.
+struct GossipConfig {
+  bool enabled = false;
+  std::chrono::milliseconds period{500};
+  /// Fraction of the period each round is jittered by (0 = fixed period).
+  double jitter = 0.25;
+  /// Seed for the node's gossip RNG (peer choice + jitter).
+  std::uint64_t seed = 1;
+};
+
 struct ServeNodeConfig {
   /// 0 binds an ephemeral port; read it back via port().
   std::uint16_t port = 0;
   /// Frame-handling workers (decode + wait on the compile service + reply).
   std::size_t net_workers = 2;
   std::size_t max_frame_payload = kDefaultMaxPayload;
-  /// Timeout for this node's *outbound* calls (replication to peers).
+  /// Timeout for this node's *outbound* calls (replication + gossip pulls).
   std::chrono::milliseconds peer_timeout{10'000};
   /// Frames a single connection may have queued or executing before the
   /// node stops reading its socket (EPOLLIN paused until handlers drain).
@@ -55,13 +73,16 @@ struct ServeNodeConfig {
   /// the network: a pipelining client can never grow server memory beyond
   /// connections x this cap x frame size.
   std::size_t max_in_flight_per_connection = 64;
-  /// Blobs requested per kSyncRequest fetch during catch-up. Chunks are
+  /// Blobs requested per kSyncRequest fetch during anti-entropy. Chunks are
   /// additionally split by advertised blob bytes so one kSyncOffer reply
   /// stays far below the frame payload cap even for huge artifacts.
   std::size_t sync_fetch_batch = 4;
   /// Run serve::warm_up for every artifact the registry installs (publish,
   /// replication, catch-up). Off only for tests that pin down cold starts.
   bool warm_up_on_install = true;
+  /// Background epidemic anti-entropy (off by default; operator-triggered
+  /// sync_from and owner-push replication work regardless).
+  GossipConfig gossip{};
   /// The wrapped CompileService; workers is clamped to >= 1 (a node with an
   /// undrainable queue would deadlock its own net workers).
   serve::CompileServiceConfig compile{};
@@ -76,42 +97,36 @@ class ServeNode {
   ServeNode(const ServeNode&) = delete;
   ServeNode& operator=(const ServeNode&) = delete;
 
-  /// Binds + starts the epoll loop. Must be called (once) before traffic.
+  /// Binds + starts the epoll loop (and the gossip loop when enabled).
+  /// Must be called (once) before traffic.
   Status start();
-  /// Idempotent: closes the listener and every connection, drains in-flight
-  /// frame handlers, then shuts the compile service down.
+  /// Idempotent: stops gossip, closes the listener and every connection,
+  /// drains in-flight frame handlers, then shuts the compile service down.
   void shutdown();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] RemoteEndpoint endpoint() const { return {"127.0.0.1", port_}; }
 
-  /// Replication targets. Peers receive every subsequent publish.
+  /// Membership: peers receive every subsequent publish push and are the
+  /// candidate set the gossip loop pulls from.
   void add_peer(RemoteEndpoint peer);
+  [[nodiscard]] std::vector<RemoteEndpoint> peers() const;
 
   /// Publishes locally (assigning the next version) and pushes the stamped
   /// blob to every peer. Local publish always wins: peer failures are
-  /// reported in the reply, not rolled back.
+  /// reported in the reply, not rolled back (gossip repairs them later).
   Result<PublishReply> publish(const std::string& name, serve::PolicyArtifact artifact);
 
-  /// One anti-entropy pass against `peer`'s registry: pull its version
-  /// vector, fetch every (name, version) this node lacks — or holds with a
-  /// different checksum — and import the blobs. Idempotent: a second pass
-  /// against an unchanged peer fetches nothing. Publishes racing the pass
-  /// land either in the pulled vector or in a later push/pass; blobs are
-  /// immutable registry snapshots, so none of it can ship torn bytes.
-  struct SyncReport {
-    std::size_t peer_models = 0;       // entries in the peer's version vector
-    std::size_t already_present = 0;   // identical (name, version, checksum)
-    std::size_t fetched = 0;           // blobs pulled and imported
-    std::uint64_t fetched_bytes = 0;
-  };
+  /// One operator-triggered anti-entropy pass against `peer` (the gossip
+  /// loop runs the same pull on its own schedule). Idempotent.
   Result<SyncReport> sync_from(const RemoteEndpoint& peer);
 
   [[nodiscard]] serve::CompileService& service() noexcept { return *service_; }
   [[nodiscard]] const std::shared_ptr<serve::ModelRegistry>& registry() const noexcept {
     return registry_;
   }
-  [[nodiscard]] NodeStats stats() const { return collect_node_stats(*service_); }
+  /// Serving counters + gossip health (rounds, blobs pulled, last-sync age).
+  [[nodiscard]] NodeStats stats() const;
 
  private:
   /// Per-connection state. The epoll thread owns `inbuf`; writers (frame
@@ -141,6 +156,7 @@ class ServeNode {
   };
 
   void event_loop();
+  void gossip_loop();
   void handle_readable(const std::shared_ptr<Connection>& conn);
   bool drain_buffered(const std::shared_ptr<Connection>& conn);
   void drop_connection(int fd);
@@ -157,18 +173,18 @@ class ServeNode {
   std::string handle_publish(const Frame& frame);
   std::string handle_replicate(const Frame& frame);
   std::string handle_list() const;
-  std::string handle_sync(const Frame& frame) const;
   /// Pushes one exported blob to every peer; returns the failure count.
   std::uint32_t replicate_to_peers(const std::string& blob);
-  /// (name, version, bytes, checksum) snapshot of the local registry.
-  std::vector<ModelSummary> local_inventory() const;
-  /// One framed request/reply round trip to a peer (outbound client side of
-  /// replication and catch-up).
-  Result<Frame> peer_exchange(const RemoteEndpoint& peer, const Frame& request) const;
 
   std::shared_ptr<serve::ModelRegistry> registry_;
   std::unique_ptr<serve::CompileService> service_;
   ServeNodeConfig config_;
+
+  /// Outbound peer traffic (replication pushes + anti-entropy pulls).
+  std::unique_ptr<Transport> transport_;
+  /// The shared sync-protocol logic (inventory cache, kSyncRequest serving,
+  /// pull-based diff/fetch) — the same code the simulator drives in tests.
+  std::unique_ptr<GossipCore> gossip_core_;
 
   TcpListener listener_;
   std::uint16_t port_ = 0;
@@ -184,19 +200,14 @@ class ServeNode {
   mutable std::mutex peers_mutex_;
   std::vector<RemoteEndpoint> peers_;
 
-  /// (bytes, checksum) per installed artifact, so inventory queries don't
-  /// re-serialize the whole registry. Entries are validated against the
-  /// artifact snapshot they summarize: a version overwritten by an import
-  /// gets a fresh snapshot and is re-summarized on the next lookup. The
-  /// shared_ptr is held (not a raw pointer) so a replaced artifact's address
-  /// can never be recycled into a false identity match.
-  struct InventoryEntry {
-    std::shared_ptr<const serve::PolicyArtifact> artifact;
-    std::uint64_t blob_bytes = 0;
-    std::uint64_t blob_checksum = 0;
-  };
-  mutable std::mutex inventory_mutex_;
-  mutable std::map<std::pair<std::string, std::uint32_t>, InventoryEntry> inventory_cache_;
+  // Gossip loop state + health counters (surfaced through kStats).
+  std::thread gossip_thread_;
+  std::condition_variable gossip_cv_;
+  std::mutex gossip_mutex_;
+  std::atomic<std::uint64_t> gossip_rounds_{0};
+  std::atomic<std::uint64_t> gossip_fetched_{0};
+  /// steady_clock nanos of the last *successful* pull; -1 = never.
+  std::atomic<std::int64_t> last_sync_ns_{-1};
 
   std::unique_ptr<ThreadPool> net_pool_;
 };

@@ -1,0 +1,162 @@
+// SimFleet: the reference harness gluing N GossipCore nodes into one
+// SimWorld — what the chaos suite (tests/test_sim.cpp) asserts properties
+// on and bench/gossip_convergence measures, from a single implementation so
+// the bench always measures exactly the protocol the tests pin down.
+//
+// Each virtual node is a real ModelRegistry + GossipCore; the frame handler
+// answers kPing / kSyncRequest / kReplicate like a ServeNode would (minus
+// the TCP plumbing). The sweep scheduler draws from the world's RNG, so one
+// seed fixes the entire scenario: fleet wiring, gossip order, peer choice,
+// and every injected fault.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ml/mlp.hpp"
+#include "net/gossip.hpp"
+#include "net/sim_transport.hpp"
+#include "net/wire.hpp"
+#include "serve/model_registry.hpp"
+
+namespace autophase::net {
+
+/// A tiny deterministic artifact: weights are dyadic rationals assigned
+/// directly (no RNG, no libm), so the serialized bytes are identical on any
+/// platform — which is what lets harnesses compare registries by checksum.
+inline serve::PolicyArtifact tiny_sim_artifact(std::uint64_t variant) {
+  ml::MlpConfig config;
+  config.input = 3;
+  config.hidden = {4};
+  config.output = 2;
+  ml::Mlp policy(config);
+  std::vector<double> flat(policy.parameter_count());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    flat[i] = static_cast<double>((i * 31 + variant * 7) % 17) * 0.125 - 1.0;
+  }
+  policy.assign(flat);
+  serve::PolicyArtifact artifact{.name = "",
+                                 .version = 0,
+                                 .spec = {},
+                                 .action_groups = 1,
+                                 .action_arity = 2,
+                                 .policy = std::move(policy),
+                                 .value = std::nullopt,
+                                 .forest = std::nullopt,
+                                 .normalizer = {}};
+  artifact.spec.episode_length = 4;
+  return artifact;
+}
+
+/// One virtual fleet member: a registry + the production gossip core, plus
+/// its transport into the simulated network.
+struct SimFleetNode {
+  std::shared_ptr<serve::ModelRegistry> registry = std::make_shared<serve::ModelRegistry>();
+  GossipCore core{registry};
+  RemoteEndpoint endpoint;
+  std::unique_ptr<Transport> transport;
+  std::uint64_t rejected_imports = 0;  // torn/corrupt blobs bounced at import
+};
+
+/// N gossip nodes wired into one SimWorld.
+struct SimFleet {
+  SimWorld world;
+  std::vector<std::unique_ptr<SimFleetNode>> nodes;
+
+  SimFleet(std::size_t count, std::uint64_t seed, SimFaultConfig faults = {})
+      : world(seed, faults) {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto node = std::make_unique<SimFleetNode>();
+      SimFleetNode* raw = node.get();
+      node->endpoint = world.add_node([raw](const Frame& request) {
+        net::Frame reply;
+        reply.type = MsgType::kError;
+        reply.request_id = request.request_id;
+        switch (request.type) {
+          case MsgType::kPing:
+            reply.type = MsgType::kPing;
+            break;
+          case MsgType::kSyncRequest:
+            reply.type = MsgType::kSyncOffer;
+            reply.payload = raw->core.handle_sync(request.payload);
+            break;
+          case MsgType::kReplicate: {
+            auto key = raw->registry->import_model(request.payload);
+            reply.type = MsgType::kReplicate;
+            if (key.is_ok()) {
+              PublishReply ack;
+              ack.name = key.value().name;
+              ack.version = key.value().version;
+              reply.payload = encode_publish_reply(ack);
+            } else {
+              ++raw->rejected_imports;
+              reply.payload = encode_publish_reply(Status::error(key.message()));
+            }
+            break;
+          }
+          default:
+            reply.payload =
+                encode_status_reply(Status::error("sim node: unexpected message type"));
+            break;
+        }
+        return reply;
+      });
+      node->transport = world.transport(node->endpoint);
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  /// One gossip sweep: every node runs one anti-entropy pull against a
+  /// uniformly random other node, in a seed-shuffled order. Pull failures
+  /// (drops, partitions, torn frames) are normal life — a later sweep
+  /// retries. This is exactly what ServeNode's background loop does, minus
+  /// wall-clock scheduling.
+  void gossip_sweep() {
+    if (nodes.size() < 2) return;  // nobody to gossip with
+    std::vector<std::size_t> order(nodes.size());
+    std::iota(order.begin(), order.end(), 0u);
+    world.rng().shuffle(order);
+    for (const std::size_t i : order) {
+      std::size_t peer = static_cast<std::size_t>(
+          world.rng().uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 2));
+      if (peer >= i) ++peer;  // uniform over the other nodes
+      (void)nodes[i]->core.pull_from(*nodes[i]->transport, nodes[peer]->endpoint);
+    }
+  }
+
+  /// Canonical (name, version, blob checksum) digest of one registry.
+  [[nodiscard]] std::string digest(std::size_t i) const {
+    std::string out;
+    for (const ModelSummary& m : nodes[i]->core.inventory()) {
+      out += m.name + "#" + std::to_string(m.version) + "@" + std::to_string(m.blob_checksum);
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// True when every registry holds the same non-empty (name, version,
+  /// checksum) set — convergence to bit-identical replicas.
+  [[nodiscard]] bool converged() const {
+    const std::string base = digest(0);
+    if (base.empty()) return false;
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      if (digest(i) != base) return false;
+    }
+    return true;
+  }
+
+  /// Sweeps until converged; max_sweeps + 1 when the budget ran out.
+  std::size_t sweeps_until_converged(std::size_t max_sweeps) {
+    for (std::size_t sweep = 1; sweep <= max_sweeps; ++sweep) {
+      gossip_sweep();
+      if (converged()) return sweep;
+    }
+    return max_sweeps + 1;
+  }
+};
+
+}  // namespace autophase::net

@@ -1,0 +1,20 @@
+#include "net/transport.hpp"
+
+#include "net/wire.hpp"
+
+namespace autophase::net {
+
+Result<Frame> TcpTransport::exchange(const RemoteEndpoint& peer, const Frame& request) {
+  auto stream = TcpStream::connect(peer.host, peer.port, config_.timeout);
+  if (!stream.is_ok()) return stream.status();
+  const Deadline deadline = deadline_in(config_.timeout);
+  if (const Status s = write_frame(stream.value(), request, deadline); !s.is_ok()) return s;
+  auto reply = read_frame(stream.value(), deadline, config_.max_frame_payload);
+  if (!reply.is_ok()) return reply.status();
+  if (reply.value().type == MsgType::kError) {
+    return Status::error(decode_status_reply(reply.value().payload).message());
+  }
+  return reply;
+}
+
+}  // namespace autophase::net

@@ -1,0 +1,47 @@
+// Transport: one framed request/reply round trip to a peer, abstracted away
+// from how the bytes travel. Production nodes use TcpTransport (the exact
+// connect + write_frame/read_frame exchange ServeNode has always done for
+// replication and catch-up); tests use net::SimTransport (sim_transport.hpp),
+// which routes the same frames through an in-process fault injector with a
+// seeded virtual clock — so the gossip/anti-entropy protocol is exercised
+// under drops, partitions, and torn frames without a socket in sight.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace autophase::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// One request/reply exchange with `peer`. A kError reply is surfaced as a
+  /// Status carrying the peer's diagnostic, so callers only ever see typed
+  /// replies or errors. Implementations are safe to call from any thread.
+  virtual Result<Frame> exchange(const RemoteEndpoint& peer, const Frame& request) = 0;
+};
+
+struct TcpTransportConfig {
+  /// Per-exchange budget: connect + write + read the reply.
+  std::chrono::milliseconds timeout{10'000};
+  std::size_t max_frame_payload = kDefaultMaxPayload;
+};
+
+/// The production transport: a fresh deadline-bounded TCP connection per
+/// exchange (replication and gossip are low-rate control traffic; request
+/// serving keeps its pooled, pipelined RemoteCompileClient path).
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportConfig config = {}) : config_(config) {}
+
+  Result<Frame> exchange(const RemoteEndpoint& peer, const Frame& request) override;
+
+ private:
+  TcpTransportConfig config_;
+};
+
+}  // namespace autophase::net

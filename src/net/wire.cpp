@@ -247,6 +247,9 @@ std::string encode_node_stats(const NodeStats& stats) {
   w.u64(stats.eval_sequence_hits);
   w.u64(stats.eval_primed);
   w.u64(stats.models);
+  w.u64(stats.gossip_rounds);
+  w.u64(stats.gossip_fetched);
+  w.u64(stats.last_sync_age_ms);
   w.f64_vec(stats.latency_ms);
   w.u64(stats.per_model.size());
   for (const serve::ModelVersionStats& m : stats.per_model) {
@@ -279,6 +282,9 @@ Result<NodeStats> decode_node_stats(std::string_view payload) {
   stats.eval_sequence_hits = r.u64();
   stats.eval_primed = r.u64();
   stats.models = r.u64();
+  stats.gossip_rounds = r.u64();
+  stats.gossip_fetched = r.u64();
+  stats.last_sync_age_ms = r.u64();
   stats.latency_ms = r.f64_vec();
   const std::uint64_t models = r.u64();
   // Each entry is at least a name length prefix (8) + u32 + 2 x u64.

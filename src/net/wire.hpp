@@ -77,7 +77,12 @@ Result<std::vector<ModelSummary>> decode_model_list(std::string_view payload);
 /// Bumped whenever the kStats payload layout changes; the payload leads
 /// with this so a fleet monitor fails a mismatched node loudly instead of
 /// misparsing its counters.
-inline constexpr std::uint32_t kNodeStatsVersion = 2;
+///
+/// v3  gossip health: anti-entropy rounds, blobs pulled, last-sync age.
+inline constexpr std::uint32_t kNodeStatsVersion = 3;
+
+/// last_sync_age_ms value meaning "this node has never completed a pull".
+inline constexpr std::uint64_t kNeverSynced = ~0ull;
 
 struct NodeStats {
   std::uint64_t completed = 0;
@@ -91,6 +96,13 @@ struct NodeStats {
   std::uint64_t eval_sequence_hits = 0;
   std::uint64_t eval_primed = 0;      // warm-up cache entries installed
   std::uint64_t models = 0;
+  /// Gossip health (v3): background anti-entropy rounds completed, blobs
+  /// pulled by anti-entropy (background or operator-triggered), and how
+  /// stale this node's last successful pull is (kNeverSynced = never — also
+  /// what nodes report with gossip disabled and no sync_from yet).
+  std::uint64_t gossip_rounds = 0;
+  std::uint64_t gossip_fetched = 0;
+  std::uint64_t last_sync_age_ms = kNeverSynced;
   /// Raw latency reservoir (submit -> response, ms, unsorted). Fleet
   /// quantiles are computed from the *merged* samples of every node —
   /// averaging per-node percentiles would be statistically meaningless.

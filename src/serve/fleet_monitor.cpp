@@ -11,7 +11,7 @@
 namespace autophase::serve {
 
 std::string fleet_summary(const FleetStats& stats) {
-  return strf(
+  std::string summary = strf(
       "fleet v%llu: nodes %zu/%zu completed=%llu failed=%llu p50=%.2fms p95=%.2fms "
       "eval hit-rate=%.2f primed=%llu models=[%llu..%llu]",
       static_cast<unsigned long long>(stats.snapshot_version), stats.reachable, stats.nodes,
@@ -25,6 +25,17 @@ std::string fleet_summary(const FleetStats& stats) {
       static_cast<unsigned long long>(stats.eval_primed),
       static_cast<unsigned long long>(stats.models_min),
       static_cast<unsigned long long>(stats.models_max));
+  if (stats.gossip_rounds > 0 || stats.last_sync_age_ms_max != net::kNeverSynced) {
+    summary += strf(" gossip rounds=%llu fetched=%llu stalest-sync=%s",
+                    static_cast<unsigned long long>(stats.gossip_rounds),
+                    static_cast<unsigned long long>(stats.gossip_fetched),
+                    stats.last_sync_age_ms_max == net::kNeverSynced
+                        ? "never"
+                        : strf("%llums",
+                               static_cast<unsigned long long>(stats.last_sync_age_ms_max))
+                              .c_str());
+  }
+  return summary;
 }
 
 FleetMonitor::FleetMonitor(std::shared_ptr<RemoteCompileClient> client)
@@ -73,6 +84,13 @@ FleetStats FleetMonitor::poll() {
     merged.eval_primed += s.eval_primed;
     merged.models_min = first_reachable ? s.models : std::min(merged.models_min, s.models);
     merged.models_max = std::max(merged.models_max, s.models);
+    merged.gossip_rounds += s.gossip_rounds;
+    merged.gossip_fetched += s.gossip_fetched;
+    // Seeded from the first reachable node (the struct default is the
+    // kNeverSynced sentinel, which would otherwise absorb every max()).
+    merged.last_sync_age_ms_max = first_reachable
+                                      ? s.last_sync_age_ms
+                                      : std::max(merged.last_sync_age_ms_max, s.last_sync_age_ms);
     first_reachable = false;
     samples.insert(samples.end(), s.latency_ms.begin(), s.latency_ms.end());
     for (const ModelVersionStats& m : s.per_model) {

@@ -52,9 +52,19 @@ struct FleetStats {
   std::uint64_t eval_primed = 0;
 
   /// Registry sizes: min == max on a converged fleet; a spread means some
-  /// node is missing versions and needs a catch-up pass.
+  /// node is missing versions and gossip has not repaired it yet.
   std::uint64_t models_min = 0;
   std::uint64_t models_max = 0;
+
+  /// Gossip health: anti-entropy rounds and blobs pulled, summed across
+  /// reachable nodes, plus the *stalest* reachable node's last-sync age —
+  /// net::kNeverSynced when some reachable node has never completed a pull,
+  /// on fleets running without gossip, and on snapshots with zero reachable
+  /// nodes, so a wedged gossip loop (or a dead fleet) shows up as unbounded
+  /// staleness, never as a healthy-looking zero.
+  std::uint64_t gossip_rounds = 0;
+  std::uint64_t gossip_fetched = 0;
+  std::uint64_t last_sync_age_ms_max = net::kNeverSynced;
 
   /// Quantiles over the union of every node's latency reservoir.
   LatencyQuantiles latency;

@@ -1,0 +1,181 @@
+// Golden-file artifact-format tests: tiny v1 and v2 PolicyArtifact blobs are
+// committed under tests/data/ and pinned byte for byte. They protect two
+// promises future edits to serve/serialization could silently break:
+//
+//   * bit-stability — an artifact published today re-serializes to exactly
+//     the bytes a node running yesterday's build produced (replication
+//     convergence is checksum-based, so byte drift would look like a
+//     diverged replica and trigger pointless refetches fleet-wide);
+//   * forward compatibility — a v2 blob carrying an optional section with
+//     an unknown tag (a "newer writer") imports cleanly, dropping only the
+//     unknown section.
+//
+// The golden artifacts use dyadic-rational weights assigned directly (no
+// RNG, no libm), so the bytes are identical on every platform. Regenerate
+// after a *deliberate* format change with:
+//   AUTOPHASE_REGEN_GOLDEN=1 ./autophase_tests --gtest_filter='ArtifactGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ml/mlp.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/serialization.hpp"
+#include "support/hash.hpp"
+
+namespace autophase {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(AUTOPHASE_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with AUTOPHASE_REGEN_GOLDEN=1)";
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void maybe_regenerate(const std::string& name, const std::string& bytes) {
+  if (std::getenv("AUTOPHASE_REGEN_GOLDEN") == nullptr) return;
+  std::ofstream out(data_path(name), std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << data_path(name);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Deterministic dyadic-weight MLP (exact in any IEEE-754 implementation).
+ml::Mlp dyadic_mlp(const ml::MlpConfig& config, std::uint64_t salt) {
+  ml::Mlp net(config);
+  std::vector<double> flat(net.parameter_count());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    flat[i] = static_cast<double>((i * 13 + salt) % 23) * 0.0625 - 0.5;
+  }
+  net.assign(flat);
+  return net;
+}
+
+serve::PolicyArtifact golden_artifact(bool with_baselines) {
+  ml::MlpConfig policy_config;
+  policy_config.input = 3;
+  policy_config.hidden = {4};
+  policy_config.output = 2;
+  ml::MlpConfig value_config;
+  value_config.input = 3;
+  value_config.hidden = {2};
+  value_config.output = 1;
+  serve::PolicyArtifact artifact{.name = "golden",
+                                 .version = 7,
+                                 .spec = {},
+                                 .action_groups = 1,
+                                 .action_arity = 2,
+                                 .policy = dyadic_mlp(policy_config, 1),
+                                 .value = dyadic_mlp(value_config, 2),
+                                 .forest = std::nullopt,
+                                 .normalizer = {}};
+  artifact.spec.episode_length = 4;
+  artifact.spec.feature_subset = {0, 1, 2};
+  artifact.spec.action_subset = {0, 1};
+  artifact.normalizer.mean = {0.5, 0.25, -0.125};
+  artifact.normalizer.inv_std = {1.0, 2.0, 4.0};
+  if (with_baselines) {
+    artifact.baselines = {{0x1234, 100, 0.5}, {0x5678, 200, 1.25}};
+    artifact.baselines_config = 0xABCD;
+  }
+  return artifact;
+}
+
+/// What a *newer* writer would emit: the v1 body plus one optional section
+/// whose tag this build has never heard of, reframed as format v2.
+std::string with_unknown_section(const std::string& v1_blob) {
+  serve::ByteReader r(v1_blob);
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t format = r.u32();
+  EXPECT_EQ(format, 1u);
+  std::string payload = r.str();
+  serve::ByteWriter table;
+  table.u32(1);       // one optional section
+  table.u32(0x7e57);  // a tag from the future
+  table.str("section bytes this reader cannot understand");
+  payload += table.bytes();
+  serve::ByteWriter framed;
+  framed.u32(magic);
+  framed.u32(2);
+  framed.str(payload);
+  framed.u64(fnv1a(payload));
+  return framed.take();
+}
+
+TEST(ArtifactGolden, V1BlobIsBitStable) {
+  const std::string bytes = serve::serialize_artifact(golden_artifact(false));
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 1u);  // serializes as v1
+  maybe_regenerate("policy_artifact_v1.bin", bytes);
+
+  const std::string golden = read_file(data_path("policy_artifact_v1.bin"));
+  ASSERT_FALSE(golden.empty());
+  // Today's writer must reproduce yesterday's bytes exactly.
+  EXPECT_EQ(bytes, golden);
+
+  // And the committed bytes round-trip: deserialize, re-serialize, compare.
+  auto decoded = serve::deserialize_artifact(golden);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  EXPECT_EQ(decoded.value().name, "golden");
+  EXPECT_EQ(decoded.value().version, 7u);
+  EXPECT_EQ(decoded.value().policy.flatten(), golden_artifact(false).policy.flatten());
+  EXPECT_EQ(serve::serialize_artifact(decoded.value()), golden);
+}
+
+TEST(ArtifactGolden, V2BlobWithBaselinesIsBitStable) {
+  const std::string bytes = serve::serialize_artifact(golden_artifact(true));
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 2u);  // sections force v2
+  maybe_regenerate("policy_artifact_v2_baselines.bin", bytes);
+
+  const std::string golden = read_file(data_path("policy_artifact_v2_baselines.bin"));
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(bytes, golden);
+
+  auto decoded = serve::deserialize_artifact(golden);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  ASSERT_EQ(decoded.value().baselines.size(), 2u);
+  EXPECT_EQ(decoded.value().baselines[1].fingerprint, 0x5678u);
+  EXPECT_EQ(decoded.value().baselines[1].cycles, 200u);
+  EXPECT_EQ(decoded.value().baselines_config, 0xABCDu);
+  EXPECT_EQ(serve::serialize_artifact(decoded.value()), golden);
+}
+
+TEST(ArtifactGolden, V2BlobWithUnknownSectionImportsCleanly) {
+  const std::string v1 = serve::serialize_artifact(golden_artifact(false));
+  const std::string bytes = with_unknown_section(v1);
+  maybe_regenerate("policy_artifact_v2_unknown_section.bin", bytes);
+
+  const std::string golden = read_file(data_path("policy_artifact_v2_unknown_section.bin"));
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(bytes, golden);
+
+  // A reader must skip the unknown tag and recover the full v1 body.
+  auto decoded = serve::deserialize_artifact(golden);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  EXPECT_EQ(decoded.value().name, "golden");
+  EXPECT_EQ(decoded.value().version, 7u);
+  EXPECT_TRUE(decoded.value().baselines.empty());
+  EXPECT_EQ(decoded.value().policy.flatten(), golden_artifact(false).policy.flatten());
+  // Re-serializing drops the unknown section: back to the exact v1 bytes,
+  // so a mixed-version fleet converges on the v1 checksum instead of
+  // ping-ponging refetches.
+  EXPECT_EQ(serve::serialize_artifact(decoded.value()), v1);
+
+  // Registry import preserves the embedded identity.
+  serve::ModelRegistry registry;
+  auto key = registry.import_model(golden);
+  ASSERT_TRUE(key.is_ok()) << key.message();
+  EXPECT_EQ(key.value().name, "golden");
+  EXPECT_EQ(key.value().version, 7u);
+}
+
+}  // namespace
+}  // namespace autophase

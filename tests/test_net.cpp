@@ -607,10 +607,10 @@ TEST(RemoteServe, NodeShutdownRejectsLateClients) {
 }
 
 // ---------------------------------------------------------------------------
-// Node stats v2 (versioned payload, reservoir + breakdowns)
+// Node stats v3 (versioned payload, reservoir + breakdowns + gossip health)
 // ---------------------------------------------------------------------------
 
-TEST(WireNodeStats, V2PayloadRoundTripsBreakdowns) {
+TEST(WireNodeStats, V3PayloadRoundTripsBreakdowns) {
   net::NodeStats stats;
   stats.completed = 10;
   stats.failed = 2;
@@ -623,6 +623,9 @@ TEST(WireNodeStats, V2PayloadRoundTripsBreakdowns) {
   stats.eval_sequence_hits = 2;
   stats.eval_primed = 5;
   stats.models = 2;
+  stats.gossip_rounds = 17;
+  stats.gossip_fetched = 4;
+  stats.last_sync_age_ms = 250;
   stats.latency_ms = {0.5, 3.5, 1.0, 2.0};
   stats.per_model = {{"agent", 1, 6, 1}, {"agent", 2, 4, 0}, {"ghost", 7, 0, 1}};
   stats.objective_completed = {7, 2, 1};
@@ -632,6 +635,12 @@ TEST(WireNodeStats, V2PayloadRoundTripsBreakdowns) {
   const net::NodeStats& d = decoded.value();
   EXPECT_EQ(d.completed, 10u);
   EXPECT_EQ(d.eval_primed, 5u);
+  EXPECT_EQ(d.gossip_rounds, 17u);
+  EXPECT_EQ(d.gossip_fetched, 4u);
+  EXPECT_EQ(d.last_sync_age_ms, 250u);
+  // The default (never synced) sentinel survives the codec too.
+  EXPECT_EQ(net::decode_node_stats(net::encode_node_stats({})).value().last_sync_age_ms,
+            net::kNeverSynced);
   EXPECT_EQ(d.latency_ms, stats.latency_ms);
   ASSERT_EQ(d.per_model.size(), 3u);
   EXPECT_EQ(d.per_model[1].model, "agent");
@@ -866,6 +875,51 @@ TEST(SyncCatchUp, V1ArtifactsImportCleanlyAndSkipWarmup) {
   request.module = sha.get();
   request.model = "cold";
   EXPECT_TRUE(joiner.node->service().compile_sync(request).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Background gossip over real TCP (TcpTransport)
+// ---------------------------------------------------------------------------
+
+TEST(ServeNodeGossip, BackgroundLoopConvergesAChainWithoutOperatorSync) {
+  auto sha = progen::build_chstone_like("sha");
+  net::ServeNodeConfig gossiping;
+  gossiping.gossip.enabled = true;
+  gossiping.gossip.period = std::chrono::milliseconds(25);
+  gossiping.peer_timeout = std::chrono::milliseconds(2'000);
+
+  // The owner gossips with nobody and pushes to nobody: propagation must
+  // come entirely from the peers' pull loops.
+  NodeHarness owner;
+  net::ServeNodeConfig b_config = gossiping;
+  b_config.gossip.seed = 2;
+  net::ServeNodeConfig c_config = gossiping;
+  c_config.gossip.seed = 3;
+  NodeHarness b(b_config);
+  NodeHarness c(c_config);
+  b.node->add_peer(owner.node->endpoint());
+  c.node->add_peer(b.node->endpoint());  // c has never heard of the owner
+
+  ASSERT_TRUE(owner.node->publish("agent", make_test_artifact(sha.get(), 5)).is_ok());
+
+  // Two epidemic hops: b pulls from the owner, then c pulls from b — with
+  // zero operator sync_from calls and the owner never enumerating the fleet.
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (c.registry->size() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_EQ(c.registry->size(), 1u) << "gossip never propagated the publish";
+  EXPECT_EQ(c.registry->export_model("agent", 1).value(),
+            owner.registry->export_model("agent", 1).value());
+
+  // Gossip health is surfaced through node stats (kStats payload v3).
+  const net::NodeStats stats = c.node->stats();
+  EXPECT_GT(stats.gossip_rounds, 0u);
+  EXPECT_EQ(stats.gossip_fetched, 1u);
+  EXPECT_NE(stats.last_sync_age_ms, net::kNeverSynced);
+  // The owner never pulled: its gossip counters stay untouched.
+  EXPECT_EQ(owner.node->stats().gossip_rounds, 0u);
+  EXPECT_EQ(owner.node->stats().last_sync_age_ms, net::kNeverSynced);
 }
 
 TEST(SyncCatchUp, ReplicationPushAlsoWarmsReplicas) {
