@@ -10,15 +10,21 @@
 //      hard way (exported blobs compared byte for byte), and show the
 //      gossip health counters a FleetMonitor surfaces per node (rounds,
 //      blobs fetched, last-sync age) — zero operator sync_from calls.
+//   4. Run one traced compile through the converged fleet, scrape the
+//      owning node's kMetrics exposition, and (given an output path as
+//      argv[1]) dump the stitched trace as Chrome trace-event JSON —
+//      openable in Perfetto.
 
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "net/server.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "progen/chstone_like.hpp"
 #include "rl/env.hpp"
 #include "rl/ppo.hpp"
@@ -28,7 +34,8 @@
 using namespace autophase;
 using namespace std::chrono_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::tracer().set_enabled(true);  // stitched-trace demo below
   // --- A small trained artifact --------------------------------------------
   auto sha = progen::build_chstone_like("sha");
   rl::EnvConfig env_cfg;
@@ -118,6 +125,37 @@ int main() {
   if (fleet.gossip_fetched < kNodes - 1) {
     std::fprintf(stderr, "expected at least %zu gossip fetches fleet-wide\n", kNodes - 1);
     return 1;
+  }
+
+  // --- One traced compile + a kMetrics scrape --------------------------------
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  auto response = client->compile(request);
+  if (!response.is_ok()) {
+    std::fprintf(stderr, "traced compile failed: %s\n", response.message().c_str());
+    return 1;
+  }
+  const std::size_t owner = client->route(*sha);
+  auto scrape = client->node_metrics(owner);
+  if (!scrape.is_ok() ||
+      scrape.value().find("serve_requests_completed 1") == std::string::npos) {
+    std::fprintf(stderr, "kMetrics scrape missing serve counters:\n%s\n",
+                 scrape.is_ok() ? scrape.value().c_str() : scrape.message().c_str());
+    return 1;
+  }
+  std::printf("kMetrics scrape of owning node %zu: %zu bytes of exposition\n", owner,
+              scrape.value().size());
+  std::printf("traced compile: %llu spans in the process ring\n",
+              static_cast<unsigned long long>(obs::tracer().recorded()));
+
+  if (argc > 1) {
+    const Status dumped = nodes[owner]->dump_trace(argv[1]);
+    if (!dumped.is_ok()) {
+      std::fprintf(stderr, "trace dump failed: %s\n", dumped.message().c_str());
+      return 1;
+    }
+    std::printf("trace sample written to %s (open in Perfetto)\n", argv[1]);
   }
   std::printf("OK: publish reached every node with zero operator sync calls\n");
   return 0;

@@ -26,7 +26,7 @@ import pathlib
 import shutil
 import sys
 
-IDENTITY_KEYS = ("serial_identical", "counts_consistent", "identical")
+IDENTITY_KEYS = ("serial_identical", "counts_consistent", "identical", "overhead_within_bound")
 
 
 def is_true(value):

@@ -46,6 +46,7 @@ bool msg_type_known(std::uint8_t raw) noexcept {
     case MsgType::kStats:
     case MsgType::kSyncRequest:
     case MsgType::kSyncOffer:
+    case MsgType::kMetrics:
     case MsgType::kError: return true;
   }
   return false;

@@ -41,6 +41,7 @@ enum class MsgType : std::uint8_t {
   kStats = 6,        // -> node serving/eval counters (versioned payload)
   kSyncRequest = 7,  // anti-entropy pull: inventory query / blob fetch
   kSyncOffer = 8,    // reply to kSyncRequest: version vector or blobs
+  kMetrics = 9,      // -> Prometheus-style text exposition of the node
   kError = 15,       // server could not even frame a typed reply
 };
 

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "serve/serialization.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
 
@@ -74,6 +76,28 @@ ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
   gossip_core_ = std::make_unique<GossipCore>(
       registry_, GossipCoreConfig{config_.max_frame_payload, config_.sync_fetch_batch});
   net_pool_ = std::make_unique<ThreadPool>(config_.net_workers);
+  // Gossip health + trace-ring accounting ride the service's registry as
+  // scrape-time views. The lambdas capture `this`, which the node's own
+  // lifetime covers: the registry handle is owned by the service, which this
+  // node owns and out-lives every scrape it serves.
+  obs::MetricsRegistry& metrics = *service_->metrics_registry();
+  metrics.gauge_fn("gossip_rounds", {}, [this] {
+    return static_cast<double>(gossip_rounds_.load(std::memory_order_relaxed));
+  });
+  metrics.gauge_fn("gossip_fetched", {}, [this] {
+    return static_cast<double>(gossip_fetched_.load(std::memory_order_relaxed));
+  });
+  // -1 = never synced (the text form of kNeverSynced, which as a double
+  // would print as a meaningless 1.8e19).
+  metrics.gauge_fn("gossip_last_sync_age_ms", {}, [this] {
+    const std::int64_t last = last_sync_ns_.load(std::memory_order_relaxed);
+    if (last < 0) return -1.0;
+    return static_cast<double>(std::max<std::int64_t>(0, steady_now_ns() - last)) / 1e6;
+  });
+  metrics.gauge_fn("trace_spans_recorded", {},
+                   [] { return static_cast<double>(obs::tracer().recorded()); });
+  metrics.gauge_fn("trace_spans_dropped", {},
+                   [] { return static_cast<double>(obs::tracer().dropped()); });
   if (config_.warm_up_on_install) {
     // Every install path (publish, kReplicate push, catch-up fetch) funnels
     // through the registry, so hooking it here warms them all. The hook
@@ -318,6 +342,7 @@ void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Fram
     case MsgType::kReplicate: reply.payload = handle_replicate(frame); break;
     case MsgType::kListModels: reply.payload = handle_list(); break;
     case MsgType::kStats: reply.payload = encode_node_stats(stats()); break;
+    case MsgType::kMetrics: reply.payload = encode_metrics_reply(metrics_text()); break;
     case MsgType::kSyncRequest:
       reply.type = MsgType::kSyncOffer;
       reply.payload = gossip_core_->handle_sync(frame.payload);
@@ -403,6 +428,9 @@ std::uint32_t ServeNode::replicate_to_peers(const std::string& blob) {
     if (!ack.is_ok() || ack.value().type != MsgType::kReplicate ||
         !decode_publish_reply(ack.value().payload).is_ok()) {
       ++failures;
+      AP_CLOG(kWarn, "serve") << "replication push to " << peer.host << ":" << peer.port
+                              << " failed"
+                              << (ack.is_ok() ? "" : strf(" (%s)", ack.status().message().c_str()));
     }
   }
   return failures;
@@ -449,9 +477,24 @@ void ServeNode::gossip_loop() {
     // round against an already-converged peer costs one inventory exchange.
     // Failures are expected life in a fleet (peer down, partition, timeout)
     // and simply leave convergence to a later round.
-    (void)sync_from(peers[pick]);
+    if (auto report = sync_from(peers[pick]); !report.is_ok()) {
+      AP_CLOG(kWarn, "gossip") << "pull from " << peers[pick].host << ":" << peers[pick].port
+                               << " failed: " << report.status().message();
+    } else if (report.value().fetched > 0) {
+      AP_CLOG(kInfo, "gossip") << "pulled " << report.value().fetched << " blob(s) from "
+                               << peers[pick].host << ":" << peers[pick].port;
+    }
     gossip_rounds_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+std::string ServeNode::metrics_text() const {
+  return service_->metrics_registry()->render_text();
+}
+
+Status ServeNode::dump_trace(const std::string& path) const {
+  return obs::write_chrome_trace(
+      path, obs::chrome_trace_json(obs::tracer().snapshot(), strf("serve-node:%u", port_)));
 }
 
 NodeStats ServeNode::stats() const {

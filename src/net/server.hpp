@@ -128,6 +128,16 @@ class ServeNode {
   /// Serving counters + gossip health (rounds, blobs pulled, last-sync age).
   [[nodiscard]] NodeStats stats() const;
 
+  /// Prometheus-style text exposition of this node's metrics registry —
+  /// exactly what a kMetrics scrape returns. The ctor adds gossip-health
+  /// and trace-ring callback gauges, so the one text covers serve counters,
+  /// latency/cycle-error histograms, eval-cache economy, gossip, and traces.
+  [[nodiscard]] std::string metrics_text() const;
+
+  /// Writes every span the process tracer currently retains as Chrome
+  /// trace-event JSON (openable in Perfetto / chrome://tracing).
+  Status dump_trace(const std::string& path) const;
+
  private:
   /// Per-connection state. The epoll thread owns `inbuf`; writers (frame
   /// handlers on the worker pool) serialise on `write_mutex`. The fd is

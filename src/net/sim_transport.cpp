@@ -52,6 +52,13 @@ void SimWorld::note(const std::string& line) {
   trace_ += strf("t=%010llu ", static_cast<unsigned long long>(now_us_));
   trace_ += line;
   trace_ += '\n';
+  // The textual trace above is the replay-determinism contract (tests compare
+  // it byte for byte); the structured copy is the export surface.
+  events_.push_back(obs::InstantEvent{now_us_, line, "sim", {}});
+}
+
+std::string SimWorld::chrome_trace() const {
+  return obs::chrome_trace_json({}, events_, "sim-world");
 }
 
 bool SimWorld::transmit_intact(std::string& bytes, Frame& out, const char* leg) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace autophase::net {
@@ -85,6 +86,14 @@ class SimWorld {
   /// One line per simulated event, timestamped in virtual time with payload
   /// checksums — byte-identical across runs with the same seed and scenario.
   [[nodiscard]] const std::string& trace() const noexcept { return trace_; }
+  /// The same events, structured: one obs::InstantEvent per note, stamped in
+  /// virtual microseconds. Feed to obs::chrome_trace_json (or chrome_trace()
+  /// below) to view a chaos run in Perfetto next to production spans.
+  [[nodiscard]] const std::vector<obs::InstantEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Chrome trace-event JSON of the full event timeline (no spans).
+  [[nodiscard]] std::string chrome_trace() const;
 
   /// The world's RNG stream — schedulers built on the world (gossip round
   /// order, peer choice) should draw from it so one seed fixes everything.
@@ -112,6 +121,7 @@ class SimWorld {
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<std::string>> held_;
   SimCounters counters_;
   std::string trace_;
+  std::vector<obs::InstantEvent> events_;
 };
 
 /// The Transport SimWorld::transport() returns; separate type so tests can

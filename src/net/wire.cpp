@@ -53,6 +53,54 @@ Status read_status_prefix(ByteReader& r) {
   return Status::error(message.empty() ? "remote error (no message)" : message);
 }
 
+/// Sparse histogram encoding: spec + totals + only the non-zero buckets.
+/// A latency histogram touches a handful of its 96 buckets, so this is
+/// smaller than a dense dump and never larger than ~12 bytes per bucket.
+void write_histogram(ByteWriter& w, const obs::HistogramSnapshot& h) {
+  w.f64(h.spec.min);
+  w.f64(h.spec.growth);
+  w.u32(h.spec.buckets);
+  w.u64(h.count);
+  w.f64(h.sum);
+  w.f64(h.min);
+  w.f64(h.max);
+  std::uint32_t nonzero = 0;
+  for (const std::uint64_t c : h.counts) {
+    if (c != 0) ++nonzero;
+  }
+  w.u32(nonzero);
+  for (std::uint32_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;
+    w.u32(i);
+    w.u64(h.counts[i]);
+  }
+}
+
+/// False on malformed input (reader error, absurd bucket count, index out of
+/// range); the snapshot always comes back with spec.buckets dense counts.
+bool read_histogram(ByteReader& r, obs::HistogramSnapshot& h) {
+  h.spec.min = r.f64();
+  h.spec.growth = r.f64();
+  h.spec.buckets = r.u32();
+  h.count = r.u64();
+  h.sum = r.f64();
+  h.min = r.f64();
+  h.max = r.f64();
+  const std::uint32_t nonzero = r.u32();
+  if (!r.ok() || h.spec.buckets == 0 || h.spec.buckets > (1u << 16)) return false;
+  // Guard in entries (u32 index + u64 count each), not bytes: a corrupt
+  // count must fail before it can size an allocation.
+  if (nonzero > h.spec.buckets || nonzero > r.remaining() / 12) return false;
+  h.counts.assign(h.spec.buckets, 0);
+  for (std::uint32_t i = 0; i < nonzero && r.ok(); ++i) {
+    const std::uint32_t idx = r.u32();
+    const std::uint64_t count = r.u64();
+    if (idx >= h.spec.buckets) return false;
+    h.counts[idx] = count;
+  }
+  return r.ok();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -68,6 +116,17 @@ std::string encode_compile_request(const serve::CompileRequest& request) {
   w.str(request.model);
   w.u64(std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(request.version)));
   w.i32(request.priority);
+  // Optional tagged trailer. Nothing is emitted for an untraced request, so
+  // its bytes stay identical to the pre-trace encoding and old peers decode
+  // them unchanged.
+  if (request.trace.valid()) {
+    ByteWriter field;
+    field.u64(request.trace.trace.hi);
+    field.u64(request.trace.trace.lo);
+    field.u64(request.trace.span);
+    w.u8(kCompileTagTrace);
+    w.str(field.take());
+  }
   return w.take();
 }
 
@@ -83,6 +142,23 @@ Result<DecodedCompileRequest> decode_compile_request(std::string_view payload) {
   out.request.model = r.str();
   out.request.version = std::bit_cast<std::int64_t>(r.u64());
   out.request.priority = r.i32();
+  // Tagged optional trailer: every field is length-prefixed, so a decoder
+  // skips tags it does not recognise — fields added later pass through old
+  // decoders instead of failing them.
+  while (r.ok() && !r.at_end()) {
+    const std::uint8_t tag = r.u8();
+    const std::string field = r.str();
+    if (!r.ok()) break;
+    if (tag == kCompileTagTrace) {
+      ByteReader f(field);
+      out.request.trace.trace.hi = f.u64();
+      out.request.trace.trace.lo = f.u64();
+      out.request.trace.span = f.u64();
+      if (!f.ok() || !f.at_end()) {
+        return Status::error("compile request: corrupt trace field");
+      }
+    }
+  }
   if (!r.ok() || !r.at_end()) return Status::error("compile request: truncated payload");
   auto module = serve::deserialize_module(module_blob);
   if (!module.is_ok()) return Status::error("compile request: " + module.message());
@@ -226,7 +302,7 @@ NodeStats collect_node_stats(const serve::CompileService& service) {
   stats.eval_sequence_hits = eval.sequence_hits;
   stats.eval_primed = eval.primed;
   stats.models = service.registry()->size();
-  stats.latency_ms = metrics.latency_samples_ms;
+  stats.latency_hist = metrics.latency_hist;
   stats.per_model = metrics.per_model;
   stats.objective_completed = metrics.objective_completed;
   return stats;
@@ -250,7 +326,7 @@ std::string encode_node_stats(const NodeStats& stats) {
   w.u64(stats.gossip_rounds);
   w.u64(stats.gossip_fetched);
   w.u64(stats.last_sync_age_ms);
-  w.f64_vec(stats.latency_ms);
+  write_histogram(w, stats.latency_hist);
   w.u64(stats.per_model.size());
   for (const serve::ModelVersionStats& m : stats.per_model) {
     w.str(m.model);
@@ -285,7 +361,9 @@ Result<NodeStats> decode_node_stats(std::string_view payload) {
   stats.gossip_rounds = r.u64();
   stats.gossip_fetched = r.u64();
   stats.last_sync_age_ms = r.u64();
-  stats.latency_ms = r.f64_vec();
+  if (!read_histogram(r, stats.latency_hist)) {
+    return Status::error("node stats: corrupt latency histogram");
+  }
   const std::uint64_t models = r.u64();
   // Each entry is at least a name length prefix (8) + u32 + 2 x u64.
   if (!r.ok() || models > r.remaining() / 28) {
@@ -395,6 +473,25 @@ Result<SyncOffer> decode_sync_offer(std::string_view payload) {
   }
   if (!r.ok() || !r.at_end()) return Status::error("sync offer: truncated payload");
   return offer;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics scrape
+// ---------------------------------------------------------------------------
+
+std::string encode_metrics_reply(const Result<std::string>& text) {
+  ByteWriter w;
+  write_status_prefix(w, text.status());
+  if (text.is_ok()) w.str(text.value());
+  return w.take();
+}
+
+Result<std::string> decode_metrics_reply(std::string_view payload) {
+  ByteReader r(payload);
+  if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  std::string text = r.str();
+  if (!r.ok() || !r.at_end()) return Status::error("metrics reply: truncated payload");
+  return text;
 }
 
 // ---------------------------------------------------------------------------

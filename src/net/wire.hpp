@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/eval_service.hpp"
 #include "serve/compile_service.hpp"
 #include "support/status.hpp"
@@ -20,6 +21,14 @@
 namespace autophase::net {
 
 // ---- Compile ----
+
+/// Tag of the optional trace-context trailer field on a compile-request
+/// payload. The trailer is a sequence of (u8 tag, length-prefixed bytes)
+/// fields after the fixed v2 body: an untraced request encodes zero trailer
+/// fields — bit-identical to the pre-trace wire bytes — and decoders skip
+/// tags they do not know, so old and new peers interoperate in both
+/// directions (an old peer simply serves the request untraced).
+inline constexpr std::uint8_t kCompileTagTrace = 1;
 
 std::string encode_compile_request(const serve::CompileRequest& request);
 
@@ -79,7 +88,9 @@ Result<std::vector<ModelSummary>> decode_model_list(std::string_view payload);
 /// misparsing its counters.
 ///
 /// v3  gossip health: anti-entropy rounds, blobs pulled, last-sync age.
-inline constexpr std::uint32_t kNodeStatsVersion = 3;
+/// v4  latency crosses as a mergeable bucket histogram (obs::HistogramSnapshot,
+///     sparse-encoded) instead of a raw sample reservoir.
+inline constexpr std::uint32_t kNodeStatsVersion = 4;
 
 /// last_sync_age_ms value meaning "this node has never completed a pull".
 inline constexpr std::uint64_t kNeverSynced = ~0ull;
@@ -103,10 +114,12 @@ struct NodeStats {
   std::uint64_t gossip_rounds = 0;
   std::uint64_t gossip_fetched = 0;
   std::uint64_t last_sync_age_ms = kNeverSynced;
-  /// Raw latency reservoir (submit -> response, ms, unsorted). Fleet
-  /// quantiles are computed from the *merged* samples of every node —
-  /// averaging per-node percentiles would be statistically meaningless.
-  std::vector<double> latency_ms;
+  /// Submit -> response latency histogram (ms). Fleet quantiles are computed
+  /// from the *bucket-summed* histograms of every node — averaging per-node
+  /// percentiles would be statistically meaningless, and identically-specced
+  /// buckets make the merge exact, order-independent, and O(buckets) on the
+  /// wire regardless of how many requests the node has served.
+  obs::HistogramSnapshot latency_hist;
   /// Per-(model, version) outcomes, sorted by (model, version).
   std::vector<serve::ModelVersionStats> per_model;
   /// Completed requests by serve::Objective.
@@ -153,6 +166,14 @@ struct SyncOffer {
 };
 std::string encode_sync_offer(const Result<SyncOffer>& offer);
 Result<SyncOffer> decode_sync_offer(std::string_view payload);
+
+// ---- Metrics scrape ----
+
+/// kMetrics has an empty request payload; the reply is the node's full
+/// Prometheus-style text exposition (MetricsRegistry::render_text) behind
+/// the shared status prefix.
+std::string encode_metrics_reply(const Result<std::string>& text);
+Result<std::string> decode_metrics_reply(std::string_view payload);
 
 // ---- Shared status prefix ----
 

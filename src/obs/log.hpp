@@ -1,0 +1,22 @@
+// obs-side view of the structured log ring (the capture itself lives in
+// support/log so every layer can log without depending on obs). Pulled into
+// this namespace because retrieval is an observability operation: test
+// harnesses dump it on failure, operators read it next to metrics + traces.
+#pragma once
+
+#include "support/log.hpp"
+
+namespace autophase::obs {
+
+using autophase::LogRecord;
+
+/// Last `max` structured log records (all retained when max == 0).
+inline std::vector<LogRecord> recent_logs(std::size_t max = 0) {
+  return autophase::recent_logs(max);
+}
+/// Formatted dump of recent_logs() for failure reports.
+inline std::string recent_logs_text(std::size_t max = 0) {
+  return autophase::format_recent_logs(max);
+}
+
+}  // namespace autophase::obs

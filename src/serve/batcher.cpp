@@ -12,8 +12,12 @@ std::vector<double> PolicyBatcher::infer(const PolicyArtifact& artifact,
 }
 
 std::vector<std::vector<double>> PolicyBatcher::infer_many(
-    const PolicyArtifact& artifact, const std::vector<std::vector<double>>& observations) {
-  if (observations.empty()) return {};
+    const PolicyArtifact& artifact, const std::vector<std::vector<double>>& observations,
+    std::size_t* batch_rows) {
+  if (observations.empty()) {
+    if (batch_rows != nullptr) *batch_rows = 0;
+    return {};
+  }
   std::vector<Pending> slots(observations.size());
   for (std::size_t i = 0; i < observations.size(); ++i) {
     slots[i].artifact = &artifact;
@@ -55,7 +59,12 @@ std::vector<std::vector<double>> PolicyBatcher::infer_many(
   }
   std::vector<std::vector<double>> out;
   out.reserve(slots.size());
-  for (auto& slot : slots) out.push_back(std::move(slot.logits));
+  std::size_t rode = 0;
+  for (auto& slot : slots) {
+    rode = std::max(rode, slot.batch_rows);
+    out.push_back(std::move(slot.logits));
+  }
+  if (batch_rows != nullptr) *batch_rows = rode;
   return out;
 }
 
@@ -78,6 +87,7 @@ void PolicyBatcher::run_batch(std::vector<Pending*> batch) {
     const ml::Matrix logits = batch[i]->artifact->policy.forward_batch(rows);
     for (std::size_t k = 0; k < members.size(); ++k) {
       batch[members[k]]->logits.assign(logits.row(k), logits.row(k) + logits.cols());
+      batch[members[k]]->batch_rows = members.size();
     }
     ++groups;
     max_rows = std::max(max_rows, members.size());

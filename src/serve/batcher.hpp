@@ -45,9 +45,13 @@ class PolicyBatcher {
 
   /// Logits for several observations of one model (a beam front submits all
   /// its rows at once so they batch with each other as well as with other
-  /// requests). Result i corresponds to observations[i].
+  /// requests). Result i corresponds to observations[i]. When `batch_rows` is
+  /// non-null it reports the largest same-model batch any of these rows rode
+  /// in — the trace attribute that shows whether a request actually shared a
+  /// matmul or ran alone.
   std::vector<std::vector<double>> infer_many(const PolicyArtifact& artifact,
-                                              const std::vector<std::vector<double>>& observations);
+                                              const std::vector<std::vector<double>>& observations,
+                                              std::size_t* batch_rows = nullptr);
 
   [[nodiscard]] BatcherStats stats() const;
 
@@ -56,6 +60,7 @@ class PolicyBatcher {
     const PolicyArtifact* artifact = nullptr;
     const std::vector<double>* observation = nullptr;
     std::vector<double> logits;
+    std::size_t batch_rows = 0;  // size of the same-model batch this row rode
     bool done = false;
   };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <map>
 #include <numeric>
 
 #include "features/features.hpp"
@@ -45,11 +47,22 @@ double predicted_improvement(double value, bool log_reward) {
 
 }  // namespace
 
-double latency_quantile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
+const char* objective_name(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::kCycles: return "cycles";
+    case Objective::kCyclesTimesArea: return "cycles_times_area";
+    case Objective::kFixedBudget: return "fixed_budget";
+  }
+  return "unknown";
+}
+
+LatencyQuantiles latency_view(const obs::HistogramSnapshot& hist) {
+  LatencyQuantiles q;
+  q.p50_ms = hist.quantile(0.5);
+  q.p95_ms = hist.quantile(0.95);
+  q.mean_ms = hist.mean();
+  q.max_ms = hist.max;
+  return q;
 }
 
 Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
@@ -99,6 +112,11 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
   }
 
   const auto t0 = Clock::now();
+  AP_SPAN(serve_span, request.trace, "serve");
+  serve_span.attr("model", artifact.name);
+  serve_span.attr("version", static_cast<std::uint64_t>(artifact.version));
+  serve_span.attr("objective", objective_name(request.objective));
+  serve_span.attr("beam_width", static_cast<std::uint64_t>(beam_width));
   const auto observe = [&](const Beam& beam) {
     std::vector<double> obs =
         rl::build_observation(*beam.module, beam.histogram, obs_config, features);
@@ -117,6 +135,9 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
 
   std::vector<Beam> finished;
   for (int step = 0; step < budget && !live.empty(); ++step) {
+    AP_SPAN(step_span, serve_span.context(), "decode_step");
+    step_span.attr("step", static_cast<std::uint64_t>(step));
+    step_span.attr("beams", static_cast<std::uint64_t>(live.size()));
     // One stacked forward for the whole beam front; through the batcher the
     // rows additionally fold with other requests in flight.
     std::vector<std::vector<double>> observations;
@@ -128,12 +149,15 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
     }
     std::vector<std::vector<double>> logits;
     if (batcher != nullptr) {
-      logits = batcher->infer_many(artifact, observations);
+      std::size_t batch_rows = 0;
+      logits = batcher->infer_many(artifact, observations, &batch_rows);
+      step_span.attr("batch_rows", static_cast<std::uint64_t>(batch_rows));
     } else {
       const ml::Matrix out = artifact.policy.forward_batch(observations);
       for (std::size_t r = 0; r < out.rows(); ++r) {
         logits.emplace_back(out.row(r), out.row(r) + out.cols());
       }
+      step_span.attr("batch_rows", static_cast<std::uint64_t>(observations.size()));
     }
 
     // Expand: per beam, its top-k actions; overall, the top-k candidates.
@@ -197,12 +221,19 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
   if (finished.size() > beam_width) finished.resize(beam_width);
 
   // Rank finalists by the *measured* objective through the shared service.
-  const runtime::Measure baseline = eval.measure(*request.module);
+  AP_SPAN(measure_span, serve_span.context(), "measure");
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool ran_simulator = false;  // eval's "was this call the one that measured"
+  const auto count_lookup = [&] { ran_simulator ? ++cache_misses : ++cache_hits; };
+  const runtime::Measure baseline = eval.measure(*request.module, &ran_simulator);
+  count_lookup();
   std::size_t best = 0;
   double best_score = 0.0;
   runtime::Measure best_measure;
   for (std::size_t i = 0; i < finished.size(); ++i) {
-    const runtime::Measure m = eval.measure(*finished[i].module);
+    const runtime::Measure m = eval.measure(*finished[i].module, &ran_simulator);
+    count_lookup();
     const double score = request.objective == Objective::kCyclesTimesArea
                              ? static_cast<double>(m.cycles) * m.area
                              : static_cast<double>(m.cycles);
@@ -212,6 +243,9 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
       best_measure = m;
     }
   }
+  measure_span.attr("finalists", static_cast<std::uint64_t>(finished.size()));
+  measure_span.attr("cache_hits", cache_hits);
+  measure_span.attr("cache_misses", cache_misses);
 
   std::uint64_t predicted = baseline.cycles;
   if (artifact.value.has_value()) {
@@ -271,8 +305,51 @@ CompileService::CompileService(std::shared_ptr<ModelRegistry> registry,
       config_(config),
       batcher_(config.batcher),
       started_(Clock::now()),
+      metrics_registry_(std::make_shared<obs::MetricsRegistry>()),
+      ctr_completed_(metrics_registry_->counter("serve_requests_completed")),
+      ctr_failed_(metrics_registry_->counter("serve_requests_failed")),
+      ctr_rejected_(metrics_registry_->counter("serve_requests_rejected")),
+      ctr_cancelled_(metrics_registry_->counter("serve_requests_cancelled")),
+      gauge_queue_depth_(metrics_registry_->gauge("serve_queue_depth")),
+      gauge_max_queue_depth_(metrics_registry_->gauge("serve_queue_depth_max")),
+      hist_latency_ms_(metrics_registry_->histogram("serve_latency_ms")),
       pool_(std::max<std::size_t>(1, config.workers)) {
   if (eval_ == nullptr) eval_ = std::make_shared<runtime::EvalService>();
+  // Scrape-time views over state owned elsewhere: the eval service's sharded
+  // exactly-once counters and the model registry keep their own bookkeeping;
+  // the registry polls them instead of double counting. Captured shared_ptrs
+  // keep the viewed objects alive as long as the registry's scrape surface.
+  const std::shared_ptr<runtime::EvalService> eval_view = eval_;
+  metrics_registry_->gauge_fn("eval_cache_hits", {}, [eval_view] {
+    return static_cast<double>(eval_view->stats().hits);
+  });
+  metrics_registry_->gauge_fn("eval_cache_misses", {}, [eval_view] {
+    return static_cast<double>(eval_view->stats().misses);
+  });
+  metrics_registry_->gauge_fn("eval_sequence_hits", {}, [eval_view] {
+    return static_cast<double>(eval_view->stats().sequence_hits);
+  });
+  metrics_registry_->gauge_fn("eval_cache_primed", {}, [eval_view] {
+    return static_cast<double>(eval_view->stats().primed);
+  });
+  const std::shared_ptr<ModelRegistry> registry_view = registry_;
+  if (registry_view != nullptr) {
+    metrics_registry_->gauge_fn("registry_artifacts", {}, [registry_view] {
+      return static_cast<double>(registry_view->size());
+    });
+  }
+  // Batcher views capture `this`: the batcher is a member, so these gauges
+  // are valid exactly while the service (and thus its registry handle here)
+  // lives — the supported scrape pattern (ServeNode renders while serving).
+  metrics_registry_->gauge_fn("batcher_batches", {}, [this] {
+    return static_cast<double>(batcher_.stats().batches);
+  });
+  metrics_registry_->gauge_fn("batcher_rows", {}, [this] {
+    return static_cast<double>(batcher_.stats().rows);
+  });
+  metrics_registry_->gauge_fn("batcher_max_batch_rows", {}, [this] {
+    return static_cast<double>(batcher_.stats().max_batch_rows);
+  });
   for (std::size_t i = 0; i < config_.workers; ++i) {
     pool_.submit([this] { worker_loop(); });
   }
@@ -299,10 +376,7 @@ void CompileService::shutdown() {
   for (Job& job : cancelled) {
     job.promise.set_value(Status::error("cancelled: compile service shut down"));
   }
-  if (!cancelled.empty()) {
-    const std::lock_guard<std::mutex> lock(metrics_mutex_);
-    cancelled_ += cancelled.size();
-  }
+  if (!cancelled.empty()) ctr_cancelled_.inc(cancelled.size());
   // Workers wake, drain whatever remains, and exit; only then does the pool
   // join — queued work never races member teardown.
   pool_.shutdown(ThreadPool::ShutdownMode::kDrain);
@@ -318,6 +392,7 @@ void CompileService::worker_loop() {
       std::pop_heap(queue_.begin(), queue_.end(), JobOrder{});
       job = std::move(queue_.back());
       queue_.pop_back();
+      gauge_queue_depth_.set(static_cast<double>(queue_.size()));
     }
     space_cv_.notify_one();
     finish_job(std::move(job));
@@ -326,35 +401,86 @@ void CompileService::worker_loop() {
 
 void CompileService::finish_job(Job job) {
   const auto start = Clock::now();
+  const std::uint64_t wait_ns = nanos_between(job.enqueued, start);
+  obs::Tracer& tracer = obs::tracer();
+  const obs::TraceContext root_ctx = job.request.trace;  // as submitted (or from the wire)
+  obs::TraceContext req_ctx{};
+  std::uint64_t enqueue_trace_ns = 0;
+  if (tracer.enabled() && root_ctx.valid()) {
+    // Mint the request span id up front so the queue span (below) and the
+    // serve-path spans both parent under it; the request span itself is
+    // recorded once the job resolves. Its start is backdated to enqueue time
+    // via the measured queue wait (Clock and the trace clock are the same
+    // steady clock).
+    req_ctx = tracer.child_of(root_ctx);
+    enqueue_trace_ns = obs::trace_now_ns() - wait_ns;
+    obs::SpanRecord queue_span;
+    queue_span.trace = req_ctx.trace;
+    queue_span.span = tracer.next_span_id();
+    queue_span.parent = req_ctx.span;
+    queue_span.name = "queue";
+    queue_span.start_ns = enqueue_trace_ns;
+    queue_span.duration_ns = wait_ns;
+    queue_span.thread = obs::current_thread_ordinal();
+    queue_span.attrs.emplace_back("queue_depth",
+                                  strf("%zu", job.depth_at_entry));
+    queue_span.attrs.emplace_back("priority", strf("%d", job.request.priority));
+    tracer.record(std::move(queue_span));
+    job.request.trace = req_ctx;  // serve-path spans become children of "request"
+  }
   Result<CompileResponse> result = run_request(job.request, &batcher_);
   const bool ok = result.is_ok();
-  if (ok) result.value().queue_nanos = nanos_between(job.enqueued, start);
+  if (ok) result.value().queue_nanos = wait_ns;
   const double total_ms =
       static_cast<double>(nanos_between(job.enqueued, Clock::now())) / 1e6;
   // Success attributes to the version that served it; failure to the one
-  // requested (see ModelVersionStats).
+  // requested (see ModelVersionStats). Metrics are recorded *before* the
+  // promise resolves, so a caller that just observed its future can already
+  // see the request in metrics().
   const std::uint32_t version =
       ok ? result.value().provenance.version
          : static_cast<std::uint32_t>(std::max<std::int64_t>(0, job.request.version));
-  {
-    // Metrics are recorded *before* the promise resolves, so a caller that
-    // just observed its future can already see the request in metrics().
-    const std::lock_guard<std::mutex> lock(metrics_mutex_);
-    auto& [model_completed, model_failed] = per_model_[{job.request.model, version}];
-    if (ok) {
-      ++completed_;
-      ++model_completed;
-      ++objective_completed_[static_cast<std::size_t>(job.request.objective)];
-    } else {
-      ++failed_;
-      ++model_failed;
+  metrics_registry_
+      ->counter("serve_model_requests", {{"model", job.request.model},
+                                         {"version", strf("%u", version)},
+                                         {"outcome", ok ? "completed" : "failed"}})
+      .inc();
+  if (ok) {
+    ctr_completed_.inc();
+    metrics_registry_
+        ->counter("serve_objective_completed",
+                  {{"objective", objective_name(job.request.objective)}})
+        .inc();
+    // Predicted-vs-measured cycle error, the serving-side view of value-net
+    // calibration, bucketed per (model, version) so a regressing upgrade is
+    // visible next to the version that caused it.
+    const Provenance& prov = result.value().provenance;
+    if (prov.measured_cycles > 0) {
+      const double error_pct = 100.0 *
+                               std::abs(static_cast<double>(prov.predicted_cycles) -
+                                        static_cast<double>(prov.measured_cycles)) /
+                               static_cast<double>(prov.measured_cycles);
+      metrics_registry_
+          ->histogram("serve_cycle_error_pct",
+                      {{"model", prov.model}, {"version", strf("%u", prov.version)}})
+          .record(error_pct);
     }
-    if (latencies_ms_.size() < kLatencyWindow) {
-      latencies_ms_.push_back(total_ms);
-    } else {
-      latencies_ms_[latency_next_] = total_ms;
-    }
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  } else {
+    ctr_failed_.inc();
+  }
+  hist_latency_ms_.record(total_ms);
+  if (req_ctx.valid()) {
+    obs::SpanRecord req_span;
+    req_span.trace = req_ctx.trace;
+    req_span.span = req_ctx.span;
+    req_span.parent = root_ctx.span;  // 0 locally; the client's span over the wire
+    req_span.name = "request";
+    req_span.start_ns = enqueue_trace_ns;
+    req_span.duration_ns = obs::trace_now_ns() - enqueue_trace_ns;
+    req_span.thread = obs::current_thread_ordinal();
+    req_span.attrs.emplace_back("model", job.request.model);
+    req_span.attrs.emplace_back("ok", ok ? "true" : "false");
+    tracer.record(std::move(req_span));
   }
   job.promise.set_value(std::move(result));
 }
@@ -385,10 +511,7 @@ Result<WarmupReport> CompileService::warm_up_model(const std::string& name,
 }
 
 CompileService::ResponseFuture CompileService::rejected_future() {
-  {
-    const std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++rejected_;
-  }
+  ctr_rejected_.inc();
   std::promise<Result<CompileResponse>> promise;
   promise.set_value(Status::error("rejected: compile service is shut down"));
   return promise.get_future();
@@ -400,18 +523,23 @@ CompileService::ResponseFuture CompileService::enqueue_locked(
   job.request = std::move(request);
   job.sequence = next_sequence_++;
   job.enqueued = Clock::now();
+  job.depth_at_entry = queue_.size();  // jobs ahead of this one (span attr)
   ResponseFuture future = job.promise.get_future();
   queue_.push_back(std::move(job));
   std::push_heap(queue_.begin(), queue_.end(), JobOrder{});
   const std::size_t depth = queue_.size();
   lock.unlock();
   queue_cv_.notify_one();
-  const std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-  max_queue_depth_ = std::max(max_queue_depth_, depth);
+  gauge_queue_depth_.set(static_cast<double>(depth));
+  gauge_max_queue_depth_.update_max(static_cast<double>(depth));
   return future;
 }
 
 CompileService::ResponseFuture CompileService::submit(CompileRequest request) {
+  // Requests get their trace identity at the door (a no-op invalid context
+  // when tracing is off); a context already present — a remote client's,
+  // arrived over the wire — is kept so the trace stitches across nodes.
+  if (!request.trace.valid()) request.trace = obs::tracer().begin_trace();
   std::unique_lock<std::mutex> lock(mutex_);
   // Backpressure: a full queue blocks the submitter instead of growing.
   space_cv_.wait(lock,
@@ -425,11 +553,11 @@ CompileService::ResponseFuture CompileService::submit(CompileRequest request) {
 
 std::optional<CompileService::ResponseFuture> CompileService::try_submit(
     CompileRequest request) {
+  if (!request.trace.valid()) request.trace = obs::tracer().begin_trace();
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_ || queue_.size() >= config_.queue_capacity) {
     lock.unlock();
-    const std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
-    ++rejected_;
+    ctr_rejected_.inc();
     return std::nullopt;
   }
   return enqueue_locked(std::move(request), lock);
@@ -446,33 +574,46 @@ ServeMetrics CompileService::metrics() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     m.queue_depth = queue_.size();
   }
-  std::vector<double> latencies;
-  {
-    const std::lock_guard<std::mutex> lock(metrics_mutex_);
-    m.completed = completed_;
-    m.failed = failed_;
-    m.rejected = rejected_;
-    m.cancelled = cancelled_;
-    m.max_queue_depth = max_queue_depth_;
-    latencies = latencies_ms_;
-    m.per_model.reserve(per_model_.size());
-    for (const auto& [key, counts] : per_model_) {
-      m.per_model.push_back({key.first, key.second, counts.first, counts.second});
-    }
-    m.objective_completed = objective_completed_;
-  }
-  m.latency_samples_ms = latencies;
+  m.completed = ctr_completed_.value();
+  m.failed = ctr_failed_.value();
+  m.rejected = ctr_rejected_.value();
+  m.cancelled = ctr_cancelled_.value();
+  m.max_queue_depth = static_cast<std::size_t>(gauge_max_queue_depth_.value());
+  m.latency_hist = hist_latency_ms_.snapshot();
+  m.latency = latency_view(m.latency_hist);
   m.wall_seconds = static_cast<double>(nanos_between(started_, Clock::now())) / 1e9;
   m.throughput_rps =
       m.wall_seconds > 0 ? static_cast<double>(m.completed) / m.wall_seconds : 0.0;
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    m.latency.p50_ms = latency_quantile(latencies, 0.5);
-    m.latency.p95_ms = latency_quantile(latencies, 0.95);
-    m.latency.max_ms = latencies.back();
-    m.latency.mean_ms =
-        std::accumulate(latencies.begin(), latencies.end(), 0.0) /
-        static_cast<double>(latencies.size());
+  // The per-model breakdown is the labelled counter family read back; the
+  // registry orders keys deterministically, and completed/failed rows of the
+  // same (model, version) fold into one entry.
+  std::map<std::pair<std::string, std::uint32_t>, ModelVersionStats> per_model;
+  for (const auto& [key, value] : metrics_registry_->counters("serve_model_requests")) {
+    std::string model;
+    std::uint32_t version = 0;
+    bool completed = false;
+    for (const auto& [label, label_value] : key.labels) {
+      if (label == "model") model = label_value;
+      if (label == "version") {
+        version = static_cast<std::uint32_t>(std::strtoul(label_value.c_str(), nullptr, 10));
+      }
+      if (label == "outcome") completed = label_value == "completed";
+    }
+    ModelVersionStats& row = per_model[{model, version}];
+    row.model = model;
+    row.version = version;
+    (completed ? row.completed : row.failed) += value;
+  }
+  m.per_model.reserve(per_model.size());
+  for (auto& [key, row] : per_model) m.per_model.push_back(std::move(row));
+  for (const auto& [key, value] :
+       metrics_registry_->counters("serve_objective_completed")) {
+    for (std::size_t i = 0; i < kNumObjectives; ++i) {
+      if (!key.labels.empty() &&
+          key.labels.front().second == objective_name(static_cast<Objective>(i))) {
+        m.objective_completed[i] = value;
+      }
+    }
   }
   m.batcher = batcher_.stats();
   return m;

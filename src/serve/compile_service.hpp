@@ -15,7 +15,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -24,6 +23,8 @@
 #include <vector>
 
 #include "ir/module.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/eval_service.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
@@ -41,6 +42,10 @@ enum class Objective : std::uint8_t {
 /// Contiguous objective count (per-objective metric slots, wire payloads).
 inline constexpr std::size_t kNumObjectives = 3;
 
+/// Stable lower-snake name, used as the metric label value for per-objective
+/// counters (and therefore part of the scrape surface — do not rename).
+const char* objective_name(Objective objective) noexcept;
+
 struct CompileRequest {
   const ir::Module* module = nullptr;
   Objective objective = Objective::kCycles;
@@ -53,6 +58,11 @@ struct CompileRequest {
   std::string model;
   std::int64_t version = 0;  // <= 0 selects the latest
   int priority = 0;          // higher pops first; FIFO within a priority
+  /// Tracing identity. Invalid (all-zero, the default) means untraced;
+  /// submit/try_submit allocate a fresh root context when the process tracer
+  /// is enabled, and a remote client's context arrives here over the wire so
+  /// the owning node's spans stitch into the client's trace.
+  obs::TraceContext trace{};
 };
 
 struct Provenance {
@@ -80,10 +90,10 @@ struct LatencyQuantiles {
   double max_ms = 0.0;
 };
 
-/// Nearest-rank quantile of an ascending-sorted sample vector — the one
-/// convention shared by per-node metrics and fleet-merged reservoirs, so
-/// the two views can never silently diverge.
-double latency_quantile(const std::vector<double>& sorted, double q);
+/// The LatencyQuantiles view of a histogram snapshot — the one quantile
+/// convention shared by per-node metrics and the fleet merge, so the two
+/// views can never silently diverge.
+LatencyQuantiles latency_view(const obs::HistogramSnapshot& hist);
 
 /// Per-(model, version) request outcomes. Successful requests count under
 /// the version that actually served them (provenance), so "latest" requests
@@ -106,13 +116,13 @@ struct ServeMetrics {
   std::size_t max_queue_depth = 0;
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;  // completed / wall_seconds
-  /// submit -> response, over the most recent kLatencyWindow requests (a
-  /// bounded reservoir: a long-lived service must not grow per-request).
+  /// submit -> response quantiles, a latency_view() over `latency_hist`.
   LatencyQuantiles latency;
-  /// Raw (unsorted) snapshot of the same reservoir. This is what crosses
-  /// the wire for fleet aggregation: percentiles merge by pooling samples,
-  /// never by averaging per-node quantiles.
-  std::vector<double> latency_samples_ms;
+  /// The full submit -> response latency histogram (every request ever, no
+  /// truncation). This is what crosses the wire for fleet aggregation:
+  /// percentiles merge by summing buckets, never by averaging per-node
+  /// quantiles.
+  obs::HistogramSnapshot latency_hist;
   /// Sorted by (model, version); see ModelVersionStats for attribution.
   std::vector<ModelVersionStats> per_model;
   /// Completed requests by Objective (POSET-RL-style multi-objective ops).
@@ -162,9 +172,6 @@ class CompileService {
  public:
   using ResponseFuture = std::future<Result<CompileResponse>>;
 
-  /// Latency samples retained for the metrics quantiles (ring buffer).
-  static constexpr std::size_t kLatencyWindow = 4096;
-
   CompileService(std::shared_ptr<ModelRegistry> registry,
                  std::shared_ptr<runtime::EvalService> eval, CompileServiceConfig config = {});
   ~CompileService();
@@ -200,6 +207,13 @@ class CompileService {
   [[nodiscard]] const std::shared_ptr<runtime::EvalService>& eval_service() const noexcept {
     return eval_;
   }
+  /// This service's scrape surface. Every counter/gauge/histogram the serve
+  /// path records lives here (ServeMetrics is a typed view over it); the
+  /// ctor also installs callback gauges over the eval-service shard counters
+  /// and the model registry, so one render_text() covers the whole node.
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics_registry() const noexcept {
+    return metrics_registry_;
+  }
 
  private:
   struct Job {
@@ -207,6 +221,7 @@ class CompileService {
     std::promise<Result<CompileResponse>> promise;
     std::uint64_t sequence = 0;  // FIFO tiebreak within a priority level
     std::chrono::steady_clock::time_point enqueued;
+    std::size_t depth_at_entry = 0;  // queue depth when this job joined (span attr)
   };
   /// Max-heap order: higher priority first, then earlier submission.
   struct JobOrder {
@@ -240,19 +255,18 @@ class CompileService {
   std::uint64_t next_sequence_ = 0;
   bool stopping_ = false;
 
-  mutable std::mutex metrics_mutex_;
-  std::vector<double> latencies_ms_;  // ring of the last kLatencyWindow samples
-  std::size_t latency_next_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t failed_ = 0;
-  std::size_t rejected_ = 0;
-  std::size_t cancelled_ = 0;
-  std::size_t max_queue_depth_ = 0;
-  /// (model, version) -> {completed, failed}; ordered so metrics() emits a
-  /// deterministic breakdown.
-  std::map<std::pair<std::string, std::uint32_t>, std::pair<std::uint64_t, std::uint64_t>>
-      per_model_;
-  std::array<std::uint64_t, kNumObjectives> objective_completed_{};
+  /// All request-outcome state lives in the registry; the named handles below
+  /// are the hot-path instruments (relaxed atomics, acquired once). Labelled
+  /// families (per-model outcomes, per-objective completions, cycle error)
+  /// are looked up per request — one small map probe on a millisecond path.
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry_;
+  obs::Counter& ctr_completed_;
+  obs::Counter& ctr_failed_;
+  obs::Counter& ctr_rejected_;
+  obs::Counter& ctr_cancelled_;
+  obs::Gauge& gauge_queue_depth_;
+  obs::Gauge& gauge_max_queue_depth_;
+  obs::Histogram& hist_latency_ms_;
 
   /// Declared last so it is destroyed first; shutdown() has already stopped
   /// the queue by the time the pool joins its workers.

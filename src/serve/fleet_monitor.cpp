@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <numeric>
 #include <thread>
 #include <utility>
 
@@ -66,7 +65,7 @@ FleetStats FleetMonitor::poll() {
 
   FleetStats merged;
   merged.nodes = nodes;
-  std::vector<double> samples;
+  bool first_hist = true;
   std::map<std::pair<std::string, std::uint32_t>, std::pair<std::uint64_t, std::uint64_t>>
       per_model;
   bool first_reachable = true;
@@ -92,7 +91,14 @@ FleetStats FleetMonitor::poll() {
                                       ? s.last_sync_age_ms
                                       : std::max(merged.last_sync_age_ms_max, s.last_sync_age_ms);
     first_reachable = false;
-    samples.insert(samples.end(), s.latency_ms.begin(), s.latency_ms.end());
+    // The whole percentile merge: identically-specced buckets sum. Seeding
+    // from the first node keeps the spec (+= asserts the specs match).
+    if (first_hist) {
+      merged.latency_hist = s.latency_hist;
+      first_hist = false;
+    } else {
+      merged.latency_hist += s.latency_hist;
+    }
     for (const ModelVersionStats& m : s.per_model) {
       auto& counts = per_model[{m.model, m.version}];
       counts.first += m.completed;
@@ -103,15 +109,8 @@ FleetStats FleetMonitor::poll() {
     }
   }
 
-  merged.latency_samples = samples.size();
-  if (!samples.empty()) {
-    std::sort(samples.begin(), samples.end());
-    merged.latency.p50_ms = latency_quantile(samples, 0.5);
-    merged.latency.p95_ms = latency_quantile(samples, 0.95);
-    merged.latency.max_ms = samples.back();
-    merged.latency.mean_ms = std::accumulate(samples.begin(), samples.end(), 0.0) /
-                             static_cast<double>(samples.size());
-  }
+  merged.latency_samples = static_cast<std::size_t>(merged.latency_hist.count);
+  merged.latency = latency_view(merged.latency_hist);
   merged.per_model.reserve(per_model.size());
   for (const auto& [key, counts] : per_model) {
     merged.per_model.push_back({key.first, key.second, counts.first, counts.second});

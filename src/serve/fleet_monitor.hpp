@@ -2,12 +2,13 @@
 // doing?". A FleetMonitor fans kStats requests out through a
 // RemoteCompileClient, decodes every node's versioned counters, and merges
 // them into a FleetStats snapshot — counters are summed, latency percentiles
-// are computed from the *pooled* per-node reservoirs (averaging per-node
-// p95s is statistically meaningless; merging the samples is exact up to
-// reservoir truncation), and per-model-version / per-objective breakdowns
-// are summed key-wise so a rollout's traffic split is visible fleet-wide.
-// Snapshots are versioned: each poll() increments a monotonic id, so two
-// observers can order the snapshots they hold.
+// come from *bucket-summed* per-node histograms (averaging per-node p95s is
+// statistically meaningless; summing identically-specced buckets is exact,
+// order-independent, and O(buckets) on the wire with no truncation), and
+// per-model-version / per-objective breakdowns are summed key-wise so a
+// rollout's traffic split is visible fleet-wide. Snapshots are versioned:
+// each poll() increments a monotonic id, so two observers can order the
+// snapshots they hold.
 #pragma once
 
 #include <array>
@@ -66,7 +67,10 @@ struct FleetStats {
   std::uint64_t gossip_fetched = 0;
   std::uint64_t last_sync_age_ms_max = net::kNeverSynced;
 
-  /// Quantiles over the union of every node's latency reservoir.
+  /// Bucket-wise sum of every reachable node's latency histogram, and the
+  /// latency_view() quantiles over it. `latency_samples` is the merged
+  /// histogram's total count (every request the fleet ever served).
+  obs::HistogramSnapshot latency_hist;
   LatencyQuantiles latency;
   std::size_t latency_samples = 0;
 

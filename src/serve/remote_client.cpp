@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "ir/printer.hpp"
+#include "obs/trace.hpp"
 #include "serve/serialization.hpp"
 #include "support/hash.hpp"
 #include "support/str.hpp"
@@ -20,7 +21,13 @@ bool is_timeout(const Status& status) {
 
 RemoteCompileClient::RemoteCompileClient(std::vector<net::RemoteEndpoint> nodes,
                                          RemoteClientConfig config)
-    : nodes_(std::move(nodes)), config_(config), idle_(nodes_.size()) {
+    : nodes_(std::move(nodes)),
+      config_(config),
+      idle_(nodes_.size()),
+      ctr_requests_(metrics_.counter("client_requests")),
+      ctr_failures_(metrics_.counter("client_failures")),
+      ctr_timeouts_(metrics_.counter("client_timeouts")),
+      ctr_connects_(metrics_.counter("client_connects")) {
   // Ring points are derived from the endpoint identity, so every client
   // instance routes identically — cache affinity survives client restarts.
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -62,8 +69,7 @@ Result<RemoteCompileClient::Lease> RemoteCompileClient::acquire(std::size_t node
   auto stream = net::TcpStream::connect(nodes_[node].host, nodes_[node].port,
                                         config_.connect_timeout);
   if (!stream.is_ok()) return stream.status();
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.connects;
+  ctr_connects_.inc();
   return Lease{std::move(stream).value(), node, true};
 }
 
@@ -84,14 +90,17 @@ std::uint64_t RemoteCompileClient::next_request_id() {
 }
 
 void RemoteCompileClient::count_failure(const Status& status) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.failures;
-  if (is_timeout(status)) ++stats_.timeouts;
+  ctr_failures_.inc();
+  if (is_timeout(status)) ctr_timeouts_.inc();
 }
 
 RemoteClientStats RemoteCompileClient::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  RemoteClientStats s;
+  s.requests = ctr_requests_.value();
+  s.failures = ctr_failures_.value();
+  s.timeouts = ctr_timeouts_.value();
+  s.connects = ctr_connects_.value();
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -143,11 +152,19 @@ Result<CompileResponse> RemoteCompileClient::compile(const CompileRequest& reque
 Result<CompileResponse> RemoteCompileClient::compile(const CompileRequest& request,
                                                      std::chrono::milliseconds deadline_ms) {
   if (request.module == nullptr) return Status::error("compile request has no module");
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.requests;
-  }
+  ctr_requests_.inc();
   const std::size_t node = route(*request.module);
+  // Client-side root span. The traced copy carries this span's context over
+  // the wire (the tagged trailer on the compile payload), so the server's
+  // "request" span parents under it and client + owning-node spans share one
+  // trace id — a remote compile reads as a single stitched trace in Perfetto.
+  CompileRequest traced = request;
+  if (!traced.trace.valid()) traced.trace = obs::tracer().begin_trace();
+  AP_SPAN(span, traced.trace, "remote_compile");
+  if (span.armed()) {
+    span.attr("node", static_cast<std::uint64_t>(node));
+    traced.trace = span.context();
+  }
   for (int attempt = 0;; ++attempt) {
     auto lease = acquire(node, /*force_fresh=*/attempt > 0);
     if (!lease.is_ok()) {
@@ -160,7 +177,7 @@ Result<CompileResponse> RemoteCompileClient::compile(const CompileRequest& reque
     // attribute it to the wrong request.
     bool transport_ok = false;
     auto response =
-        roundtrip(lease.value(), request, net::deadline_in(deadline_ms), &transport_ok);
+        roundtrip(lease.value(), traced, net::deadline_in(deadline_ms), &transport_ok);
     release(std::move(lease).value(), transport_ok);
     // A pooled connection may have died while idle (node restart between
     // requests); retry exactly once on a fresh one. Timeouts are final: the
@@ -191,10 +208,7 @@ std::vector<Result<CompileResponse>> RemoteCompileClient::compile_batch(
     }
     by_node[route(*requests[i].module)].push_back(i);
   }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stats_.requests += requests.size();
-  }
+  ctr_requests_.inc(requests.size());
 
   for (std::size_t node = 0; node < by_node.size(); ++node) {
     const std::vector<std::size_t>& batch = by_node[node];
@@ -343,6 +357,18 @@ Result<net::NodeStats> RemoteCompileClient::node_stats(std::size_t node) {
   auto reply = exchange_op(node, frame);
   if (!reply.is_ok()) return reply.status();
   return net::decode_node_stats(reply.value().payload);
+}
+
+Result<std::string> RemoteCompileClient::node_metrics(std::size_t node) {
+  net::Frame frame;
+  frame.type = net::MsgType::kMetrics;
+  frame.request_id = next_request_id();
+  auto reply = exchange_op(node, frame);
+  if (!reply.is_ok()) return reply.status();
+  if (reply.value().type != net::MsgType::kMetrics) {
+    return Status::error("remote client: mismatched reply type");
+  }
+  return net::decode_metrics_reply(reply.value().payload);
 }
 
 }  // namespace autophase::serve

@@ -16,6 +16,7 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 #include "serve/compile_service.hpp"
 #include "serve/model_registry.hpp"
 
@@ -32,6 +33,8 @@ struct RemoteClientConfig {
   std::size_t max_frame_payload = net::kDefaultMaxPayload;
 };
 
+/// Snapshot view over the client's obs counters (the counters are the
+/// source of truth; this struct is the stable read-back shape).
 struct RemoteClientStats {
   std::uint64_t requests = 0;
   std::uint64_t failures = 0;  // transport or remote errors
@@ -70,6 +73,9 @@ class RemoteCompileClient {
 
   Result<std::vector<net::ModelSummary>> list_models(std::size_t node);
   Result<net::NodeStats> node_stats(std::size_t node);
+  /// Scrapes `node`'s Prometheus-style text exposition (MsgType::kMetrics) —
+  /// the remote twin of ServeNode::metrics_text().
+  Result<std::string> node_metrics(std::size_t node);
 
   /// Ring lookup: which node a program's requests are routed to.
   [[nodiscard]] std::size_t route(const ir::Module& module) const;
@@ -82,6 +88,9 @@ class RemoteCompileClient {
   }
 
   [[nodiscard]] RemoteClientStats stats() const;
+  /// The client's own scrape surface (client_requests/failures/timeouts/
+  /// connects counters). Per-instance, like a ServeNode's registry.
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() noexcept { return metrics_; }
 
  private:
   struct Lease {
@@ -126,7 +135,14 @@ class RemoteCompileClient {
   mutable std::mutex mutex_;
   std::vector<std::vector<net::TcpStream>> idle_;  // per node
   std::uint64_t next_id_ = 1;
-  RemoteClientStats stats_;
+
+  /// Client-side counters live on an obs registry (scrape-able, lock-free to
+  /// bump) instead of a mutex-guarded struct; stats() reads them back.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& ctr_requests_;
+  obs::Counter& ctr_failures_;
+  obs::Counter& ctr_timeouts_;
+  obs::Counter& ctr_connects_;
 };
 
 }  // namespace autophase::serve

@@ -1,14 +1,20 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <mutex>
+
+#include "support/str.hpp"
 
 namespace autophase {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+std::mutex g_mutex;  // stderr interleaving + the capture ring
+
+std::deque<LogRecord> g_ring;  // bounded at kLogRingCapacity
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -20,17 +26,57 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+/// Monotonic nanos since the first log call (one private epoch is enough:
+/// records only ever compare against each other).
+std::uint64_t monotonic_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch).count());
+}
+
+std::string format_record(const LogRecord& record) {
+  return strf("t=%10.3fms [%s] [%s] %s", static_cast<double>(record.ns) / 1e6,
+              level_tag(record.level), record.component.c_str(), record.message.c_str());
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
-namespace detail {
-void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < g_level.load()) return;
+std::vector<LogRecord> recent_logs(std::size_t max) {
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  const std::size_t n = max == 0 ? g_ring.size() : std::min(max, g_ring.size());
+  return {g_ring.end() - static_cast<std::ptrdiff_t>(n), g_ring.end()};
+}
+
+std::string format_recent_logs(std::size_t max) {
+  std::string out;
+  for (const LogRecord& record : recent_logs(max)) {
+    out += format_record(record);
+    out += '\n';
+  }
+  return out;
+}
+
+void clear_recent_logs() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_ring.clear();
+}
+
+namespace detail {
+void log_line(LogLevel level, const char* component, const std::string& message) {
+  LogRecord record{level, component, monotonic_ns(), message};
+  const bool to_stderr = static_cast<int>(level) >= g_level.load();
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  // Ring capture ignores the stderr level: a quiet test run still retains
+  // the evidence for a failure dump.
+  g_ring.push_back(record);
+  if (g_ring.size() > kLogRingCapacity) g_ring.pop_front();
+  if (to_stderr) std::fprintf(stderr, "%s\n", format_record(record).c_str());
 }
 }  // namespace detail
 

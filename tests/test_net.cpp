@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "passes/pipelines.hpp"
 #include "progen/chstone_like.hpp"
 #include "progen/random_program.hpp"
@@ -607,10 +609,11 @@ TEST(RemoteServe, NodeShutdownRejectsLateClients) {
 }
 
 // ---------------------------------------------------------------------------
-// Node stats v3 (versioned payload, reservoir + breakdowns + gossip health)
+// Node stats v4 (versioned payload, latency histogram + breakdowns + gossip
+// health)
 // ---------------------------------------------------------------------------
 
-TEST(WireNodeStats, V3PayloadRoundTripsBreakdowns) {
+TEST(WireNodeStats, V4PayloadRoundTripsBreakdowns) {
   net::NodeStats stats;
   stats.completed = 10;
   stats.failed = 2;
@@ -626,7 +629,9 @@ TEST(WireNodeStats, V3PayloadRoundTripsBreakdowns) {
   stats.gossip_rounds = 17;
   stats.gossip_fetched = 4;
   stats.last_sync_age_ms = 250;
-  stats.latency_ms = {0.5, 3.5, 1.0, 2.0};
+  obs::Histogram latencies;
+  for (const double v : {0.5, 3.5, 1.0, 2.0}) latencies.record(v);
+  stats.latency_hist = latencies.snapshot();
   stats.per_model = {{"agent", 1, 6, 1}, {"agent", 2, 4, 0}, {"ghost", 7, 0, 1}};
   stats.objective_completed = {7, 2, 1};
 
@@ -641,7 +646,13 @@ TEST(WireNodeStats, V3PayloadRoundTripsBreakdowns) {
   // The default (never synced) sentinel survives the codec too.
   EXPECT_EQ(net::decode_node_stats(net::encode_node_stats({})).value().last_sync_age_ms,
             net::kNeverSynced);
-  EXPECT_EQ(d.latency_ms, stats.latency_ms);
+  // The histogram crosses sparsely (non-zero buckets only) but reassembles
+  // to the exact dense state — counts, totals, and min/max edges.
+  EXPECT_EQ(d.latency_hist.counts, stats.latency_hist.counts);
+  EXPECT_EQ(d.latency_hist.count, 4u);
+  EXPECT_DOUBLE_EQ(d.latency_hist.sum, stats.latency_hist.sum);
+  EXPECT_DOUBLE_EQ(d.latency_hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(d.latency_hist.max, 3.5);
   ASSERT_EQ(d.per_model.size(), 3u);
   EXPECT_EQ(d.per_model[1].model, "agent");
   EXPECT_EQ(d.per_model[1].version, 2u);
@@ -685,13 +696,92 @@ TEST(WireNodeStats, ServedStatsCarryPerModelVersionCounts) {
   auto stats = client.node_stats(0);
   ASSERT_TRUE(stats.is_ok()) << stats.message();
   EXPECT_EQ(stats.value().completed, 3u);
-  EXPECT_EQ(stats.value().latency_ms.size(), 3u);
+  EXPECT_EQ(stats.value().latency_hist.count, 3u);
   ASSERT_EQ(stats.value().per_model.size(), 2u);
   EXPECT_EQ(stats.value().per_model[0].version, 1u);
   EXPECT_EQ(stats.value().per_model[0].completed, 1u);
   EXPECT_EQ(stats.value().per_model[1].version, 2u);
   EXPECT_EQ(stats.value().per_model[1].completed, 2u);
   EXPECT_EQ(stats.value().objective_completed[0], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end tracing + kMetrics scrape
+// ---------------------------------------------------------------------------
+
+TEST(WireTracing, RemoteCompileThroughAFleetStitchesOneTrace) {
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  auto sha = progen::build_chstone_like("sha");
+
+  std::vector<NodeHarness> fleet(3);
+  std::vector<net::RemoteEndpoint> endpoints;
+  for (NodeHarness& h : fleet) {
+    h.registry->publish("agent", make_test_artifact(sha.get(), 3));
+    endpoints.push_back(h.node->endpoint());
+  }
+  serve::RemoteCompileClient client(endpoints);
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  auto response = client.compile(request);
+  ASSERT_TRUE(response.is_ok()) << response.message();
+  obs::tracer().set_enabled(false);
+
+  // The client's root span and the owning node's queue/serve spans must
+  // stitch: one trace id crossed the wire, and the server's request span
+  // parents under the client's remote_compile span.
+  const std::vector<obs::SpanRecord> spans = obs::tracer().snapshot();
+  const obs::SpanRecord* client_span = nullptr;
+  const obs::SpanRecord* request_span = nullptr;
+  const obs::SpanRecord* serve_span = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "remote_compile") client_span = &s;
+    if (s.name == "request") request_span = &s;
+    if (s.name == "serve") serve_span = &s;
+  }
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(request_span, nullptr);
+  ASSERT_NE(serve_span, nullptr);
+  EXPECT_EQ(request_span->trace, client_span->trace);
+  EXPECT_EQ(serve_span->trace, client_span->trace);
+  EXPECT_EQ(request_span->parent, client_span->span);
+
+  // And the whole thing exports as Chrome trace-event JSON (Perfetto-ready).
+  const std::size_t owner = client.route(*sha);
+  const std::string path = ::testing::TempDir() + "/stitched_trace.json";
+  const Status dumped = fleet[owner].node->dump_trace(path);
+  ASSERT_TRUE(dumped.is_ok()) << dumped.message();
+  std::ifstream in(path, std::ios::binary);
+  const std::string json((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find(client_span->trace.hex()), std::string::npos);
+}
+
+TEST(WireMetrics, KMetricsScrapeReturnsTextExposition) {
+  auto sha = progen::build_chstone_like("gsm");
+  NodeHarness harness;
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 5));
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  ASSERT_TRUE(client.compile(request).is_ok());
+
+  auto text = client.node_metrics(0);
+  ASSERT_TRUE(text.is_ok()) << text.message();
+  // One scrape covers serve counters, the latency histogram, eval-cache
+  // economy, registry size, gossip health, and trace-ring accounting.
+  EXPECT_NE(text.value().find("serve_requests_completed 1"), std::string::npos) << text.value();
+  EXPECT_NE(text.value().find("serve_latency_ms_count 1"), std::string::npos);
+  EXPECT_NE(text.value().find("serve_latency_ms_bucket{le="), std::string::npos);
+  EXPECT_NE(text.value().find("registry_artifacts 1"), std::string::npos);
+  EXPECT_NE(text.value().find("gossip_rounds 0"), std::string::npos);
+  EXPECT_NE(text.value().find("eval_cache_"), std::string::npos);
+  EXPECT_NE(text.value().find("trace_spans_recorded"), std::string::npos);
+  // The same text is what the node exposes in-process.
+  EXPECT_EQ(text.value(), harness.node->metrics_text());
 }
 
 // ---------------------------------------------------------------------------

@@ -744,7 +744,7 @@ TEST(ServeMetricsBreakdown, PerModelPerObjectiveCountsAndReservoir) {
   const ServeMetrics metrics = service.metrics();
   EXPECT_EQ(metrics.completed, 4u);
   EXPECT_EQ(metrics.failed, 1u);
-  EXPECT_EQ(metrics.latency_samples_ms.size(), 5u);
+  EXPECT_EQ(metrics.latency_hist.count, 5u);
   EXPECT_EQ(metrics.objective_completed[static_cast<std::size_t>(Objective::kCycles)], 3u);
   EXPECT_EQ(
       metrics.objective_completed[static_cast<std::size_t>(Objective::kCyclesTimesArea)], 1u);

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iostream>
 #include <memory>
 #include <numeric>
 #include <set>
@@ -26,6 +27,7 @@
 #include "net/sim_fleet.hpp"
 #include "net/sim_transport.hpp"
 #include "net/wire.hpp"
+#include "obs/log.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
 
@@ -41,6 +43,20 @@ namespace {
 // exactly the protocol this suite pins down.
 using net::SimFleet;
 using net::tiny_sim_artifact;
+
+/// Chaos fixture: a failing run dumps the structured log ring (the gossip
+/// and serve components AP_CLOG their trouble), so a flaky convergence
+/// failure in CI reports what the fleet was doing — no rerun needed.
+class SimGossip : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_recent_logs(); }
+  void TearDown() override {
+    if (HasFailure()) {
+      std::cerr << "---- recent structured logs (newest last) ----\n"
+                << obs::recent_logs_text() << "---------------------------------------------\n";
+    }
+  }
+};
 
 /// Every blob in every registry must re-serialize to one of the published
 /// originals, bit for bit — the no-torn-blob invariant under fault injection.
@@ -61,7 +77,7 @@ void expect_all_blobs_intact(const SimFleet& fleet,
 // Convergence under partitions + loss
 // ---------------------------------------------------------------------------
 
-TEST(SimGossip, CleanLinksConvergeAFleetFromOnePublisher) {
+TEST_F(SimGossip, CleanLinksConvergeAFleetFromOnePublisher) {
   SimFleet fleet(5, /*seed=*/1);
   fleet.nodes[0]->registry->publish("agent", tiny_sim_artifact(1));
   const std::size_t sweeps = fleet.sweeps_until_converged(32);
@@ -76,7 +92,7 @@ TEST(SimGossip, CleanLinksConvergeAFleetFromOnePublisher) {
   }
 }
 
-TEST(SimGossip, NineNodesConvergeThroughThreeWayPartitionAndTenPercentLoss) {
+TEST_F(SimGossip, NineNodesConvergeThroughThreeWayPartitionAndTenPercentLoss) {
   net::SimFaultConfig faults;
   faults.drop = 0.10;
   SimFleet fleet(9, /*seed=*/42, faults);
@@ -147,7 +163,7 @@ ScenarioResult run_partition_scenario(std::uint64_t seed) {
   return result;
 }
 
-TEST(SimGossip, SameSeedReplaysByteIdentically) {
+TEST_F(SimGossip, SameSeedReplaysByteIdentically) {
   const ScenarioResult a = run_partition_scenario(7);
   const ScenarioResult b = run_partition_scenario(7);
   EXPECT_TRUE(a.converged);
@@ -168,7 +184,7 @@ TEST(SimGossip, SameSeedReplaysByteIdentically) {
 // Integrity under torn frames, duplication, reordering
 // ---------------------------------------------------------------------------
 
-TEST(SimGossip, InjectedTruncationAndCorruptionNeverLandATornBlob) {
+TEST_F(SimGossip, InjectedTruncationAndCorruptionNeverLandATornBlob) {
   net::SimFaultConfig faults;
   faults.drop = 0.05;
   faults.truncate = 0.12;
@@ -191,7 +207,7 @@ TEST(SimGossip, InjectedTruncationAndCorruptionNeverLandATornBlob) {
   EXPECT_GT(fleet.world.counters().torn, 0u) << "torn-frame injection never fired";
 }
 
-TEST(SimGossip, DuplicationAndStaleRedeliveryStayIdempotent) {
+TEST_F(SimGossip, DuplicationAndStaleRedeliveryStayIdempotent) {
   net::SimFaultConfig faults;
   faults.duplicate = 0.30;
   faults.delay = 0.20;
