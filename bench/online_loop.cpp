@@ -1,0 +1,202 @@
+// Closed-loop online-learning harness: brings up a two-node serving fleet,
+// routes an incumbent traffic wave, drains provenance over kProvenance,
+// fine-tunes a canary from the incumbent on the collected traffic, opens a
+// deterministic shadow split, routes a second wave, and lets the Promoter
+// take the regret-gated decision. The loop-identity invariant — the decision
+// matching an independent evaluation of the same records AND the promoted
+// weights landing on every node with the split retired — is reported as
+// `promoted_correctly`, which the CI bench-regression gate checks alongside
+// throughput. Output is JSON for the bench-trajectory artifact.
+//
+//   ./bench/online_loop [--full] [--seed N] [--requests N] [--workers N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "learn/collector.hpp"
+#include "learn/online_trainer.hpp"
+#include "learn/promoter.hpp"
+#include "net/server.hpp"
+#include "rl/env.hpp"
+#include "rl/ppo.hpp"
+#include "serve/fleet_monitor.hpp"
+#include "serve/remote_client.hpp"
+
+namespace autophase {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+int run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  std::size_t workers = 2;
+  std::size_t rounds = args.full ? 8 : 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+  }
+
+  const auto corpus_modules = bench::random_corpus(6, args.seed);
+  const std::vector<const ir::Module*> corpus = bench::as_pointers(corpus_modules);
+
+  rl::EnvConfig env_cfg;
+  env_cfg.observation = rl::ObservationMode::kActionHistogram;
+  env_cfg.episode_length = args.full ? 8 : 4;
+  rl::PhaseOrderEnv env({corpus[0]}, env_cfg);
+  rl::PpoConfig ppo;
+  ppo.hidden = {16};
+  ppo.seed = args.seed;
+  rl::PpoTrainer trainer(env, ppo);
+  serve::PolicyArtifact incumbent = serve::make_artifact(trainer.export_policy(), env_cfg);
+
+  // A two-node fleet; publishes through A replicate to B.
+  net::ServeNodeConfig node_cfg;
+  node_cfg.compile.workers = workers;
+  net::ServeNode node_a(nullptr, nullptr, node_cfg);
+  net::ServeNode node_b(nullptr, nullptr, node_cfg);
+  if (!node_a.start().is_ok() || !node_b.start().is_ok()) {
+    std::fprintf(stderr, "nodes failed to start\n");
+    return 1;
+  }
+  node_a.add_peer(node_b.endpoint());
+  auto client = std::make_shared<serve::RemoteCompileClient>(
+      std::vector<net::RemoteEndpoint>{node_a.endpoint(), node_b.endpoint()});
+  auto published = client->publish(0, "agent", incumbent);
+  if (!published.is_ok()) {
+    std::fprintf(stderr, "incumbent publish failed: %s\n", published.message().c_str());
+    return 1;
+  }
+
+  std::size_t total_requests = 0;
+  double wave_seconds = 0.0;
+  const auto send_wave = [&]() -> bool {
+    const auto t0 = Clock::now();
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (const ir::Module* module : corpus) {
+        serve::CompileRequest request;
+        request.module = module;
+        request.model = "agent";
+        auto response = client->compile(request);
+        if (!response.is_ok()) {
+          std::fprintf(stderr, "request failed: %s\n", response.message().c_str());
+          return false;
+        }
+        ++total_requests;
+      }
+    }
+    wave_seconds += std::chrono::duration<double>(Clock::now() - t0).count();
+    return true;
+  };
+
+  // Wave 1: incumbent-only traffic fills the provenance logs fleet-wide.
+  if (!send_wave()) return 1;
+  learn::Collector collector(client);
+  learn::ProvenanceLog collected(4096);
+  auto t = Clock::now();
+  learn::CollectReport drained = collector.collect(collected);
+  const double collect_ms = ms_since(t);
+  const std::size_t wave1_records = drained.fetched;
+  auto records = collected.drain(4096);
+
+  // Fine-tune the canary from the incumbent on collected traffic + corpus.
+  learn::OnlineTrainerConfig trainer_cfg;
+  trainer_cfg.ppo.iterations = args.full ? 6 : 2;
+  trainer_cfg.ppo.steps_per_iteration = args.full ? 128 : 32;
+  trainer_cfg.ppo.seed = args.seed + 1;
+  learn::OnlineTrainer online(std::make_shared<runtime::EvalService>(), trainer_cfg);
+  t = Clock::now();
+  auto tuned = online.fine_tune(incumbent, records, corpus);
+  const double fine_tune_ms = ms_since(t);
+  if (!tuned.is_ok()) {
+    std::fprintf(stderr, "fine-tune failed: %s\n", tuned.message().c_str());
+    return 1;
+  }
+
+  // Canary publish + shadow split, then wave 2 under the split.
+  if (!client->publish(0, "agent-canary", tuned.value().canary).is_ok()) {
+    std::fprintf(stderr, "canary publish failed\n");
+    return 1;
+  }
+  learn::PromotionPolicy policy;
+  policy.min_canary_samples = 1;
+  policy.min_incumbent_samples = 1;
+  // The harness measures the loop, not the decision boundary: generous gates
+  // make the verdict a deterministic function of the (seeded) run.
+  policy.regret_margin = 1000.0;
+  policy.calibration_slack = 1000.0;
+  learn::Promoter promoter(client, policy);
+  if (!promoter.start_canary("agent", "agent-canary", 0, 0.5).is_ok()) {
+    std::fprintf(stderr, "canary start failed\n");
+    return 1;
+  }
+  if (!send_wave()) return 1;
+  learn::ProvenanceLog shadow_log(4096);
+  drained = collector.collect(shadow_log);
+  auto shadow_records = shadow_log.drain(4096);
+  std::size_t canary_records = 0;
+  for (const auto& record : shadow_records) canary_records += record.canary ? 1 : 0;
+
+  // The verdict, cross-checked against an independent evaluation.
+  const learn::PromotionReport expected =
+      learn::evaluate_promotion(shadow_records, "agent", "agent-canary", policy);
+  t = Clock::now();
+  auto decided = promoter.decide(0, "agent", "agent-canary", tuned.value().canary,
+                                 shadow_records);
+  const double decide_ms = ms_since(t);
+  if (!decided.is_ok()) {
+    std::fprintf(stderr, "promotion decision failed: %s\n", decided.message().c_str());
+    return 1;
+  }
+
+  bool promoted_correctly = decided.value().decision == expected.decision &&
+                            decided.value().decision == learn::PromotionDecision::kPromote;
+  for (net::ServeNode* node : {&node_a, &node_b}) {
+    const auto latest = node->registry()->get("agent", 0);
+    promoted_correctly = promoted_correctly && latest != nullptr &&
+                         latest->version == decided.value().promoted_version &&
+                         !node->service().traffic_split("agent").has_value();
+  }
+
+  serve::FleetMonitor monitor(client);
+  const serve::FleetStats fleet = monitor.poll();
+
+  bench::JsonObject out;
+  out.field("bench", "online_loop");
+  out.field("requests", static_cast<std::uint64_t>(total_requests));
+  out.field("rounds", static_cast<std::uint64_t>(rounds));
+  out.field("workers", static_cast<std::uint64_t>(workers));
+  out.field("loop_rps",
+            wave_seconds > 0 ? static_cast<double>(total_requests) / wave_seconds : 0.0);
+  out.field("collect_ms", collect_ms);
+  out.field("fine_tune_ms", fine_tune_ms);
+  out.field("decide_ms", decide_ms);
+  out.field("wave1_records", static_cast<std::uint64_t>(wave1_records));
+  out.field("shadow_records", static_cast<std::uint64_t>(shadow_records.size()));
+  out.field("canary_records", static_cast<std::uint64_t>(canary_records));
+  out.field("ppo_iterations", static_cast<std::uint64_t>(tuned.value().iterations.size()));
+  out.field("promoted_version",
+            static_cast<std::uint64_t>(decided.value().promoted_version));
+  out.field("fleet_promoted", fleet.learn_promoted);
+  out.field("promoted_correctly", promoted_correctly ? "true" : "false");
+  std::printf("%s\n", out.str().c_str());
+  std::fprintf(stderr, "decision: %s (%s)\n",
+               learn::promotion_decision_name(decided.value().decision),
+               decided.value().reason.c_str());
+  return promoted_correctly ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace autophase
+
+int main(int argc, char** argv) { return autophase::run(argc, argv); }

@@ -1,0 +1,173 @@
+// Closed-loop online learning walkthrough — the fleet improves its own
+// policy from the traffic it serves:
+//
+//   1. Start a two-node fleet, publish an incumbent policy, and route a
+//      wave of compile requests; every served request leaves a provenance
+//      record (program bytes, pass sequence, predicted vs measured cycles)
+//      in the node's bounded log.
+//   2. A Collector drains those records fleet-wide over the kProvenance
+//      verb, and an OnlineTrainer warm-starts PPO from the incumbent's
+//      weights to fine-tune on the collected traffic plus a corpus sample.
+//   3. The result is published as a *canary* under its own name and a
+//      deterministic shadow split sends half the traffic (by program
+//      fingerprint) through it, tagged in provenance.
+//   4. The Promoter compares canary vs incumbent on measured regret and
+//      cycle-error calibration over the shadow cohorts and auto-promotes
+//      (republish under the base name, fleet-wide) or rolls back.
+//
+// Every step is asserted; given an output path as argv[1], the promotion
+// decision log (the audit trail an operator would keep) is written there —
+// CI uploads it as an artifact.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "learn/collector.hpp"
+#include "learn/online_trainer.hpp"
+#include "learn/promoter.hpp"
+#include "net/server.hpp"
+#include "progen/random_program.hpp"
+#include "rl/env.hpp"
+#include "rl/ppo.hpp"
+#include "serve/fleet_monitor.hpp"
+#include "serve/remote_client.hpp"
+#include "support/str.hpp"
+
+using namespace autophase;
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --- 1. A fleet serving an incumbent -------------------------------------
+  std::vector<std::unique_ptr<ir::Module>> programs;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    programs.push_back(progen::generate_filtered_program(seed * 7919));
+  }
+
+  rl::EnvConfig env_cfg;
+  env_cfg.observation = rl::ObservationMode::kActionHistogram;
+  env_cfg.episode_length = 4;
+  rl::PhaseOrderEnv env({programs[0].get()}, env_cfg);
+  rl::PpoConfig ppo;
+  ppo.iterations = 1;
+  ppo.steps_per_iteration = 16;
+  ppo.hidden = {16};
+  ppo.seed = 7;
+  rl::PpoTrainer seed_trainer(env, ppo);
+  const serve::PolicyArtifact incumbent =
+      serve::make_artifact(seed_trainer.export_policy(), env_cfg);
+
+  net::ServeNode node_a(nullptr, nullptr, {});
+  net::ServeNode node_b(nullptr, nullptr, {});
+  check(node_a.start().is_ok() && node_b.start().is_ok(), "fleet start");
+  node_a.add_peer(node_b.endpoint());
+  auto client = std::make_shared<serve::RemoteCompileClient>(
+      std::vector<net::RemoteEndpoint>{node_a.endpoint(), node_b.endpoint()});
+  check(client->publish(0, "agent", incumbent).is_ok(), "incumbent publish");
+  std::printf("fleet up: 2 nodes, incumbent 'agent' v1 published\n");
+
+  const auto send_wave = [&](const char* label) {
+    std::size_t canary_served = 0;
+    for (int round = 0; round < 2; ++round) {
+      for (const auto& program : programs) {
+        serve::CompileRequest request;
+        request.module = program.get();
+        request.model = "agent";
+        auto response = client->compile(request);
+        check(response.is_ok(), "compile request");
+        canary_served += response.value().provenance.canary ? 1 : 0;
+      }
+    }
+    std::printf("wave '%s': 12 requests served, %zu by the canary\n", label, canary_served);
+    return canary_served;
+  };
+
+  // --- 2. Collect provenance, fine-tune a canary ---------------------------
+  check(send_wave("incumbent") == 0, "no canary traffic before a split exists");
+  learn::Collector collector(client);
+  learn::ProvenanceLog collected(1024);
+  const learn::CollectReport drained = collector.collect(collected);
+  check(drained.fetched == 12 && drained.nodes_reached == 2, "provenance drain");
+  std::printf("collected %zu provenance records from %zu nodes\n", drained.fetched,
+              drained.nodes_reached);
+
+  learn::OnlineTrainerConfig trainer_cfg;
+  trainer_cfg.ppo.iterations = 2;
+  trainer_cfg.ppo.steps_per_iteration = 32;
+  trainer_cfg.ppo.seed = 99;
+  learn::OnlineTrainer online(std::make_shared<runtime::EvalService>(), trainer_cfg);
+  auto records = collected.drain(1024);
+  auto tuned = online.fine_tune(incumbent, records, {programs[0].get()});
+  check(tuned.is_ok(), "fine-tune");
+  std::printf("fine-tuned canary: %zu traffic programs, %zu PPO iterations\n",
+              tuned.value().traffic_programs, tuned.value().iterations.size());
+
+  // --- 3. Canary publish + shadow split ------------------------------------
+  check(client->publish(0, "agent-canary", tuned.value().canary).is_ok(), "canary publish");
+  learn::PromotionPolicy policy;
+  policy.min_canary_samples = 3;
+  policy.min_incumbent_samples = 3;
+  policy.regret_margin = 1000.0;  // demo pins the loop, not the boundary
+  policy.calibration_slack = 1000.0;
+  learn::Promoter promoter(client, policy);
+  check(promoter.start_canary("agent", "agent-canary", 0, 0.5).is_ok(), "canary start");
+  const std::size_t canary_served = send_wave("shadow");
+  check(canary_served > 0 && canary_served < 12, "split sent traffic to BOTH cohorts");
+
+  // --- 4. The regret-gated verdict -----------------------------------------
+  learn::ProvenanceLog shadow_log(1024);
+  check(collector.collect(shadow_log).fetched == 12, "shadow drain");
+  auto shadow_records = shadow_log.drain(1024);
+  auto decided =
+      promoter.decide(0, "agent", "agent-canary", tuned.value().canary, shadow_records);
+  check(decided.is_ok(), "promotion decision");
+  check(decided.value().decision == learn::PromotionDecision::kPromote, "promotion");
+  std::printf("decision: %s -> 'agent' v%u (%s)\n",
+              learn::promotion_decision_name(decided.value().decision),
+              decided.value().promoted_version, decided.value().reason.c_str());
+
+  // Promoted weights are the default on both nodes; splits retired.
+  for (net::ServeNode* node : {&node_a, &node_b}) {
+    const auto latest = node->registry()->get("agent", 0);
+    check(latest != nullptr && latest->version == decided.value().promoted_version,
+          "promoted version is the fleet default");
+    check(latest->policy.flatten() == tuned.value().canary.policy.flatten(),
+          "promoted weights match the canary");
+    check(!node->service().traffic_split("agent").has_value(), "split retired");
+  }
+  serve::FleetMonitor monitor(client);
+  const serve::FleetStats fleet = monitor.poll();
+  check(fleet.learn_promoted == 2 && fleet.learn_rolled_back == 0,
+        "decision counted on every node");
+  std::printf("loop closed: %s\n", serve::fleet_summary(fleet).c_str());
+
+  // --- Promotion-decision audit log (CI artifact) --------------------------
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::trunc);
+    check(out.good(), "decision log path writable");
+    out << "decision=" << learn::promotion_decision_name(decided.value().decision) << "\n"
+        << "base_model=agent\n"
+        << "canary_model=agent-canary\n"
+        << "promoted_version=" << decided.value().promoted_version << "\n"
+        << "canary_samples=" << decided.value().canary.samples << "\n"
+        << "incumbent_samples=" << decided.value().incumbent.samples << "\n"
+        << "canary_mean_regret=" << decided.value().canary.mean_regret << "\n"
+        << "incumbent_mean_regret=" << decided.value().incumbent.mean_regret << "\n"
+        << "reason=" << decided.value().reason << "\n";
+    std::printf("promotion decision log written to %s\n", argv[1]);
+  }
+  std::printf("OK\n");
+  return 0;
+}

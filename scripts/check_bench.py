@@ -26,7 +26,13 @@ import pathlib
 import shutil
 import sys
 
-IDENTITY_KEYS = ("serial_identical", "counts_consistent", "identical", "overhead_within_bound")
+IDENTITY_KEYS = (
+    "serial_identical",
+    "counts_consistent",
+    "identical",
+    "overhead_within_bound",
+    "promoted_correctly",
+)
 
 
 def is_true(value):

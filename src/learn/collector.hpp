@@ -1,0 +1,66 @@
+// learn::Collector: the trainer-side pump of the online-learning loop. It
+// drains provenance records from every node of a serving fleet over the wire
+// (RemoteCompileClient::drain_provenance, MsgType::kProvenance) into a local
+// ProvenanceLog, and replays drained records back into training material:
+// the recorded module bytes are decoded (deserialize_module is the trust
+// boundary) and re-measured through the trainer's own EvalService, so the
+// trainer's ground truth never depends on a remote node's honesty or on a
+// cycle-estimator config it cannot see.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "learn/provenance.hpp"
+#include "runtime/eval_service.hpp"
+#include "serve/remote_client.hpp"
+
+namespace autophase::learn {
+
+struct CollectReport {
+  std::size_t fetched = 0;        // records drained this pass
+  std::size_t nodes_reached = 0;  // nodes that answered
+  std::size_t nodes_failed = 0;   // transport/remote errors (skipped)
+  std::uint64_t remaining = 0;    // records still queued fleet-wide
+  std::uint64_t dropped = 0;      // lifetime fleet-wide bounded-log losses
+};
+
+class Collector {
+ public:
+  /// `max_per_drain` bounds one kProvenance reply; collect() loops per node
+  /// until its log is empty, so the bound shapes frame sizes, not coverage.
+  explicit Collector(std::shared_ptr<serve::RemoteCompileClient> client,
+                     std::size_t max_per_drain = 512);
+
+  /// One pass over the fleet, appending every drained record into `into`.
+  /// Unreachable nodes are skipped and reported, not fatal: the loop runs
+  /// against a live fleet where nodes come and go.
+  CollectReport collect(ProvenanceLog& into);
+
+ private:
+  std::shared_ptr<serve::RemoteCompileClient> client_;
+  std::size_t max_per_drain_;
+};
+
+/// A record rematerialised for training/evaluation: the decoded program plus
+/// locally re-measured ground truth for the served pass sequence.
+struct ReplayedRecord {
+  ProvenanceRecord record;
+  std::unique_ptr<ir::Module> module;
+  runtime::Measure baseline;          // unoptimised program, re-measured
+  std::uint64_t sequence_cycles = 0;  // record.sequence re-applied + measured
+};
+
+/// Decodes and re-measures `records` through `eval`. Records whose module
+/// bytes fail validation are dropped (they came off the wire); the survivors
+/// are exactly the rl::Env-compatible trajectories the trainer feeds on.
+std::vector<ReplayedRecord> replay_records(std::vector<ProvenanceRecord> records,
+                                           runtime::EvalService& eval);
+
+/// The distinct programs behind `records` (deduplicated by fingerprint, in
+/// first-seen order) — the served-workload half of a fine-tuning corpus.
+/// `max_programs` caps the result (0 = unlimited).
+std::vector<std::unique_ptr<ir::Module>> unique_programs(
+    const std::vector<ProvenanceRecord>& records, std::size_t max_programs = 0);
+
+}  // namespace autophase::learn

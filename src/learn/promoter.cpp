@@ -1,0 +1,197 @@
+#include "learn/promoter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "support/log.hpp"
+#include "support/str.hpp"
+
+namespace autophase::learn {
+
+const char* promotion_decision_name(PromotionDecision decision) noexcept {
+  switch (decision) {
+    case PromotionDecision::kInsufficientData:
+      return "insufficient-data";
+    case PromotionDecision::kPromote:
+      return "promote";
+    case PromotionDecision::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double relative_to(std::uint64_t value, std::uint64_t reference) {
+  const double denom = static_cast<double>(std::max<std::uint64_t>(1, reference));
+  return static_cast<double>(value) / denom;
+}
+
+}  // namespace
+
+PromotionReport evaluate_promotion(const std::vector<ProvenanceRecord>& records,
+                                   const std::string& incumbent_model,
+                                   const std::string& canary_model,
+                                   const PromotionPolicy& policy) {
+  PromotionReport report;
+
+  // Best-known cycles per program across BOTH cohorts: the shared yardstick
+  // that makes the two cohorts' regrets comparable even though the incumbent
+  // saw every program and the canary only its shadow slice.
+  std::unordered_map<std::uint64_t, std::uint64_t> best;
+  for (const auto& record : records) {
+    if (record.model != incumbent_model && record.model != canary_model) continue;
+    auto [it, inserted] = best.emplace(record.fingerprint, record.measured_cycles);
+    if (!inserted && record.measured_cycles < it->second) it->second = record.measured_cycles;
+  }
+
+  double incumbent_regret = 0.0, incumbent_error = 0.0;
+  double canary_regret = 0.0, canary_error = 0.0;
+  for (const auto& record : records) {
+    const bool is_canary = record.model == canary_model;
+    if (!is_canary && record.model != incumbent_model) continue;
+    const std::uint64_t best_known = best.at(record.fingerprint);
+    const std::uint64_t excess =
+        record.measured_cycles > best_known ? record.measured_cycles - best_known : 0;
+    const double regret = relative_to(excess, best_known);
+    const std::uint64_t miss = record.predicted_cycles > record.measured_cycles
+                                   ? record.predicted_cycles - record.measured_cycles
+                                   : record.measured_cycles - record.predicted_cycles;
+    const double error = relative_to(miss, record.measured_cycles);
+    if (is_canary) {
+      ++report.canary.samples;
+      canary_regret += regret;
+      canary_error += error;
+    } else {
+      ++report.incumbent.samples;
+      incumbent_regret += regret;
+      incumbent_error += error;
+    }
+  }
+  if (report.incumbent.samples > 0) {
+    report.incumbent.mean_regret = incumbent_regret / static_cast<double>(report.incumbent.samples);
+    report.incumbent.mean_cycle_error =
+        incumbent_error / static_cast<double>(report.incumbent.samples);
+  }
+  if (report.canary.samples > 0) {
+    report.canary.mean_regret = canary_regret / static_cast<double>(report.canary.samples);
+    report.canary.mean_cycle_error = canary_error / static_cast<double>(report.canary.samples);
+  }
+
+  if (report.canary.samples < policy.min_canary_samples ||
+      report.incumbent.samples < policy.min_incumbent_samples) {
+    report.decision = PromotionDecision::kInsufficientData;
+    report.reason = strf("need %zu canary / %zu incumbent samples, have %zu / %zu",
+                         policy.min_canary_samples, policy.min_incumbent_samples,
+                         report.canary.samples, report.incumbent.samples);
+    return report;
+  }
+
+  const bool regret_ok =
+      report.canary.mean_regret <= report.incumbent.mean_regret + policy.regret_margin;
+  const bool calibration_ok = report.canary.mean_cycle_error <=
+                              report.incumbent.mean_cycle_error + policy.calibration_slack;
+  if (regret_ok && calibration_ok) {
+    report.decision = PromotionDecision::kPromote;
+    report.reason = strf("canary regret %.4f <= incumbent %.4f + margin %.4f, "
+                         "cycle error %.4f within slack %.4f of %.4f",
+                         report.canary.mean_regret, report.incumbent.mean_regret,
+                         policy.regret_margin, report.canary.mean_cycle_error,
+                         policy.calibration_slack, report.incumbent.mean_cycle_error);
+  } else {
+    report.decision = PromotionDecision::kRollback;
+    report.reason =
+        !regret_ok
+            ? strf("canary regret %.4f exceeds incumbent %.4f + margin %.4f",
+                   report.canary.mean_regret, report.incumbent.mean_regret, policy.regret_margin)
+            : strf("canary cycle error %.4f exceeds incumbent %.4f + slack %.4f",
+                   report.canary.mean_cycle_error, report.incumbent.mean_cycle_error,
+                   policy.calibration_slack);
+  }
+  return report;
+}
+
+Promoter::Promoter(std::shared_ptr<serve::RemoteCompileClient> client, PromotionPolicy policy)
+    : client_(std::move(client)), policy_(policy) {}
+
+Status Promoter::broadcast(const net::CanaryControl& control) {
+  Status first_error = Status::ok();
+  for (std::size_t node = 0; node < client_->node_count(); ++node) {
+    const Status status = client_->canary_control(node, control);
+    if (!status.is_ok() && first_error.is_ok()) {
+      first_error =
+          Status::error(strf("node %zu: %s", node, status.message().c_str()));
+    }
+  }
+  return first_error;
+}
+
+Status Promoter::start_canary(const std::string& base_model, const std::string& canary_model,
+                              std::uint32_t canary_version, double fraction) {
+  net::CanaryControl control;
+  control.action = net::CanaryAction::kStart;
+  control.model = base_model;
+  control.canary_model = canary_model;
+  control.canary_version = canary_version;
+  control.fraction = fraction;
+  const Status status = broadcast(control);
+  if (status.is_ok()) {
+    AP_CLOG(kInfo, "learn") << "canary started: " << canary_model << " v" << canary_version
+                            << " shadowing " << base_model << " at fraction " << fraction;
+  }
+  return status;
+}
+
+Result<PromotionReport> Promoter::decide(std::size_t owner_node, const std::string& base_model,
+                                         const std::string& canary_model,
+                                         const serve::PolicyArtifact& canary,
+                                         const std::vector<ProvenanceRecord>& records) {
+  PromotionReport report = evaluate_promotion(records, base_model, canary_model, policy_);
+  AP_CLOG(kInfo, "learn") << "promotion decision for " << base_model << " vs " << canary_model
+                          << ": " << promotion_decision_name(report.decision) << " ("
+                          << report.reason << ")";
+
+  net::CanaryControl control;
+  control.model = base_model;
+  control.canary_model = canary_model;
+
+  switch (report.decision) {
+    case PromotionDecision::kInsufficientData:
+      // Leave the split running; more traffic will settle it.
+      return report;
+    case PromotionDecision::kPromote: {
+      // Publishing under the base name is the promotion: replication and
+      // gossip make the new version the named default everywhere.
+      auto published = client_->publish(owner_node, base_model, canary);
+      if (!published.is_ok()) {
+        return Status::error(strf("promotion publish failed: %s",
+                                  published.status().message().c_str()));
+      }
+      report.promoted_version = published.value().version;
+      control.action = net::CanaryAction::kPromoted;
+      control.canary_version = published.value().version;
+      const Status status = broadcast(control);
+      if (!status.is_ok()) {
+        return Status::error(strf("promoted as %s v%u but canary teardown failed: %s",
+                                  base_model.c_str(), report.promoted_version,
+                                  status.message().c_str()));
+      }
+      return report;
+    }
+    case PromotionDecision::kRollback: {
+      control.action = net::CanaryAction::kRolledBack;
+      const Status status = broadcast(control);
+      if (!status.is_ok()) {
+        return Status::error(
+            strf("rollback teardown failed: %s", status.message().c_str()));
+      }
+      return report;
+    }
+  }
+  return Status::error("unreachable promotion decision");
+}
+
+}  // namespace autophase::learn

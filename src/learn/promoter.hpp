@@ -1,0 +1,102 @@
+// learn::Promoter: the regret gate that closes the online-learning loop. A
+// canary trained by the OnlineTrainer serves a deterministic slice of shadow
+// traffic; the Promoter compares the two cohorts in the drained provenance —
+// measured regret against the best-known result per program, plus
+// predicted-vs-measured cycle calibration — and either promotes the canary
+// (publishes it under the base name, so replication/gossip make it the fleet
+// default) or rolls it back. Every decision is broadcast to the fleet as a
+// kCanary control, logged, and counted (learn_promoted / learn_rolled_back).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "learn/provenance.hpp"
+#include "serve/remote_client.hpp"
+#include "support/status.hpp"
+
+namespace autophase::learn {
+
+struct PromotionPolicy {
+  /// Minimum cohort sizes before a verdict; below either, the decision is
+  /// kInsufficientData and the split keeps running.
+  std::size_t min_canary_samples = 20;
+  std::size_t min_incumbent_samples = 20;
+  /// Canary regret may exceed incumbent regret by this much and still
+  /// promote (ties promote: the canary has seen the newer traffic).
+  double regret_margin = 0.0;
+  /// Canary cycle-prediction error may exceed the incumbent's by this much —
+  /// a model that wins on regret but has lost its calibration is suspect.
+  double calibration_slack = 0.25;
+};
+
+enum class PromotionDecision {
+  kInsufficientData = 0,
+  kPromote = 1,
+  kRollback = 2,
+};
+
+const char* promotion_decision_name(PromotionDecision decision) noexcept;
+
+/// Per-cohort aggregate over the provenance records of one model.
+struct CohortEvaluation {
+  std::size_t samples = 0;
+  /// Mean of (measured - best_known) / max(1, best_known) per record, where
+  /// best_known is the minimum measured cycles for that program across BOTH
+  /// cohorts — without the shared reference, the incumbent (which served
+  /// every program first) would define "best" unilaterally.
+  double mean_regret = 0.0;
+  /// Mean of |predicted - measured| / max(1, measured) per record.
+  double mean_cycle_error = 0.0;
+};
+
+struct PromotionReport {
+  PromotionDecision decision = PromotionDecision::kInsufficientData;
+  CohortEvaluation incumbent;
+  CohortEvaluation canary;
+  std::string reason;                  // human-readable decision trail
+  std::uint32_t promoted_version = 0;  // version minted by publish on promote
+};
+
+/// Pure decision function over drained provenance — no I/O, fully unit
+/// testable. Cohorts are selected by served-model name (`Provenance.model`,
+/// which the shadow split attributes to the canary automatically).
+PromotionReport evaluate_promotion(const std::vector<ProvenanceRecord>& records,
+                                   const std::string& incumbent_model,
+                                   const std::string& canary_model,
+                                   const PromotionPolicy& policy);
+
+class Promoter {
+ public:
+  Promoter(std::shared_ptr<serve::RemoteCompileClient> client, PromotionPolicy policy = {});
+
+  /// Broadcasts a shadow split (kCanary/kStart) to every node: `fraction` of
+  /// `base_model` traffic is served by `canary_model` (0 = its latest
+  /// version). Fails if any node rejects or is unreachable — a half-split
+  /// fleet would skew the cohorts.
+  Status start_canary(const std::string& base_model, const std::string& canary_model,
+                      std::uint32_t canary_version, double fraction);
+
+  /// Evaluates the cohorts and acts on the verdict: on kPromote, publishes
+  /// `canary` under `base_model` through `owner_node` (replication + gossip
+  /// distribute it) and broadcasts kPromoted; on kRollback broadcasts
+  /// kRolledBack; on kInsufficientData leaves the split running. The
+  /// returned report always carries the evaluation, whatever the decision.
+  Result<PromotionReport> decide(std::size_t owner_node, const std::string& base_model,
+                                 const std::string& canary_model,
+                                 const serve::PolicyArtifact& canary,
+                                 const std::vector<ProvenanceRecord>& records);
+
+  [[nodiscard]] const PromotionPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  /// Sends `control` to every node; returns the first error (after trying
+  /// all nodes) or ok.
+  Status broadcast(const net::CanaryControl& control);
+
+  std::shared_ptr<serve::RemoteCompileClient> client_;
+  PromotionPolicy policy_;
+};
+
+}  // namespace autophase::learn

@@ -1,0 +1,147 @@
+#include "learn/provenance.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+#include <utility>
+
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace autophase::learn {
+namespace {
+
+constexpr char kRecordsMagic[4] = {'A', 'P', 'P', 'V'};  // AutoPhase ProVenance
+
+}  // namespace
+
+void write_provenance_record(serve::ByteWriter& w, const ProvenanceRecord& record) {
+  w.u64(record.fingerprint);
+  w.str(record.module_bytes);
+  w.u8(static_cast<std::uint8_t>(record.objective));
+  w.str(record.model);
+  w.u32(record.version);
+  w.u8(record.canary ? 1 : 0);
+  w.i32_vec(record.sequence);
+  w.u64(record.baseline_cycles);
+  w.u64(record.predicted_cycles);
+  w.u64(record.measured_cycles);
+  w.f64(record.measured_area);
+}
+
+bool read_provenance_record(serve::ByteReader& r, ProvenanceRecord& record) {
+  record.fingerprint = r.u64();
+  record.module_bytes = r.str();
+  const std::uint8_t objective = r.u8();
+  record.model = r.str();
+  record.version = r.u32();
+  const std::uint8_t canary = r.u8();
+  record.sequence = r.i32_vec();
+  record.baseline_cycles = r.u64();
+  record.predicted_cycles = r.u64();
+  record.measured_cycles = r.u64();
+  record.measured_area = r.f64();
+  if (!r.ok()) return false;
+  if (objective >= serve::kNumObjectives || canary > 1) return false;
+  record.objective = static_cast<serve::Objective>(objective);
+  record.canary = canary != 0;
+  return true;
+}
+
+std::string serialize_records(const std::vector<ProvenanceRecord>& records) {
+  serve::ByteWriter payload;
+  payload.u64(records.size());
+  for (const ProvenanceRecord& record : records) write_provenance_record(payload, record);
+  serve::ByteWriter framed;
+  framed.u32(std::bit_cast<std::uint32_t>(kRecordsMagic));
+  framed.u32(kProvenanceRecordVersion);
+  framed.str(payload.bytes());
+  framed.u64(fnv1a(payload.bytes()));
+  return framed.take();
+}
+
+Result<std::vector<ProvenanceRecord>> deserialize_records(std::string_view bytes) {
+  serve::ByteReader r(bytes);
+  if (r.u32() != std::bit_cast<std::uint32_t>(kRecordsMagic)) {
+    return Status::error("provenance: bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version == 0 || version > kProvenanceRecordVersion) {
+    return Status::error(strf("provenance: unsupported record version %u", version));
+  }
+  const std::string payload = r.str();
+  const std::uint64_t checksum = r.u64();
+  if (!r.ok() || !r.at_end()) return Status::error("provenance: truncated or oversized");
+  if (fnv1a(payload) != checksum) return Status::error("provenance: checksum mismatch");
+  serve::ByteReader p(payload);
+  const std::uint64_t count = p.u64();
+  if (count > p.remaining() / kMinRecordBytes) {
+    return Status::error("provenance: record count exceeds payload");
+  }
+  std::vector<ProvenanceRecord> records(static_cast<std::size_t>(count));
+  for (ProvenanceRecord& record : records) {
+    if (!read_provenance_record(p, record)) return Status::error("provenance: malformed record");
+  }
+  if (!p.ok() || !p.at_end()) return Status::error("provenance: trailing garbage in payload");
+  return records;
+}
+
+ProvenanceLog::ProvenanceLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void ProvenanceLog::append(ProvenanceRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() - head_ >= capacity_) {
+    ++head_;  // evict the oldest
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+  // Compact once the dead prefix dominates, so memory stays O(capacity).
+  if (head_ > capacity_) {
+    records_.erase(records_.begin(), records_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+std::vector<ProvenanceRecord> ProvenanceLog::drain(std::size_t max) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t take = std::min(max, records_.size() - head_);
+  std::vector<ProvenanceRecord> out;
+  out.reserve(take);
+  const auto first = records_.begin() + static_cast<std::ptrdiff_t>(head_);
+  std::move(first, first + static_cast<std::ptrdiff_t>(take), std::back_inserter(out));
+  head_ += take;
+  if (head_ == records_.size()) {
+    records_.clear();
+    head_ = 0;
+  }
+  return out;
+}
+
+std::size_t ProvenanceLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size() - head_;
+}
+
+std::uint64_t ProvenanceLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string ProvenanceLog::serialize() const {
+  std::vector<ProvenanceRecord> live;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    live.assign(records_.begin() + static_cast<std::ptrdiff_t>(head_), records_.end());
+  }
+  return serialize_records(live);
+}
+
+Status ProvenanceLog::restore(std::string_view bytes) {
+  auto records = deserialize_records(bytes);
+  if (!records.is_ok()) return records.status();
+  for (ProvenanceRecord& record : records.value()) append(std::move(record));
+  return Status::ok();
+}
+
+}  // namespace autophase::learn

@@ -47,6 +47,8 @@ bool msg_type_known(std::uint8_t raw) noexcept {
     case MsgType::kSyncRequest:
     case MsgType::kSyncOffer:
     case MsgType::kMetrics:
+    case MsgType::kProvenance:
+    case MsgType::kCanary:
     case MsgType::kError: return true;
   }
   return false;
@@ -85,10 +87,6 @@ FrameParse try_parse_frame(std::string& buffer, Frame& out, std::string& error,
                  static_cast<unsigned long long>(h.payload_len), max_payload);
     return FrameParse::kError;
   }
-  if (!msg_type_known(h.type)) {
-    error = strf("unknown message type %u", h.type);
-    return FrameParse::kError;
-  }
   const std::size_t total = kFrameHeaderBytes + static_cast<std::size_t>(h.payload_len) + 8;
   if (buffer.size() < total) return FrameParse::kNeedMore;
   const std::string_view payload(buffer.data() + kFrameHeaderBytes,
@@ -97,6 +95,17 @@ FrameParse try_parse_frame(std::string& buffer, Frame& out, std::string& error,
   if (fnv1a(payload) != checksum) {
     error = "frame checksum mismatch";
     return FrameParse::kError;
+  }
+  // Checked only after the whole frame arrived and checksummed clean: an
+  // unknown verb from a newer peer is a well-framed request we cannot serve,
+  // not stream corruption. Consume it so the stream stays on a frame
+  // boundary and report the id for a typed kError reply.
+  if (!msg_type_known(h.type)) {
+    out.request_id = h.request_id;
+    out.payload.clear();
+    buffer.erase(0, total);
+    error = strf("unknown message type %u", h.type);
+    return FrameParse::kUnknownType;
   }
   out.type = static_cast<MsgType>(h.type);
   out.request_id = h.request_id;
@@ -118,7 +127,6 @@ Result<Frame> read_frame(TcpStream& stream, Deadline deadline, std::size_t max_p
   if (h.version == 0 || h.version > kWireVersion) {
     return Status::error(strf("unsupported protocol version %u", h.version));
   }
-  if (!msg_type_known(h.type)) return Status::error(strf("unknown message type %u", h.type));
   if (h.payload_len > max_payload) {
     return Status::error(strf("oversize frame payload (%llu bytes)",
                               static_cast<unsigned long long>(h.payload_len)));
@@ -136,6 +144,13 @@ Result<Frame> read_frame(TcpStream& stream, Deadline deadline, std::size_t max_p
   char tail[8];
   if (const Status s = stream.read_exact(tail, sizeof(tail), deadline); !s.is_ok()) return s;
   if (fnv1a(frame.payload) != load_u64(tail)) return Status::error("frame checksum mismatch");
+  // Type is checked last, after the whole frame has been consumed: the error
+  // leaves the stream on a frame boundary instead of mid-frame, so a caller
+  // that keeps the connection does not misparse the remainder as headers.
+  if (!msg_type_known(static_cast<std::uint8_t>(frame.type))) {
+    return Status::error(
+        strf("unknown message type %u", static_cast<std::uint8_t>(frame.type)));
+  }
   return frame;
 }
 

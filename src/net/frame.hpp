@@ -28,7 +28,12 @@ inline constexpr std::uint32_t kWireMagic = 0x50575041;  // "APWP" little-endian
 /// v2  kStats payload became versioned and grew the latency reservoir +
 ///     per-model-version / per-objective breakdowns; kSyncRequest/kSyncOffer
 ///     (replication catch-up) were added.
-inline constexpr std::uint32_t kWireVersion = 2;
+/// v3  kProvenance (drain served-request provenance for online learning) and
+///     kCanary (shadow-traffic split control + promotion decisions) were
+///     added; the kStats payload grew online-learning counters; a well-framed
+///     frame of unknown type now yields kUnknownType from the parser (an
+///     answerable protocol error) instead of killing the connection.
+inline constexpr std::uint32_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8 + 8;
 inline constexpr std::size_t kDefaultMaxPayload = 64u << 20;
 
@@ -42,6 +47,8 @@ enum class MsgType : std::uint8_t {
   kSyncRequest = 7,  // anti-entropy pull: inventory query / blob fetch
   kSyncOffer = 8,    // reply to kSyncRequest: version vector or blobs
   kMetrics = 9,      // -> Prometheus-style text exposition of the node
+  kProvenance = 10,  // drain served-request provenance records (online learning)
+  kCanary = 11,      // shadow-traffic split control / promotion decisions
   kError = 15,       // server could not even frame a typed reply
 };
 
@@ -55,12 +62,17 @@ struct Frame {
 
 [[nodiscard]] std::string encode_frame(const Frame& frame);
 
-enum class FrameParse { kNeedMore, kFrame, kError };
+enum class FrameParse { kNeedMore, kFrame, kError, kUnknownType };
 
 /// Incremental parse for the server's non-blocking reads: consumes one
 /// complete frame from the front of `buffer` when available. kError means
 /// the byte stream is unrecoverable (bad magic/version/checksum or oversize
 /// length) and the connection should be dropped after the error reply.
+/// kUnknownType means a complete, checksum-valid frame carried a message
+/// type this peer does not speak (e.g. a newer client's verb): the frame is
+/// consumed and out.request_id identifies it, so the server can answer with
+/// a typed kError and keep the connection — old peers must degrade to a
+/// clean per-request error, never a wedged or dropped stream.
 FrameParse try_parse_frame(std::string& buffer, Frame& out, std::string& error,
                            std::size_t max_payload = kDefaultMaxPayload);
 

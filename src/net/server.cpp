@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "ir/printer.hpp"
 #include "obs/trace.hpp"
+#include "serve/module_codec.hpp"
 #include "serve/serialization.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -98,6 +100,38 @@ ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
                    [] { return static_cast<double>(obs::tracer().recorded()); });
   metrics.gauge_fn("trace_spans_dropped", {},
                    [] { return static_cast<double>(obs::tracer().dropped()); });
+  // Online-learning loop: pre-create the decision counters so every node
+  // scrapes them at 0 from the first kMetrics poll, and capture provenance
+  // for every successful compile into the bounded log.
+  metrics.counter("learn_promoted");
+  metrics.counter("learn_rolled_back");
+  if (config_.provenance_capacity > 0) {
+    provenance_log_ = std::make_unique<learn::ProvenanceLog>(config_.provenance_capacity);
+    metrics.gauge_fn("provenance_pending", {}, [this] {
+      return static_cast<double>(provenance_log_->size());
+    });
+    metrics.gauge_fn("provenance_dropped", {}, [this] {
+      return static_cast<double>(provenance_log_->dropped());
+    });
+    // The hook outlives nothing: the service is owned by this node and is
+    // shut down (draining its workers) before provenance_log_ destructs.
+    service_->set_provenance_hook([this](const serve::CompileRequest& request,
+                                         const serve::CompileResponse& response) {
+      learn::ProvenanceRecord record;
+      record.fingerprint = ir::module_fingerprint(*request.module);
+      record.module_bytes = serve::serialize_module(*request.module);
+      record.objective = request.objective;
+      record.model = response.provenance.model;
+      record.version = response.provenance.version;
+      record.canary = response.provenance.canary;
+      record.sequence = response.provenance.sequence;
+      record.baseline_cycles = response.provenance.baseline_cycles;
+      record.predicted_cycles = response.provenance.predicted_cycles;
+      record.measured_cycles = response.provenance.measured_cycles;
+      record.measured_area = response.provenance.measured_area;
+      provenance_log_->append(std::move(record));
+    });
+  }
   if (config_.warm_up_on_install) {
     // Every install path (publish, kReplicate push, catch-up fetch) funnels
     // through the registry, so hooking it here warms them all. The hook
@@ -242,6 +276,18 @@ bool ServeNode::drain_buffered(const std::shared_ptr<Connection>& conn) {
     const FrameParse parsed =
         try_parse_frame(conn->inbuf, frame, error, config_.max_frame_payload);
     if (parsed == FrameParse::kNeedMore) return true;
+    if (parsed == FrameParse::kUnknownType) {
+      // A well-framed verb this node does not speak (a newer peer's
+      // request): answer it with a typed error echoing its id and keep
+      // parsing — the stream is still on a frame boundary, so the
+      // connection stays good for every verb we do know.
+      Frame reply;
+      reply.type = MsgType::kError;
+      reply.request_id = frame.request_id;
+      reply.payload = encode_status_reply(Status::error("protocol error: " + error));
+      conn->send(reply);
+      continue;
+    }
     if (parsed == FrameParse::kError) {
       // One best-effort diagnostic, then cut the byte stream: after a
       // framing error there is no way back to a frame boundary.
@@ -343,6 +389,8 @@ void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Fram
     case MsgType::kListModels: reply.payload = handle_list(); break;
     case MsgType::kStats: reply.payload = encode_node_stats(stats()); break;
     case MsgType::kMetrics: reply.payload = encode_metrics_reply(metrics_text()); break;
+    case MsgType::kProvenance: reply.payload = handle_provenance(frame); break;
+    case MsgType::kCanary: reply.payload = handle_canary(frame); break;
     case MsgType::kSyncRequest:
       reply.type = MsgType::kSyncOffer;
       reply.payload = gossip_core_->handle_sync(frame.payload);
@@ -389,6 +437,52 @@ std::string ServeNode::handle_replicate(const Frame& frame) {
 
 std::string ServeNode::handle_list() const {
   return encode_model_list(gossip_core_->inventory());
+}
+
+std::string ServeNode::handle_provenance(const Frame& frame) {
+  auto request = decode_provenance_request(frame.payload);
+  if (!request.is_ok()) return encode_provenance_reply(request.status());
+  if (provenance_log_ == nullptr) {
+    return encode_provenance_reply(Status::error("provenance capture disabled on this node"));
+  }
+  ProvenanceBatch batch;
+  batch.records = provenance_log_->drain(static_cast<std::size_t>(request.value().max_records));
+  batch.remaining = provenance_log_->size();
+  batch.dropped = provenance_log_->dropped();
+  return encode_provenance_reply(std::move(batch));
+}
+
+std::string ServeNode::handle_canary(const Frame& frame) {
+  auto control = decode_canary_control(frame.payload);
+  if (!control.is_ok()) return encode_status_reply(control.status());
+  const CanaryControl& c = control.value();
+  switch (c.action) {
+    case CanaryAction::kStart:
+      service_->set_traffic_split(
+          c.model, serve::TrafficSplit{c.canary_model, c.canary_version, c.fraction});
+      AP_CLOG(kInfo, "learn") << "canary start: " << c.model << " -> " << c.canary_model << " v"
+                              << c.canary_version << " at " << c.fraction;
+      break;
+    case CanaryAction::kStop:
+      service_->clear_traffic_split(c.model);
+      AP_CLOG(kInfo, "learn") << "canary stop: " << c.model;
+      break;
+    case CanaryAction::kPromoted:
+      // The promoted weights arrive as an ordinary publish under the base
+      // name (replication/gossip); this verb just retires the split and
+      // counts the decision.
+      service_->clear_traffic_split(c.model);
+      service_->metrics_registry()->counter("learn_promoted").inc();
+      AP_CLOG(kInfo, "learn") << "canary promoted: " << c.model << " <- " << c.canary_model;
+      break;
+    case CanaryAction::kRolledBack:
+      service_->clear_traffic_split(c.model);
+      service_->metrics_registry()->counter("learn_rolled_back").inc();
+      AP_CLOG(kWarn, "learn") << "canary rolled back: " << c.model << " keeps incumbent, "
+                              << c.canary_model << " retired";
+      break;
+  }
+  return encode_status_reply(Status::ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -505,6 +599,10 @@ NodeStats ServeNode::stats() const {
   if (last >= 0) {
     const std::int64_t age = std::max<std::int64_t>(0, steady_now_ns() - last);
     stats.last_sync_age_ms = static_cast<std::uint64_t>(age) / 1'000'000u;
+  }
+  if (provenance_log_ != nullptr) {
+    stats.provenance_pending = provenance_log_->size();
+    stats.provenance_dropped = provenance_log_->dropped();
   }
   return stats;
 }

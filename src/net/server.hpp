@@ -80,6 +80,11 @@ struct ServeNodeConfig {
   /// Run serve::warm_up for every artifact the registry installs (publish,
   /// replication, catch-up). Off only for tests that pin down cold starts.
   bool warm_up_on_install = true;
+  /// Bounded provenance log for the online-learning loop: every successful
+  /// compile appends a replayable record here until a learn::Collector
+  /// drains it over kProvenance. When full the oldest record is dropped
+  /// (counted in kStats provenance_dropped). 0 disables capture entirely.
+  std::size_t provenance_capacity = 4096;
   /// Background epidemic anti-entropy (off by default; operator-triggered
   /// sync_from and owner-push replication work regardless).
   GossipConfig gossip{};
@@ -122,6 +127,9 @@ class ServeNode {
   Result<SyncReport> sync_from(const RemoteEndpoint& peer);
 
   [[nodiscard]] serve::CompileService& service() noexcept { return *service_; }
+  /// The node's provenance log (kProvenance drains it; tests inspect it).
+  /// Null when config.provenance_capacity == 0.
+  [[nodiscard]] learn::ProvenanceLog* provenance_log() noexcept { return provenance_log_.get(); }
   [[nodiscard]] const std::shared_ptr<serve::ModelRegistry>& registry() const noexcept {
     return registry_;
   }
@@ -183,12 +191,17 @@ class ServeNode {
   std::string handle_publish(const Frame& frame);
   std::string handle_replicate(const Frame& frame);
   std::string handle_list() const;
+  std::string handle_provenance(const Frame& frame);
+  std::string handle_canary(const Frame& frame);
   /// Pushes one exported blob to every peer; returns the failure count.
   std::uint32_t replicate_to_peers(const std::string& blob);
 
   std::shared_ptr<serve::ModelRegistry> registry_;
   std::unique_ptr<serve::CompileService> service_;
   ServeNodeConfig config_;
+  /// Online-learning capture (null when disabled). Fed by the service's
+  /// provenance hook; drained by kProvenance.
+  std::unique_ptr<learn::ProvenanceLog> provenance_log_;
 
   /// Outbound peer traffic (replication pushes + anti-entropy pulls).
   std::unique_ptr<Transport> transport_;

@@ -175,6 +175,15 @@ std::string encode_compile_response(const Result<serve::CompileResponse>& respon
     w.str(serve::serialize_module(*response.value().module));
     w.u64(response.value().queue_nanos);
     w.u64(response.value().serve_nanos);
+    // Optional tagged trailer, mirroring the request side: nothing is
+    // emitted for non-canary responses, so shadow-off serving stays
+    // byte-identical to the pre-canary encoding.
+    if (response.value().provenance.canary) {
+      ByteWriter field;
+      field.u8(1);
+      w.u8(kCompileTagCanary);
+      w.str(field.take());
+    }
   }
   return w.take();
 }
@@ -187,6 +196,19 @@ Result<serve::CompileResponse> decode_compile_response(std::string_view payload)
   const std::string module_blob = r.str();
   response.queue_nanos = r.u64();
   response.serve_nanos = r.u64();
+  while (r.ok() && !r.at_end()) {
+    const std::uint8_t tag = r.u8();
+    const std::string field = r.str();
+    if (!r.ok()) break;
+    if (tag == kCompileTagCanary) {
+      ByteReader f(field);
+      const std::uint8_t flag = f.u8();
+      if (!f.ok() || !f.at_end() || flag > 1) {
+        return Status::error("compile response: corrupt canary field");
+      }
+      response.provenance.canary = flag != 0;
+    }
+  }
   if (!r.ok() || !r.at_end()) return Status::error("compile response: truncated payload");
   auto module = serve::deserialize_module(module_blob);
   if (!module.is_ok()) return Status::error("compile response: " + module.message());
@@ -305,6 +327,11 @@ NodeStats collect_node_stats(const serve::CompileService& service) {
   stats.latency_hist = metrics.latency_hist;
   stats.per_model = metrics.per_model;
   stats.objective_completed = metrics.objective_completed;
+  // counter() creates-or-returns, so nodes that never saw a canary report 0
+  // rather than omitting the fields. The provenance-log fields are filled by
+  // ServeNode::stats(), which owns the log.
+  stats.learn_promoted = service.metrics_registry()->counter("learn_promoted").value();
+  stats.learn_rolled_back = service.metrics_registry()->counter("learn_rolled_back").value();
   return stats;
 }
 
@@ -335,6 +362,10 @@ std::string encode_node_stats(const NodeStats& stats) {
     w.u64(m.failed);
   }
   for (const std::uint64_t count : stats.objective_completed) w.u64(count);
+  w.u64(stats.learn_promoted);
+  w.u64(stats.learn_rolled_back);
+  w.u64(stats.provenance_pending);
+  w.u64(stats.provenance_dropped);
   return w.take();
 }
 
@@ -379,8 +410,112 @@ Result<NodeStats> decode_node_stats(std::string_view payload) {
     stats.per_model.push_back(std::move(m));
   }
   for (std::uint64_t& count : stats.objective_completed) count = r.u64();
+  stats.learn_promoted = r.u64();
+  stats.learn_rolled_back = r.u64();
+  stats.provenance_pending = r.u64();
+  stats.provenance_dropped = r.u64();
   if (!r.ok() || !r.at_end()) return Status::error("node stats: truncated payload");
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Provenance drain
+// ---------------------------------------------------------------------------
+
+std::string encode_provenance_request(const ProvenanceDrainRequest& request) {
+  ByteWriter w;
+  w.u64(request.max_records);
+  return w.take();
+}
+
+Result<ProvenanceDrainRequest> decode_provenance_request(std::string_view payload) {
+  ByteReader r(payload);
+  ProvenanceDrainRequest request;
+  request.max_records = r.u64();
+  if (!r.ok() || !r.at_end()) return Status::error("provenance request: truncated payload");
+  if (request.max_records == 0) return Status::error("provenance request: zero max_records");
+  return request;
+}
+
+std::string encode_provenance_reply(const Result<ProvenanceBatch>& reply) {
+  ByteWriter w;
+  write_status_prefix(w, reply.status());
+  if (!reply.is_ok()) return w.take();
+  const ProvenanceBatch& batch = reply.value();
+  w.u32(learn::kProvenanceRecordVersion);
+  w.u64(batch.remaining);
+  w.u64(batch.dropped);
+  w.u64(batch.records.size());
+  for (const learn::ProvenanceRecord& record : batch.records) {
+    learn::write_provenance_record(w, record);
+  }
+  return w.take();
+}
+
+Result<ProvenanceBatch> decode_provenance_reply(std::string_view payload) {
+  ByteReader r(payload);
+  if (const Status prefix = read_status_prefix(r); !prefix.is_ok()) return prefix;
+  const std::uint32_t version = r.u32();
+  if (!r.ok() || version == 0 || version > learn::kProvenanceRecordVersion) {
+    return Status::error(strf("provenance reply: unsupported record version %u", version));
+  }
+  ProvenanceBatch batch;
+  batch.remaining = r.u64();
+  batch.dropped = r.u64();
+  const std::uint64_t n = r.u64();
+  // Guard in minimum encoded records, not bytes: a hostile count must fail
+  // before it can size the vector.
+  if (!r.ok() || n > r.remaining() / learn::kMinRecordBytes) {
+    return Status::error("provenance reply: corrupt record count");
+  }
+  batch.records.resize(static_cast<std::size_t>(n));
+  for (learn::ProvenanceRecord& record : batch.records) {
+    if (!learn::read_provenance_record(r, record)) {
+      return Status::error("provenance reply: malformed record");
+    }
+  }
+  if (!r.ok() || !r.at_end()) return Status::error("provenance reply: truncated payload");
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Canary control
+// ---------------------------------------------------------------------------
+
+std::string encode_canary_control(const CanaryControl& control) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(control.action));
+  w.str(control.model);
+  w.str(control.canary_model);
+  w.u32(control.canary_version);
+  w.f64(control.fraction);
+  return w.take();
+}
+
+Result<CanaryControl> decode_canary_control(std::string_view payload) {
+  ByteReader r(payload);
+  CanaryControl control;
+  const std::uint8_t action = r.u8();
+  if (action > static_cast<std::uint8_t>(CanaryAction::kRolledBack)) {
+    return Status::error("canary control: unknown action");
+  }
+  control.action = static_cast<CanaryAction>(action);
+  control.model = r.str();
+  control.canary_model = r.str();
+  control.canary_version = r.u32();
+  control.fraction = r.f64();
+  if (!r.ok() || !r.at_end()) return Status::error("canary control: truncated payload");
+  if (control.model.empty()) return Status::error("canary control: empty model name");
+  if (control.action == CanaryAction::kStart) {
+    if (control.canary_model.empty()) {
+      return Status::error("canary control: start without a canary model");
+    }
+    // !(x >= 0 && x <= 1) also catches NaN smuggled through the f64 bits.
+    if (!(control.fraction >= 0.0 && control.fraction <= 1.0)) {
+      return Status::error("canary control: fraction outside [0, 1]");
+    }
+  }
+  return control;
 }
 
 // ---------------------------------------------------------------------------

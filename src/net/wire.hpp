@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "learn/provenance.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/eval_service.hpp"
 #include "serve/compile_service.hpp"
@@ -29,6 +30,12 @@ namespace autophase::net {
 /// tags they do not know, so old and new peers interoperate in both
 /// directions (an old peer simply serves the request untraced).
 inline constexpr std::uint8_t kCompileTagTrace = 1;
+
+/// Tag of the optional canary marker on a compile-*response* payload (same
+/// tagged-trailer discipline: emitted only when the request was served by a
+/// shadow-canary split, so shadow-off responses stay byte-identical to the
+/// pre-canary encoding and old peers decode them unchanged).
+inline constexpr std::uint8_t kCompileTagCanary = 2;
 
 std::string encode_compile_request(const serve::CompileRequest& request);
 
@@ -90,7 +97,10 @@ Result<std::vector<ModelSummary>> decode_model_list(std::string_view payload);
 /// v3  gossip health: anti-entropy rounds, blobs pulled, last-sync age.
 /// v4  latency crosses as a mergeable bucket histogram (obs::HistogramSnapshot,
 ///     sparse-encoded) instead of a raw sample reservoir.
-inline constexpr std::uint32_t kNodeStatsVersion = 4;
+/// v5  online-learning loop counters: canary promotions / rollbacks applied
+///     on this node, provenance records awaiting collection, and records
+///     dropped from the bounded provenance log.
+inline constexpr std::uint32_t kNodeStatsVersion = 5;
 
 /// last_sync_age_ms value meaning "this node has never completed a pull".
 inline constexpr std::uint64_t kNeverSynced = ~0ull;
@@ -124,6 +134,14 @@ struct NodeStats {
   std::vector<serve::ModelVersionStats> per_model;
   /// Completed requests by serve::Objective.
   std::array<std::uint64_t, serve::kNumObjectives> objective_completed{};
+  /// Online-learning loop (v5): promotion decisions applied on this node and
+  /// the state of its provenance log. collect_node_stats reads the counters
+  /// from the service's metrics registry; the log fields are filled by
+  /// ServeNode (a bare service has no provenance log and reports zero).
+  std::uint64_t learn_promoted = 0;
+  std::uint64_t learn_rolled_back = 0;
+  std::uint64_t provenance_pending = 0;
+  std::uint64_t provenance_dropped = 0;
 };
 NodeStats collect_node_stats(const serve::CompileService& service);
 std::string encode_node_stats(const NodeStats& stats);
@@ -166,6 +184,53 @@ struct SyncOffer {
 };
 std::string encode_sync_offer(const Result<SyncOffer>& offer);
 Result<SyncOffer> decode_sync_offer(std::string_view payload);
+
+// ---- Provenance drain (online learning) ----
+
+/// kProvenance pulls served-request provenance off a node, FIFO and
+/// destructive: drained records leave the node's bounded log, so each record
+/// reaches exactly one collector. `max_records` bounds the reply; `remaining`
+/// and `dropped` tell the collector whether to come back sooner.
+struct ProvenanceDrainRequest {
+  std::uint64_t max_records = 256;
+};
+std::string encode_provenance_request(const ProvenanceDrainRequest& request);
+Result<ProvenanceDrainRequest> decode_provenance_request(std::string_view payload);
+
+struct ProvenanceBatch {
+  std::vector<learn::ProvenanceRecord> records;
+  std::uint64_t remaining = 0;  // records still queued on the node
+  std::uint64_t dropped = 0;    // lifetime records lost to the bounded log
+};
+std::string encode_provenance_reply(const Result<ProvenanceBatch>& reply);
+Result<ProvenanceBatch> decode_provenance_reply(std::string_view payload);
+
+// ---- Canary control (online learning) ----
+
+/// kCanary drives one node's shadow-traffic split. kStart installs a split
+/// on `model`; the rest clear it — kPromoted/kRolledBack additionally count
+/// the decision in the node's metrics (learn_promoted / learn_rolled_back),
+/// which is how promotion decisions become visible in kMetrics scrapes and
+/// FleetMonitor. Promotion itself is *not* a special verb: the Promoter
+/// republishes the canary weights under the base name, and the ordinary
+/// replication/gossip machinery makes them the fleet-wide default.
+enum class CanaryAction : std::uint8_t {
+  kStart = 0,
+  kStop = 1,
+  kPromoted = 2,
+  kRolledBack = 3,
+};
+
+struct CanaryControl {
+  CanaryAction action = CanaryAction::kStart;
+  std::string model;         // base (serving) model the split applies to
+  std::string canary_model;  // kStart: artifact name to shadow-serve
+  std::uint32_t canary_version = 0;  // kStart: 0 = canary model's latest
+  double fraction = 0.0;             // kStart: [0, 1] share of traffic
+};
+std::string encode_canary_control(const CanaryControl& control);
+Result<CanaryControl> decode_canary_control(std::string_view payload);
+// The kCanary reply is a bare status (encode_status_reply).
 
 // ---- Metrics scrape ----
 

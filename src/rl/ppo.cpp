@@ -4,6 +4,8 @@
 #include <cmath>
 #include <iterator>
 
+#include "support/str.hpp"
+
 namespace autophase::rl {
 
 PpoConfig vanilla_pg_config() {
@@ -55,6 +57,39 @@ PpoTrainer::PpoTrainer(runtime::VecEnv& vec, PpoConfig config)
 
 PolicyExport PpoTrainer::export_policy() const noexcept {
   return {&policy_, &value_, dist_.groups, dist_.arity};
+}
+
+namespace {
+
+/// Shape equality for warm-start validation (activation included: copying
+/// tanh weights into a ReLU net would run but compute a different policy).
+bool same_shape(const ml::MlpConfig& a, const ml::MlpConfig& b) {
+  return a.input == b.input && a.hidden == b.hidden && a.output == b.output &&
+         a.activation == b.activation;
+}
+
+std::string shape_of(const ml::MlpConfig& c) {
+  std::string s = strf("%zu", c.input);
+  for (const std::size_t h : c.hidden) s += strf("x%zu", h);
+  return s + strf("x%zu", c.output);
+}
+
+}  // namespace
+
+Status PpoTrainer::warm_start(const ml::Mlp& policy, const ml::Mlp* value) {
+  if (!same_shape(policy.config(), policy_.config())) {
+    return Status::error(strf("warm start: policy shape %s does not match trainer %s",
+                              shape_of(policy.config()).c_str(),
+                              shape_of(policy_.config()).c_str()));
+  }
+  if (value != nullptr && !same_shape(value->config(), value_.config())) {
+    return Status::error(strf("warm start: value shape %s does not match trainer %s",
+                              shape_of(value->config()).c_str(),
+                              shape_of(value_.config()).c_str()));
+  }
+  policy_.assign(policy.flatten());
+  if (value != nullptr) value_.assign(value->flatten());
+  return Status::ok();
 }
 
 double PpoTrainer::value_of(const std::vector<double>& observation) const {

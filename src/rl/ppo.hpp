@@ -14,6 +14,7 @@
 #include "rl/env.hpp"
 #include "rl/rollout.hpp"
 #include "runtime/vec_env.hpp"
+#include "support/status.hpp"
 
 namespace autophase::rl {
 
@@ -78,6 +79,15 @@ class PpoTrainer {
   [[nodiscard]] const ml::Mlp& policy() const noexcept { return policy_; }
   /// Export hook for serving: views of the trained nets + action layout.
   [[nodiscard]] PolicyExport export_policy() const noexcept;
+
+  /// Warm start: copies previously trained weights (e.g. an incumbent
+  /// PolicyArtifact's nets) into this trainer's networks, so train() is
+  /// fine-tuning instead of learning from scratch. Shapes must match the
+  /// networks this trainer built from (env, config) — errors otherwise.
+  /// `value` is optional (skipped when null, e.g. a forest-only artifact).
+  /// Call before the first iterate(): the Adam moments are still zero then,
+  /// so no optimiser reset is needed.
+  Status warm_start(const ml::Mlp& policy, const ml::Mlp* value = nullptr);
 
  private:
   double value_of(const std::vector<double>& observation) const;

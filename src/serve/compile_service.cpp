@@ -8,6 +8,7 @@
 
 #include "features/features.hpp"
 #include "ir/clone.hpp"
+#include "ir/printer.hpp"
 #include "ml/distributions.hpp"
 #include "passes/pass.hpp"
 #include "rl/env.hpp"
@@ -433,15 +434,18 @@ void CompileService::finish_job(Job job) {
   if (ok) result.value().queue_nanos = wait_ns;
   const double total_ms =
       static_cast<double>(nanos_between(job.enqueued, Clock::now())) / 1e6;
-  // Success attributes to the version that served it; failure to the one
-  // requested (see ModelVersionStats). Metrics are recorded *before* the
-  // promise resolves, so a caller that just observed its future can already
-  // see the request in metrics().
+  // Success attributes to the (model, version) that served it — under a
+  // shadow split that is the canary, so per-model counters separate canary
+  // traffic from incumbent traffic without extra bookkeeping. Failure
+  // attributes to what was requested (see ModelVersionStats). Metrics are
+  // recorded *before* the promise resolves, so a caller that just observed
+  // its future can already see the request in metrics().
+  const std::string& model = ok ? result.value().provenance.model : job.request.model;
   const std::uint32_t version =
       ok ? result.value().provenance.version
          : static_cast<std::uint32_t>(std::max<std::int64_t>(0, job.request.version));
   metrics_registry_
-      ->counter("serve_model_requests", {{"model", job.request.model},
+      ->counter("serve_model_requests", {{"model", model},
                                          {"version", strf("%u", version)},
                                          {"outcome", ok ? "completed" : "failed"}})
       .inc();
@@ -469,6 +473,17 @@ void CompileService::finish_job(Job job) {
     ctr_failed_.inc();
   }
   hist_latency_ms_.record(total_ms);
+  if (ok) {
+    // Copy under the lock, invoke outside it: the hook appends to a
+    // provenance log (its own lock) and must not serialize against
+    // split-control calls.
+    ProvenanceHook hook;
+    {
+      const std::lock_guard<std::mutex> lock(control_mutex_);
+      hook = provenance_hook_;
+    }
+    if (hook) hook(job.request, result.value());
+  }
   if (req_ctx.valid()) {
     obs::SpanRecord req_span;
     req_span.trace = req_ctx.trace;
@@ -485,15 +500,66 @@ void CompileService::finish_job(Job job) {
   job.promise.set_value(std::move(result));
 }
 
+bool shadow_selected(std::uint64_t fingerprint, double fraction) noexcept {
+  if (!(fraction > 0.0)) return false;  // also rejects NaN
+  if (fraction >= 1.0) return true;
+  // splitmix64 finalizer: the raw fingerprint is already a hash, but mixing
+  // again decorrelates the threshold comparison from any structure fnv1a
+  // leaves in the low bits.
+  std::uint64_t x = fingerprint + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x < static_cast<std::uint64_t>(fraction * 18446744073709551616.0 /* 2^64 */);
+}
+
+void CompileService::set_traffic_split(const std::string& model, TrafficSplit split) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  splits_[model] = std::move(split);
+}
+
+void CompileService::clear_traffic_split(const std::string& model) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  splits_.erase(model);
+}
+
+std::optional<TrafficSplit> CompileService::traffic_split(const std::string& model) const {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const auto it = splits_.find(model);
+  if (it == splits_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CompileService::set_provenance_hook(ProvenanceHook hook) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  provenance_hook_ = std::move(hook);
+}
+
 Result<CompileResponse> CompileService::run_request(const CompileRequest& request,
                                                     PolicyBatcher* batcher) {
-  const std::shared_ptr<const PolicyArtifact> artifact =
-      registry_->get(request.model, request.version);
+  std::shared_ptr<const PolicyArtifact> artifact = registry_->get(request.model, request.version);
   if (artifact == nullptr) {
     return Status::error(strf("unknown model '%s' (version %lld)", request.model.c_str(),
                               static_cast<long long>(request.version)));
   }
-  return serve_compile(*artifact, request, *eval_, batcher);
+  bool canary = false;
+  if (request.version <= 0 && request.module != nullptr) {
+    const std::optional<TrafficSplit> split = traffic_split(request.model);
+    if (split.has_value() &&
+        shadow_selected(ir::module_fingerprint(*request.module), split->fraction)) {
+      // A split whose canary has not gossiped in yet falls back to the
+      // incumbent: shadow serving must never fail traffic it shadows.
+      if (auto shadow =
+              registry_->get(split->canary_model, static_cast<std::int64_t>(split->canary_version));
+          shadow != nullptr) {
+        artifact = std::move(shadow);
+        canary = true;
+      }
+    }
+  }
+  Result<CompileResponse> response = serve_compile(*artifact, request, *eval_, batcher);
+  if (response.is_ok()) response.value().provenance.canary = canary;
+  return response;
 }
 
 Result<CompileResponse> CompileService::compile_sync(const CompileRequest& request) {

@@ -14,7 +14,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -74,6 +76,11 @@ struct Provenance {
   std::uint64_t measured_cycles = 0;  // EvalService-measured result
   double measured_area = 0.0;
   int beams_evaluated = 1;            // finalists measured for the objective
+  /// Served by the shadow-canary slice of a traffic split rather than the
+  /// model the request named. model/version above identify the canary, so
+  /// per-(model,version) outcome counters attribute shadow traffic without
+  /// any extra bookkeeping.
+  bool canary = false;
 };
 
 struct CompileResponse {
@@ -142,6 +149,23 @@ struct CompileServiceConfig {
   bool drain_on_shutdown = true;
 };
 
+/// Shadow-canary traffic split for one served model name: route `fraction`
+/// of its latest-version traffic to (canary_model, canary_version) instead.
+/// Selection is a pure function of the request module's fingerprint (see
+/// shadow_selected), so the same program always lands on the same side —
+/// deterministic, replayable, and identical on every node of the fleet.
+struct TrafficSplit {
+  std::string canary_model;
+  std::uint32_t canary_version = 0;  // 0 = canary model's latest
+  double fraction = 0.0;             // [0, 1] share of traffic shadowed
+};
+
+/// The traffic-split selector: splitmix64-mixes the module fingerprint and
+/// compares against `fraction` of the 64-bit space. Exposed so tests and
+/// operators can compute the exact canary set for a workload instead of
+/// asserting statistically.
+[[nodiscard]] bool shadow_selected(std::uint64_t fingerprint, double fraction) noexcept;
+
 /// Decodes and measures one request against a resolved artifact — the shared
 /// core of the worker path and compile_sync. `batcher` is optional; without
 /// one, policy forwards run inline (still via forward_batch for beam fronts).
@@ -199,6 +223,23 @@ class CompileService {
   /// installs; standalone embedders call it by hand after publishing).
   Result<WarmupReport> warm_up_model(const std::string& name, std::int64_t version = 0);
 
+  // ---- Shadow-canary traffic splits (learn::Promoter drives these) ----
+  /// Installs or replaces the split for `model`. Applies only to requests
+  /// asking for the latest version (version <= 0): a pinned version is a
+  /// reproducibility contract and is never rerouted. When the canary artifact
+  /// is missing (e.g. gossip has not delivered it yet), the split is a no-op
+  /// for that request — shadow serving degrades to incumbent serving, never
+  /// to an error.
+  void set_traffic_split(const std::string& model, TrafficSplit split);
+  void clear_traffic_split(const std::string& model);
+  [[nodiscard]] std::optional<TrafficSplit> traffic_split(const std::string& model) const;
+
+  /// Observes every successfully completed queued request (the serving path)
+  /// after its metrics are recorded and before its future resolves. ServeNode
+  /// installs one to append learn::ProvenanceRecords for the online loop.
+  using ProvenanceHook = std::function<void(const CompileRequest&, const CompileResponse&)>;
+  void set_provenance_hook(ProvenanceHook hook);
+
   [[nodiscard]] ServeMetrics metrics() const;
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry() const noexcept {
@@ -254,6 +295,13 @@ class CompileService {
   std::vector<Job> queue_;            // heap under JobOrder
   std::uint64_t next_sequence_ = 0;
   bool stopping_ = false;
+
+  /// Control-plane state read on the serve path (traffic splits, provenance
+  /// hook). Guarded separately from mutex_ (the queue lock) so a split lookup
+  /// in run_request never contends with enqueue/dequeue.
+  mutable std::mutex control_mutex_;
+  std::map<std::string, TrafficSplit> splits_;
+  ProvenanceHook provenance_hook_;
 
   /// All request-outcome state lives in the registry; the named handles below
   /// are the hot-path instruments (relaxed atomics, acquired once). Labelled

@@ -34,6 +34,14 @@ std::string fleet_summary(const FleetStats& stats) {
                                static_cast<unsigned long long>(stats.last_sync_age_ms_max))
                               .c_str());
   }
+  if (stats.learn_promoted > 0 || stats.learn_rolled_back > 0 || stats.provenance_pending > 0 ||
+      stats.provenance_dropped > 0) {
+    summary += strf(" learn promoted=%llu rolled-back=%llu provenance pending=%llu dropped=%llu",
+                    static_cast<unsigned long long>(stats.learn_promoted),
+                    static_cast<unsigned long long>(stats.learn_rolled_back),
+                    static_cast<unsigned long long>(stats.provenance_pending),
+                    static_cast<unsigned long long>(stats.provenance_dropped));
+  }
   return summary;
 }
 
@@ -83,6 +91,10 @@ FleetStats FleetMonitor::poll() {
     merged.eval_primed += s.eval_primed;
     merged.models_min = first_reachable ? s.models : std::min(merged.models_min, s.models);
     merged.models_max = std::max(merged.models_max, s.models);
+    merged.learn_promoted += s.learn_promoted;
+    merged.learn_rolled_back += s.learn_rolled_back;
+    merged.provenance_pending += s.provenance_pending;
+    merged.provenance_dropped += s.provenance_dropped;
     merged.gossip_rounds += s.gossip_rounds;
     merged.gossip_fetched += s.gossip_fetched;
     // Seeded from the first reachable node (the struct default is the

@@ -67,6 +67,14 @@ struct FleetStats {
   std::uint64_t gossip_fetched = 0;
   std::uint64_t last_sync_age_ms_max = net::kNeverSynced;
 
+  /// Online-learning loop health, summed across reachable nodes: promotion
+  /// decisions recorded (kCanary controls) and the provenance backlog a
+  /// collector has yet to drain / has already lost to bounded logs.
+  std::uint64_t learn_promoted = 0;
+  std::uint64_t learn_rolled_back = 0;
+  std::uint64_t provenance_pending = 0;
+  std::uint64_t provenance_dropped = 0;
+
   /// Bucket-wise sum of every reachable node's latency histogram, and the
   /// latency_view() quantiles over it. `latency_samples` is the merged
   /// histogram's total count (every request the fleet ever served).

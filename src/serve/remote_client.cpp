@@ -359,6 +359,27 @@ Result<net::NodeStats> RemoteCompileClient::node_stats(std::size_t node) {
   return net::decode_node_stats(reply.value().payload);
 }
 
+Result<net::ProvenanceBatch> RemoteCompileClient::drain_provenance(std::size_t node,
+                                                                   std::uint64_t max_records) {
+  net::Frame frame;
+  frame.type = net::MsgType::kProvenance;
+  frame.request_id = next_request_id();
+  frame.payload = net::encode_provenance_request({max_records});
+  auto reply = exchange_op(node, frame);
+  if (!reply.is_ok()) return reply.status();
+  return net::decode_provenance_reply(reply.value().payload);
+}
+
+Status RemoteCompileClient::canary_control(std::size_t node, const net::CanaryControl& control) {
+  net::Frame frame;
+  frame.type = net::MsgType::kCanary;
+  frame.request_id = next_request_id();
+  frame.payload = net::encode_canary_control(control);
+  auto reply = exchange_op(node, frame);
+  if (!reply.is_ok()) return reply.status();
+  return net::decode_status_reply(reply.value().payload);
+}
+
 Result<std::string> RemoteCompileClient::node_metrics(std::size_t node) {
   net::Frame frame;
   frame.type = net::MsgType::kMetrics;

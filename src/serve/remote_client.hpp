@@ -73,6 +73,14 @@ class RemoteCompileClient {
 
   Result<std::vector<net::ModelSummary>> list_models(std::size_t node);
   Result<net::NodeStats> node_stats(std::size_t node);
+  /// Destructively drains up to `max_records` provenance records from
+  /// `node`'s log (MsgType::kProvenance) — the learn::Collector primitive.
+  Result<net::ProvenanceBatch> drain_provenance(std::size_t node,
+                                                std::uint64_t max_records = 256);
+  /// Drives `node`'s shadow-traffic split (MsgType::kCanary): install, stop,
+  /// or record a promote/rollback decision. The learn::Promoter broadcasts
+  /// these fleet-wide.
+  Status canary_control(std::size_t node, const net::CanaryControl& control);
   /// Scrapes `node`'s Prometheus-style text exposition (MsgType::kMetrics) —
   /// the remote twin of ServeNode::metrics_text().
   Result<std::string> node_metrics(std::size_t node);

@@ -498,6 +498,80 @@ TEST(RemoteServe, ServerSurvivesGarbageAndAbandonedConnections) {
   }
 }
 
+TEST(RemoteServe, HostileLearnVerbsFailCleanAndKeepTheConnection) {
+  NodeHarness harness;
+  auto raw = net::TcpStream::connect("127.0.0.1", harness.node->port(), 2000ms);
+  ASSERT_TRUE(raw.is_ok());
+
+  // Garbage payloads on the two learn-loop verbs: each gets a reply of the
+  // request's own type whose payload decodes to an error status — the same
+  // contract kCompile uses — with the request id echoed, and the connection
+  // stays usable. A broken collector or controller must not take the serving
+  // socket with it.
+  std::uint64_t request_id = 800;
+  for (const net::MsgType type : {net::MsgType::kProvenance, net::MsgType::kCanary}) {
+    for (const std::string payload :
+         {std::string(), std::string("shrug"), std::string(64, '\xff')}) {
+      net::Frame frame;
+      frame.type = type;
+      frame.request_id = ++request_id;
+      frame.payload = payload;
+      ASSERT_TRUE(net::write_frame(raw.value(), frame, net::deadline_in(2000ms)).is_ok());
+      auto reply = net::read_frame(raw.value(), net::deadline_in(5000ms));
+      ASSERT_TRUE(reply.is_ok()) << reply.message();
+      EXPECT_EQ(reply.value().type, type);
+      EXPECT_EQ(reply.value().request_id, request_id);
+      if (type == net::MsgType::kProvenance) {
+        EXPECT_FALSE(net::decode_provenance_reply(reply.value().payload).is_ok());
+      } else {
+        EXPECT_FALSE(net::decode_status_reply(reply.value().payload).is_ok());
+      }
+    }
+  }
+
+  // A drain asking for zero records is a semantic error, same contract.
+  {
+    net::Frame frame;
+    frame.type = net::MsgType::kProvenance;
+    frame.request_id = ++request_id;
+    frame.payload = net::encode_provenance_request({/*max_records=*/0});
+    ASSERT_TRUE(net::write_frame(raw.value(), frame, net::deadline_in(2000ms)).is_ok());
+    auto reply = net::read_frame(raw.value(), net::deadline_in(5000ms));
+    ASSERT_TRUE(reply.is_ok());
+    EXPECT_EQ(reply.value().type, net::MsgType::kProvenance);
+    auto decoded = net::decode_provenance_reply(reply.value().payload);
+    EXPECT_FALSE(decoded.is_ok());
+    EXPECT_NE(decoded.status().message().find("zero"), std::string::npos)
+        << decoded.status().message();
+  }
+
+  // An unknown verb — a frame from a *newer* peer — is a clean typed error
+  // with the id echoed, not a dropped connection: old nodes answer "I don't
+  // speak that" instead of wedging a mixed-version fleet.
+  {
+    net::Frame frame;
+    frame.type = static_cast<net::MsgType>(200);
+    frame.request_id = ++request_id;
+    frame.payload = "verb from the future";
+    ASSERT_TRUE(net::write_frame(raw.value(), frame, net::deadline_in(2000ms)).is_ok());
+    auto reply = net::read_frame(raw.value(), net::deadline_in(5000ms));
+    ASSERT_TRUE(reply.is_ok()) << reply.message();
+    EXPECT_EQ(reply.value().type, net::MsgType::kError);
+    EXPECT_EQ(reply.value().request_id, request_id);
+    const Status decoded = net::decode_status_reply(reply.value().payload);
+    EXPECT_FALSE(decoded.is_ok());
+    EXPECT_NE(decoded.message().find("unknown"), std::string::npos) << decoded.message();
+  }
+
+  // Same socket, real verb: still alive.
+  net::Frame frame = ping_frame(++request_id, "still-there");
+  ASSERT_TRUE(net::write_frame(raw.value(), frame, net::deadline_in(2000ms)).is_ok());
+  auto reply = net::read_frame(raw.value(), net::deadline_in(5000ms));
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().type, net::MsgType::kPing);
+  EXPECT_EQ(reply.value().request_id, request_id);
+}
+
 TEST(RemoteServe, ConsistentHashRoutingIsStableAndCacheAffine) {
   auto sha = progen::build_chstone_like("sha");
   auto gsm = progen::build_chstone_like("gsm");

@@ -229,6 +229,71 @@ TEST_F(SimGossip, DuplicationAndStaleRedeliveryStayIdempotent) {
 }
 
 // ---------------------------------------------------------------------------
+// Node churn during a canary rollout
+// ---------------------------------------------------------------------------
+
+TEST_F(SimGossip, NodeChurnDuringCanaryRolloutNeverResurrectsARolledBackCanary) {
+  net::SimFaultConfig faults;
+  faults.drop = 0.10;
+  SimFleet fleet(5, /*seed=*/2026, faults);
+  const auto port = [&](std::size_t i) { return fleet.nodes[i]->endpoint.port; };
+  const auto weights = [&](std::size_t i, const char* name, std::int64_t version) {
+    auto artifact = fleet.nodes[i]->registry->get(name, version);
+    return artifact == nullptr ? std::vector<double>{} : artifact->policy.flatten();
+  };
+
+  // Incumbent v1 plus a first canary reach the whole fleet — including node
+  // 4, which is about to crash while holding that canary.
+  const serve::PolicyArtifact doomed = tiny_sim_artifact(66);
+  fleet.nodes[0]->registry->publish("agent", tiny_sim_artifact(1));
+  fleet.nodes[0]->registry->publish("agent-canary", doomed);
+  ASSERT_LE(fleet.sweeps_until_converged(64), 64u) << "fleet never reached the v1 baseline";
+
+  // Node 4 dies mid-rollout. To its peers a crashed process IS a partition
+  // of one; its registry survives as its on-disk state for the restart.
+  fleet.world.partition({{port(0), port(1), port(2), port(3)}});
+
+  // While it is down the experiment concludes on the live majority: the
+  // first canary is ROLLED BACK (a rollback publishes nothing — the base
+  // name simply never gets those weights), a retrained canary v2 wins, and
+  // promotion republishes the winner's weights under the base name as v2.
+  const serve::PolicyArtifact winner = tiny_sim_artifact(77);
+  fleet.nodes[0]->registry->publish("agent-canary", winner);
+  fleet.nodes[0]->registry->publish("agent", winner);
+  for (int sweep = 0; sweep < 24; ++sweep) fleet.gossip_sweep();
+
+  // The dead node is frozen in the pre-decision world: base name still at
+  // v1, the doomed canary still its latest "agent-canary".
+  EXPECT_EQ(fleet.nodes[4]->registry->get("agent", 0)->version, 1u);
+  EXPECT_EQ(weights(4, "agent-canary", 0), doomed.policy.flatten());
+  EXPECT_FALSE(fleet.converged());
+
+  // Restart: the node rejoins mid-gossip with its stale state and must
+  // converge to the promoted world purely via anti-entropy pulls.
+  fleet.world.heal();
+  ASSERT_LE(fleet.sweeps_until_converged(64), 64u) << "restarted node never caught up";
+
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    // Every node — the restarted one included — serves promoted v2 weights
+    // under the base name...
+    auto latest = fleet.nodes[i]->registry->get("agent", 0);
+    ASSERT_NE(latest, nullptr) << "node " << i;
+    EXPECT_EQ(latest->version, 2u) << "node " << i;
+    EXPECT_EQ(latest->policy.flatten(), winner.policy.flatten()) << "node " << i;
+    // ...and no base-name version anywhere carries the rolled-back weights:
+    // a rolled-back canary must never become (or come back as) the default,
+    // no matter what stale replicas rejoin with.
+    for (const auto& key : fleet.nodes[i]->registry->list()) {
+      if (key.name != "agent") continue;
+      EXPECT_NE(weights(i, "agent", static_cast<std::int64_t>(key.version)),
+                doomed.policy.flatten())
+          << "node " << i << " resurrected the rolled-back canary as agent v" << key.version;
+    }
+  }
+  EXPECT_GT(fleet.world.counters().partitioned, 0u) << "the crash never refused an exchange";
+}
+
+// ---------------------------------------------------------------------------
 // Frame-decoder robustness (seeded mutation fuzz)
 // ---------------------------------------------------------------------------
 
