@@ -9,6 +9,10 @@ fails on signals that are almost certainly real:
     baseline / THRESHOLD (default 2.0, i.e. a >2x regression), or
   * a request-identity invariant (`serial_identical`, `counts_consistent`)
     reporting anything but "true" in the *new* run, or
+  * the cold-path parallel speedup (`cold_scaling_4t`) falling below the
+    absolute `--scaling-floor` — checked only when the reporting host has
+    at least 4 hardware threads (single-core containers measure contention,
+    not scaling, so the gate prints a skip note there), or
   * a bench that has a committed baseline but produced no output / lost a
     metric the baseline has.
 
@@ -17,13 +21,20 @@ along in the artifact but are never compared here.
 
 Usage:
     check_bench.py [--baseline-dir bench/baseline] [--threshold 2.0] OUT_DIR
-    check_bench.py --update OUT_DIR     # reseed baselines from OUT_DIR
+    check_bench.py --benches parallel_eval,serve_throughput OUT_DIR
+    check_bench.py --update OUT_DIR     # merge OUT_DIR's metrics into baselines
+
+`--update` merges: for a bench with an existing baseline, only the metrics
+present in the new JSON are refreshed; metrics the new run did not produce
+keep their committed values (a partial run must not wipe them). A metric the
+baseline has never seen is an error unless `--allow-new-keys` is given —
+that is the tripwire for accidental schema drift. A bench with no baseline
+file yet is seeded wholesale.
 """
 
 import argparse
 import json
 import pathlib
-import shutil
 import sys
 
 IDENTITY_KEYS = (
@@ -58,7 +69,34 @@ def load(path):
     raise ValueError(f"{path}: no JSON object found in bench output")
 
 
-def check_file(name, baseline, new, threshold):
+def check_scaling(name, new, scaling_floor):
+    """Gate on the absolute 4-thread cold-eval speedup, when measurable."""
+    if "cold_scaling_4t" not in new:
+        return []
+    threads = int(new.get("hardware_threads", 0))
+    value = float(new["cold_scaling_4t"])
+    if threads < 4:
+        print(
+            f"  {name}: cold_scaling_4t={value:.2f}x SKIPPED "
+            f"(host has {threads} hardware threads; need >= 4 to measure scaling)"
+        )
+        return []
+    status = "ok"
+    failures = []
+    if value < scaling_floor:
+        failures.append(
+            f"{name}: cold_scaling_4t {value:.2f}x below floor {scaling_floor:g}x "
+            f"on a {threads}-thread host"
+        )
+        status = "REGRESSED"
+    print(
+        f"  {name}: cold_scaling_4t={value:.2f}x floor={scaling_floor:g}x "
+        f"({threads} hardware threads) [{status}]"
+    )
+    return failures
+
+
+def check_file(name, baseline, new, threshold, scaling_floor):
     """Returns a list of failure strings for one bench."""
     failures = []
     for key in IDENTITY_KEYS:
@@ -86,7 +124,46 @@ def check_file(name, baseline, new, threshold):
             f"  {name}: {key} baseline={old_value:.1f} now={new_value:.1f} "
             f"floor={floor:.1f} [{status}]"
         )
+    failures.extend(check_scaling(name, new, scaling_floor))
     return failures
+
+
+def update_baselines(args):
+    """Merge OUT_DIR's metrics into the committed baselines (see docstring)."""
+    args.baseline_dir.mkdir(parents=True, exist_ok=True)
+    errors = []
+    for path in sorted(args.out_dir.glob("*.json")):
+        if args.benches and path.stem not in args.benches:
+            continue
+        new = load(path)  # refuse to commit malformed baselines
+        target = args.baseline_dir / path.name
+        if not target.exists():
+            with open(target, "w", encoding="utf-8") as f:
+                json.dump(new, f, separators=(",", ":"))
+                f.write("\n")
+            print(f"baseline seeded: {target}")
+            continue
+        baseline = load(target)
+        unknown = sorted(set(new) - set(baseline))
+        if unknown and not args.allow_new_keys:
+            errors.append(
+                f"{path.name}: new metrics not in baseline: {', '.join(unknown)} "
+                f"(pass --allow-new-keys if the schema change is intentional)"
+            )
+            continue
+        updated = sorted(k for k in new if k in baseline and baseline[k] != new[k])
+        baseline.update(new)  # only keys the new run produced; the rest survive
+        with open(target, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, separators=(",", ":"))
+            f.write("\n")
+        added = f", added: {', '.join(unknown)}" if unknown else ""
+        print(f"baseline updated: {target} (refreshed: {', '.join(updated) or 'none'}{added})")
+    if errors:
+        print("\nbaseline update FAILED:", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main():
@@ -96,19 +173,23 @@ def main():
                         default=pathlib.Path("bench/baseline"))
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="fail only when throughput drops below baseline/THRESHOLD")
+    parser.add_argument("--scaling-floor", type=float, default=2.0,
+                        help="minimum cold_scaling_4t on hosts with >= 4 hardware threads")
+    parser.add_argument("--benches", type=lambda s: set(s.split(",")), default=None,
+                        help="comma-separated bench names; only these are checked/updated "
+                             "(for partial runs like the perf job)")
     parser.add_argument("--update", action="store_true",
-                        help="overwrite the baselines with OUT_DIR's results")
+                        help="merge OUT_DIR's metrics into the baselines")
+    parser.add_argument("--allow-new-keys", action="store_true",
+                        help="with --update: accept metrics the baseline does not have yet")
     args = parser.parse_args()
 
     if args.update:
-        args.baseline_dir.mkdir(parents=True, exist_ok=True)
-        for path in sorted(args.out_dir.glob("*.json")):
-            load(path)  # refuse to commit malformed baselines
-            shutil.copy(path, args.baseline_dir / path.name)
-            print(f"baseline updated: {args.baseline_dir / path.name}")
-        return 0
+        return update_baselines(args)
 
     baselines = sorted(args.baseline_dir.glob("*.json"))
+    if args.benches:
+        baselines = [p for p in baselines if p.stem in args.benches]
     if not baselines:
         print(f"error: no baselines in {args.baseline_dir}", file=sys.stderr)
         return 1
@@ -120,9 +201,15 @@ def main():
         if not new_path.exists():
             failures.append(f"{name}: bench output missing from {args.out_dir}")
             continue
-        failures.extend(check_file(name, load(baseline_path), load(new_path), args.threshold))
+        failures.extend(check_file(name, load(baseline_path), load(new_path),
+                                   args.threshold, args.scaling_floor))
 
-    extra = {p.name for p in args.out_dir.glob("*.json")} - {p.name for p in baselines}
+    # Note truly-unseeded outputs only; files skipped by --benches or with a
+    # baseline on disk are not "missing".
+    seeded = {p.name for p in args.baseline_dir.glob("*.json")}
+    extra = {p.name for p in args.out_dir.glob("*.json")} - seeded
+    if args.benches:
+        extra = {n for n in extra if pathlib.Path(n).stem in args.benches}
     for name in sorted(extra):
         print(f"  note: {name} has no baseline yet (run with --update to seed it)")
 

@@ -23,6 +23,10 @@ class BasicBlock {
   BasicBlock(const BasicBlock&) = delete;
   BasicBlock& operator=(const BasicBlock&) = delete;
 
+  /// Arena-aware allocation, same discipline as Value (see support/arena.hpp).
+  static void* operator new(std::size_t size) { return support::arena_aware_allocate(size); }
+  static void operator delete(void* ptr) noexcept { support::arena_aware_deallocate(ptr); }
+
   [[nodiscard]] Function* parent() const noexcept { return parent_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }

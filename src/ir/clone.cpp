@@ -105,9 +105,15 @@ std::vector<BasicBlock*> clone_blocks(Function& dest_func, std::span<BasicBlock*
   return out;
 }
 
-std::unique_ptr<Module> clone_module(const Module& src) {
+namespace {
+
+/// Creates the arena-backed destination module and copies everything that is
+/// always eager: globals, function signatures + arguments, attributes. The
+/// caller decides whether bodies follow eagerly or stay CoW-lazy.
+std::unique_ptr<Module> clone_module_shell(const Module& src, CloneContext& ctx,
+                                           std::shared_ptr<support::Arena> arena) {
   auto dest = std::make_unique<Module>(src.name());
-  CloneContext ctx;
+  dest->adopt_arena(std::move(arena));
   ctx.dest = dest.get();
 
   for (std::size_t i = 0; i < src.global_count(); ++i) {
@@ -117,7 +123,7 @@ std::unique_ptr<Module> clone_module(const Module& src) {
     ctx.values[g] = copy;
   }
 
-  // Two phases: signatures first so call instructions can remap.
+  // Signatures before any body so call instructions can remap.
   for (std::size_t i = 0; i < src.function_count(); ++i) {
     const Function* f = src.function(i);
     std::vector<Type*> param_types;
@@ -132,16 +138,62 @@ std::unique_ptr<Module> clone_module(const Module& src) {
     for (std::size_t a = 0; a < f->arg_count(); ++a) ctx.values[f->arg(a)] = copy->arg(a);
   }
 
+  return dest;
+}
+
+}  // namespace
+
+std::unique_ptr<Module> clone_module(const Module& src) {
+  // Every clone gets its own arena: rollouts and beam children churn
+  // through short-lived modules, and bump allocation + wholesale release
+  // beats per-node heap traffic (and the allocator contention it causes
+  // across eval threads).
+  auto arena = std::make_shared<support::Arena>();
+  support::ArenaScope scope(arena.get());
+  CloneContext ctx;
+  auto dest = clone_module_shell(src, ctx, std::move(arena));
+
   for (std::size_t i = 0; i < src.function_count(); ++i) {
     const Function* f = src.function(i);
     Function* copy = ctx.functions.at(f);
     // const_cast: blocks() is a read-only snapshot; Function lacks a const
-    // overload to keep the API small.
+    // overload to keep the API small. (On a lazy source this materialises
+    // it first — its own ArenaScope nests over ours.)
     auto blocks = const_cast<Function*>(f)->blocks();
     clone_blocks(*copy, blocks, ctx, "");
   }
 
   return dest;
+}
+
+std::unique_ptr<Module> clone_module_for_rollout(const Module& src) {
+  auto arena = std::make_shared<support::Arena>();
+  support::ArenaScope scope(arena.get());
+  auto cow = std::make_shared<CowState>();
+  cow->source = &src;
+  auto dest = clone_module_shell(src, cow->ctx, std::move(arena));
+
+  for (std::size_t i = 0; i < src.function_count(); ++i) {
+    dest->function(i)->cow_source_ = src.function(i);
+  }
+  dest->set_cow_state(std::move(cow));
+  return dest;
+}
+
+void Function::materialize_body() const {
+  // Logically-const lazy initialisation; rollout clones are thread-confined
+  // while lazy (clone.hpp contract), so no synchronisation.
+  auto* self = const_cast<Function*>(this);
+  const Function* src = self->cow_source_;
+  if (src == nullptr) return;
+  CowState* cow = self->parent_->cow_state();
+  assert(cow != nullptr && "lazy body without CoW state");
+  // Clear the marker first: clone_blocks appends through create_block(),
+  // which must not re-enter materialisation.
+  self->cow_source_ = nullptr;
+  support::ArenaScope scope(self->parent_->arena());
+  const auto blocks = const_cast<Function*>(src)->blocks();
+  clone_blocks(*self, blocks, cow->ctx, "");
 }
 
 }  // namespace autophase::ir

@@ -39,7 +39,34 @@ void remap_instruction(Instruction* inst, const CloneContext& ctx);
 std::vector<BasicBlock*> clone_blocks(Function& dest_func, std::span<BasicBlock* const> blocks,
                                       CloneContext& ctx, const std::string& suffix);
 
-/// Deep copy of a module (functions, globals, attributes, bodies).
+/// Deep copy of a module (functions, globals, attributes, bodies). The copy
+/// is arena-backed: its IR nodes bump-allocate from a module-owned
+/// support::Arena and are released wholesale when the copy dies.
 std::unique_ptr<Module> clone_module(const Module& src);
+
+/// Shared state of a copy-on-write rollout clone: the borrowed source
+/// module and the clone context that accumulates value/block/function
+/// mappings as function bodies materialise one by one.
+struct CowState {
+  const Module* source = nullptr;
+  CloneContext ctx;
+};
+
+/// Cheap rollout clone: globals, function signatures, arguments, and
+/// attributes are copied eagerly — O(functions + globals) allocations —
+/// while function *bodies* stay lazy references into `src`. A body is
+/// deep-copied (through the same clone_blocks / bind_operand path as
+/// clone_module, so prints and fingerprints are bit-identical) only when
+/// something asks for mutable blocks; passes::apply_pass materialises the
+/// whole module before running. The printer and feature extractor instead
+/// read through Function::reading_body(), so fingerprinting an *unmutated*
+/// clone — the EvalService cache-hit path — never copies a body at all.
+///
+/// Contracts: `src` must outlive the clone until materialize_all() has run
+/// (EvalService/env rollouts borrow the long-lived base program; the serve
+/// decoder materialises before a module escapes into a response), and the
+/// clone is thread-confined while lazy. Concurrent rollout clones of one
+/// shared source are safe: the source is only ever read.
+std::unique_ptr<Module> clone_module_for_rollout(const Module& src);
 
 }  // namespace autophase::ir

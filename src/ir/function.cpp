@@ -40,6 +40,7 @@ void Function::remove_arg(std::size_t i) {
 }
 
 std::vector<BasicBlock*> Function::blocks() const {
+  materialize();
   std::vector<BasicBlock*> out;
   out.reserve(blocks_.size());
   for (const auto& bb : blocks_) out.push_back(bb.get());
@@ -47,11 +48,17 @@ std::vector<BasicBlock*> Function::blocks() const {
 }
 
 BasicBlock* Function::create_block(std::string name) {
+  // Deliberately no materialize(): clone_blocks() appends the destination
+  // blocks of an in-flight materialisation through here. A lazy function
+  // whose body is *extended* rather than read first cannot occur — every
+  // read/mutation path reaches the body through the materialising
+  // accessors above.
   blocks_.push_back(std::make_unique<BasicBlock>(this, std::move(name)));
   return blocks_.back().get();
 }
 
 BasicBlock* Function::create_block_after(BasicBlock* after, std::string name) {
+  materialize();
   const int idx = index_of(after);
   assert(idx >= 0);
   auto bb = std::make_unique<BasicBlock>(this, std::move(name));
@@ -61,6 +68,7 @@ BasicBlock* Function::create_block_after(BasicBlock* after, std::string name) {
 }
 
 void Function::erase_block(BasicBlock* bb) {
+  materialize();
   const int idx = index_of(bb);
   assert(idx >= 0 && "erase_block target not in function");
   // Unregister all references this block's instructions hold while every
@@ -70,7 +78,8 @@ void Function::erase_block(BasicBlock* bb) {
   blocks_.erase(blocks_.begin() + idx);
 }
 
-int Function::index_of(const BasicBlock* bb) const noexcept {
+int Function::index_of(const BasicBlock* bb) const {
+  materialize();
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     if (blocks_[i].get() == bb) return static_cast<int>(i);
   }
@@ -78,6 +87,7 @@ int Function::index_of(const BasicBlock* bb) const noexcept {
 }
 
 void Function::move_block(BasicBlock* bb, std::size_t index) {
+  materialize();
   const int from = index_of(bb);
   assert(from >= 0 && index < blocks_.size());
   auto owned = std::move(blocks_[static_cast<std::size_t>(from)]);
@@ -86,6 +96,9 @@ void Function::move_block(BasicBlock* bb, std::size_t index) {
 }
 
 std::size_t Function::instruction_count() const noexcept {
+  // Read-through while lazy: the source body is bit-identical to what
+  // materialisation would build, so counting it is exact and free.
+  if (cow_source_ != nullptr) return cow_source_->instruction_count();
   std::size_t n = 0;
   for (const auto& bb : blocks_) n += bb->size();
   return n;

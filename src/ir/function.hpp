@@ -30,6 +30,10 @@ class Function {
   Function(const Function&) = delete;
   Function& operator=(const Function&) = delete;
 
+  /// Arena-aware allocation, same discipline as Value (see support/arena.hpp).
+  static void* operator new(std::size_t size) { return support::arena_aware_allocate(size); }
+  static void operator delete(void* ptr) noexcept { support::arena_aware_deallocate(ptr); }
+
   [[nodiscard]] Module* parent() const noexcept { return parent_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -43,12 +47,40 @@ class Function {
   /// sites); reindexes the remaining arguments.
   void remove_arg(std::size_t i);
 
+  // ---- Copy-on-write body (rollout clones; see ir/clone.hpp) ----
+  /// True while this function's body is a lazy reference into the rollout
+  /// clone's source module (clone_module_for_rollout) — no blocks have been
+  /// deep-copied yet.
+  [[nodiscard]] bool has_lazy_body() const noexcept { return cow_source_ != nullptr; }
+  /// The function whose blocks to *read*: the CoW source while lazy (its
+  /// body is bit-identical to what materialisation would produce — block
+  /// order, names, and operands are all preserved by the clone), this
+  /// function otherwise. The printer and the feature extractor go through
+  /// this, so fingerprinting an unmutated rollout clone never deep-copies.
+  [[nodiscard]] const Function* reading_body() const noexcept {
+    return cow_source_ != nullptr ? cow_source_ : this;
+  }
+  /// Deep-copies the source body into this function through the module's
+  /// shared clone context (no-op when not lazy). Every accessor that hands
+  /// out mutable blocks calls this first, so passes can never see — let
+  /// alone mutate — the source module's blocks.
+  void materialize() const {
+    if (cow_source_ != nullptr) materialize_body();
+  }
+
   // ---- Blocks ----
-  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
-  [[nodiscard]] BasicBlock* entry() const noexcept {
+  [[nodiscard]] std::size_t block_count() const {
+    materialize();
+    return blocks_.size();
+  }
+  [[nodiscard]] BasicBlock* entry() const {
+    materialize();
     return blocks_.empty() ? nullptr : blocks_.front().get();
   }
-  [[nodiscard]] BasicBlock* block(std::size_t i) const noexcept { return blocks_[i].get(); }
+  [[nodiscard]] BasicBlock* block(std::size_t i) const {
+    materialize();
+    return blocks_[i].get();
+  }
   /// Snapshot of block pointers (safe to iterate during mutation).
   [[nodiscard]] std::vector<BasicBlock*> blocks() const;
 
@@ -61,7 +93,7 @@ class Function {
   /// callers must already have removed external references (branches to it,
   /// phi incoming entries, users of its values).
   void erase_block(BasicBlock* bb);
-  [[nodiscard]] int index_of(const BasicBlock* bb) const noexcept;
+  [[nodiscard]] int index_of(const BasicBlock* bb) const;
   /// Move `bb` to position `index` in the block order (printing/scheduling
   /// cosmetics only; CFG semantics are edge-based).
   void move_block(BasicBlock* bb, std::size_t index);
@@ -74,12 +106,22 @@ class Function {
   [[nodiscard]] std::size_t instruction_count() const noexcept;
 
  private:
+  friend std::unique_ptr<Module> clone_module_for_rollout(const Module& src);
+
+  /// Out-of-line slow path of materialize(); defined in clone.cpp (it runs
+  /// the clone_blocks / bind_operand machinery). Logically-const lazy init:
+  /// rollout clones are thread-confined, so no synchronisation is needed —
+  /// and the *source* function is only ever read, never touched, preserving
+  /// the concurrent-clone contract of clone_blocks.
+  void materialize_body() const;
+
   Module* parent_;
   std::string name_;
   Type* return_type_;
   std::vector<std::unique_ptr<Argument>> args_;
   std::vector<std::unique_ptr<BasicBlock>> blocks_;
   FunctionAttrs attrs_;
+  const Function* cow_source_ = nullptr;
 };
 
 }  // namespace autophase::ir

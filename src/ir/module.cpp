@@ -93,4 +93,20 @@ std::size_t Module::instruction_count() const noexcept {
   return n;
 }
 
+bool Module::has_lazy_functions() const noexcept {
+  if (cow_ == nullptr) return false;
+  for (const auto& f : functions_) {
+    if (f->has_lazy_body()) return true;
+  }
+  return false;
+}
+
+void Module::materialize_all() {
+  if (cow_ == nullptr) return;
+  for (const auto& f : functions_) f->materialize();
+  // All bodies are local now; drop the clone context (it holds one mapping
+  // per cloned value) and the borrowed source pointer with it.
+  cow_.reset();
+}
+
 }  // namespace autophase::ir

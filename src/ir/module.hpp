@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "ir/function.hpp"
+#include "support/arena.hpp"
 
 namespace autophase::ir {
+
+struct CowState;  // ir/clone.hpp
 
 class Module {
  public:
@@ -60,12 +63,35 @@ class Module {
   /// Total instruction count across all functions.
   [[nodiscard]] std::size_t instruction_count() const noexcept;
 
+  // ---- Arena / copy-on-write rollout state (see ir/clone.hpp) ----
+  /// Arena backing this module's IR nodes; null for plain heap modules.
+  [[nodiscard]] support::Arena* arena() const noexcept { return arena_.get(); }
+  /// Installs the arena handle. Must happen before any node is created under
+  /// its ArenaScope, so node lifetimes are bounded by the arena's.
+  void adopt_arena(std::shared_ptr<support::Arena> arena) noexcept {
+    arena_ = std::move(arena);
+  }
+
+  [[nodiscard]] bool has_lazy_functions() const noexcept;
+  /// Deep-copies every still-lazy function body and severs the tie to the
+  /// CoW source module. Passes require this up front (passes::apply_pass
+  /// does it): while any function is lazy, the clone-side user lists of
+  /// globals and arguments are incomplete, and an IPO/DCE pass trusting
+  /// them could wrongly erase live defs.
+  void materialize_all();
+  [[nodiscard]] CowState* cow_state() const noexcept { return cow_.get(); }
+  void set_cow_state(std::shared_ptr<CowState> state) noexcept { cow_ = std::move(state); }
+
  private:
+  // Declared first so it is destroyed last: the nodes owned below may live
+  // in this arena, and their destructors must run before the chunks go.
+  std::shared_ptr<support::Arena> arena_;
   std::string name_;
   std::vector<std::unique_ptr<Function>> functions_;
   std::vector<std::unique_ptr<GlobalVariable>> globals_;
   std::map<std::pair<Type*, std::int64_t>, std::unique_ptr<ConstantInt>> int_constants_;
   std::map<Type*, std::unique_ptr<Undef>> undefs_;
+  std::shared_ptr<CowState> cow_;
 };
 
 }  // namespace autophase::ir

@@ -155,7 +155,13 @@ class FunctionPrinter {
 }  // namespace
 
 std::string print_function(const Function& function) {
-  return FunctionPrinter(function).print();
+  // While a rollout clone's body is CoW-lazy its blocks still live in the
+  // source function; name, signature, attributes, and body are all
+  // bit-identical by construction, so printing the source *is* printing
+  // this function — without forcing a deep copy. This is what keeps
+  // fingerprinting an unmutated clone (the EvalService cache-hit path)
+  // allocation-free on the IR side.
+  return FunctionPrinter(*function.reading_body()).print();
 }
 
 std::string print_module(const Module& module) {

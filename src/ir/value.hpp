@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ir/type.hpp"
+#include "support/arena.hpp"
 
 namespace autophase::ir {
 
@@ -30,6 +31,13 @@ class Value {
 
   Value(const Value&) = delete;
   Value& operator=(const Value&) = delete;
+
+  /// IR nodes allocate from the ambient support::Arena when a rollout
+  /// clone's ArenaScope is active; a per-allocation tag makes delete a no-op
+  /// for arena-backed nodes, so unique_ptr ownership works unchanged for
+  /// heap- and arena-backed values alike (including all subclasses).
+  static void* operator new(std::size_t size) { return support::arena_aware_allocate(size); }
+  static void operator delete(void* ptr) noexcept { support::arena_aware_deallocate(ptr); }
 
   [[nodiscard]] ValueKind value_kind() const noexcept { return value_kind_; }
   [[nodiscard]] Type* type() const noexcept { return type_; }

@@ -15,6 +15,13 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Adopts an existing row-major buffer (must be rows*cols long) — lets
+  /// batch gatherers hand their staging buffer straight to the network
+  /// without a copy.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
 
   static Matrix zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
 

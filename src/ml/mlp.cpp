@@ -66,6 +66,11 @@ Matrix Mlp::forward_batch(const std::vector<std::vector<double>>& rows) const {
   return forward(x);
 }
 
+Matrix Mlp::forward_batch(std::vector<double> rows, std::size_t batch) const {
+  assert(rows.size() == batch * config_.input);
+  return forward(Matrix(batch, config_.input, std::move(rows)));
+}
+
 namespace {
 
 void apply_activation(Matrix& m, Activation act) {

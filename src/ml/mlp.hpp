@@ -61,6 +61,11 @@ class Mlp {
   /// into one matmul without changing any request's answer.
   Matrix forward_batch(const std::vector<std::vector<double>>& rows) const;
 
+  /// Flat-buffer variant: `rows` holds `batch` rows of config().input
+  /// doubles, contiguous row-major. Adopting the buffer skips the per-row
+  /// copies of the vector<vector> overload; output rows are identical.
+  Matrix forward_batch(std::vector<double> rows, std::size_t batch) const;
+
   /// Accumulates parameter gradients for dLoss/dOutput into `grads` (which
   /// must be zero-initialised via make_gradients or Gradients::zero).
   void backward(const ForwardCache& cache, const Matrix& grad_output, Gradients& grads) const;

@@ -99,6 +99,12 @@ std::unique_ptr<Pass> PassRegistry::create(std::string_view name) const {
 
 bool apply_pass(ir::Module& module, int index) {
   if (index == kTerminateAction) return false;
+  // Rollout clones arrive CoW-lazy; passes need complete use lists on
+  // globals and arguments (globaldce, deadargelim, ipsccp), so the whole
+  // module materialises before any pass runs. Nodes the pass creates go to
+  // the module's arena when it has one.
+  module.materialize_all();
+  const support::ArenaScope scope(module.arena());
   return PassRegistry::instance().create(index)->run(module);
 }
 

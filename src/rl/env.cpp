@@ -95,7 +95,9 @@ std::size_t PhaseOrderEnv::observation_size() const {
 std::vector<double> PhaseOrderEnv::reset() {
   program_index_ = next_program_;
   next_program_ = (next_program_ + 1) % programs_.size();
-  working_ = ir::clone_module(*programs_[program_index_]);
+  // CoW rollout clone: the base program outlives the env, and bodies only
+  // deep-copy when the first pass of the episode mutates them.
+  working_ = ir::clone_module_for_rollout(*programs_[program_index_]);
   histogram_.assign(action_arity(), 0.0);
   applied_.clear();
   steps_ = 0;
@@ -181,6 +183,32 @@ std::vector<double> build_observation(const ir::Module& module,
   return obs;
 }
 
+std::vector<std::vector<double>> build_observation_batch(
+    std::span<const ir::Module* const> modules,
+    const std::vector<std::vector<double>>& histograms, const EnvConfig& config,
+    const std::vector<int>& effective_features, ThreadPool* pool) {
+  std::vector<std::vector<double>> out(modules.size());
+  if (modules.empty()) return out;
+  if (config.observation == ObservationMode::kActionHistogram) {
+    // No feature extraction needed at all; rows are just the histograms.
+    for (std::size_t i = 0; i < modules.size(); ++i) out[i] = histograms[i];
+    return out;
+  }
+  const features::BatchFeatures batch = features::extract_features_batch(modules, pool);
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    std::vector<double>& obs = out[i];
+    const double inst_count = static_cast<double>(batch.at(i, 51));
+    for (const int f : effective_features) {
+      obs.push_back(
+          normalise_feature(static_cast<double>(batch.at(i, f)), config.normalization, inst_count));
+    }
+    if (config.observation != ObservationMode::kProgramFeatures) {
+      obs.insert(obs.end(), histograms[i].begin(), histograms[i].end());
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // MultiActionEnv
 // ---------------------------------------------------------------------------
@@ -203,7 +231,7 @@ std::size_t MultiActionEnv::observation_size() const {
 }
 
 std::uint64_t MultiActionEnv::evaluate_sequence() {
-  auto working = ir::clone_module(*programs_[program_index_]);
+  auto working = ir::clone_module_for_rollout(*programs_[program_index_]);
   passes::apply_pass_sequence(*working, sequence_);
   const std::uint64_t cycles = cache_.cycles(*working);
   if (cycles < best_[program_index_]) {

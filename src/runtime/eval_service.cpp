@@ -152,7 +152,12 @@ Measure EvalService::measure_sequence(const ir::Module& program,
   // Concurrent duplicates of one (program, sequence) pair each clone and
   // apply the passes, but the module-fingerprint layer below still runs the
   // simulator exactly once, so sample accounting stays exact.
-  auto working = ir::clone_module(program);
+  //
+  // Rollout (CoW) clone: the shared program outlives this call, bodies only
+  // deep-copy once the first pass runs (into the clone's arena), and for
+  // the empty sequence the fingerprint below reads straight through to the
+  // source — O(functions) allocations instead of O(instructions).
+  auto working = ir::clone_module_for_rollout(program);
   passes::apply_pass_sequence(*working, sequence);
   const Measure measure = this->measure(*working, was_sample);
   {

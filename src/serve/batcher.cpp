@@ -76,15 +76,23 @@ void PolicyBatcher::run_batch(std::vector<Pending*> batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (grouped[i]) continue;
     std::vector<std::size_t> members;
-    std::vector<std::vector<double>> rows;
     for (std::size_t j = i; j < batch.size(); ++j) {
       if (!grouped[j] && batch[j]->artifact == batch[i]->artifact) {
         grouped[j] = true;
         members.push_back(j);
-        rows.push_back(*batch[j]->observation);
       }
     }
-    const ml::Matrix logits = batch[i]->artifact->policy.forward_batch(rows);
+    // Gather the group's rows into one flat staging buffer the network
+    // adopts directly — no per-row vectors, no second stacking copy.
+    const std::size_t width = batch[i]->artifact->policy.config().input;
+    std::vector<double> rows(members.size() * width);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const std::vector<double>& obs = *batch[members[k]]->observation;
+      assert(obs.size() == width);
+      std::copy(obs.begin(), obs.end(), rows.begin() + static_cast<std::ptrdiff_t>(k * width));
+    }
+    const ml::Matrix logits =
+        batch[i]->artifact->policy.forward_batch(std::move(rows), members.size());
     for (std::size_t k = 0; k < members.size(); ++k) {
       batch[members[k]]->logits.assign(logits.row(k), logits.row(k) + logits.cols());
       batch[members[k]]->batch_rows = members.size();

@@ -126,8 +126,13 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
   };
 
   std::vector<Beam> live;
+  // CoW rollout clone of the request program: the root's observation and
+  // fingerprint read through to the source; bodies deep-copy only once a
+  // pass mutates a beam. (Beam *children* use plain arena-backed
+  // clone_module — their parents die at the end of the step, so they may
+  // not hold lazy references into them.)
   live.push_back(
-      {ir::clone_module(*request.module), {}, std::vector<double>(arity, 0.0), 0.0});
+      {ir::clone_module_for_rollout(*request.module), {}, std::vector<double>(arity, 0.0), 0.0});
   const std::vector<double> root_observation = observe(live[0]);
   if (root_observation.size() != artifact.policy.config().input) {
     return Status::error(strf("observation size %zu does not match policy input %zu",
@@ -146,7 +151,18 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
     if (step == 0) {
       observations.push_back(root_observation);  // only the root beam exists
     } else {
-      for (const Beam& beam : live) observations.push_back(observe(beam));
+      // Batched SoA feature extraction over the whole beam front; rows are
+      // bit-identical to per-beam observe() (same extractor, same order).
+      std::vector<const ir::Module*> front;
+      std::vector<std::vector<double>> histograms;
+      front.reserve(live.size());
+      histograms.reserve(live.size());
+      for (const Beam& beam : live) {
+        front.push_back(beam.module.get());
+        histograms.push_back(beam.histogram);
+      }
+      observations = rl::build_observation_batch(front, histograms, obs_config, features);
+      for (std::vector<double>& obs : observations) artifact.normalizer.apply(obs);
     }
     std::vector<std::vector<double>> logits;
     if (batcher != nullptr) {
@@ -256,6 +272,10 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
     predicted = static_cast<std::uint64_t>(estimate);
   }
 
+  // The winner can still be CoW-lazy (an empty winning sequence never ran a
+  // pass); the response outlives the request it borrows from, so cut the
+  // tie before the module escapes.
+  finished[best].module->materialize_all();
   CompileResponse response;
   response.module = std::move(finished[best].module);
   response.provenance = {artifact.name,

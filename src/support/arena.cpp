@@ -1,0 +1,51 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+
+namespace autophase::support {
+
+namespace {
+
+// Tag header size: one max_align_t slot keeps the user pointer aligned.
+constexpr std::size_t kHeaderBytes = alignof(std::max_align_t);
+constexpr std::uint64_t kHeapTag = 0x4845'4150'5441'4721ull;
+constexpr std::uint64_t kArenaTag = 0x4152'454e'4154'4147ull;
+
+thread_local Arena* tls_arena = nullptr;
+
+}  // namespace
+
+void Arena::grow(std::size_t min_bytes) {
+  const std::size_t size = std::max(chunk_bytes_, min_bytes);
+  chunks_.push_back(std::make_unique<std::byte[]>(size));
+  cursor_ = chunks_.back().get();
+  remaining_ = size;
+}
+
+Arena* current_arena() noexcept { return tls_arena; }
+
+ArenaScope::ArenaScope(Arena* arena) noexcept : previous_(tls_arena) { tls_arena = arena; }
+
+ArenaScope::~ArenaScope() { tls_arena = previous_; }
+
+void* arena_aware_allocate(std::size_t size) {
+  Arena* arena = tls_arena;
+  std::byte* base = arena != nullptr
+                        ? static_cast<std::byte*>(arena->allocate(size + kHeaderBytes))
+                        : static_cast<std::byte*>(::operator new(size + kHeaderBytes));
+  *reinterpret_cast<std::uint64_t*>(base) = arena != nullptr ? kArenaTag : kHeapTag;
+  return base + kHeaderBytes;
+}
+
+void arena_aware_deallocate(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  std::byte* base = static_cast<std::byte*>(ptr) - kHeaderBytes;
+  const std::uint64_t tag = *reinterpret_cast<std::uint64_t*>(base);
+  if (tag == kHeapTag) {
+    ::operator delete(base);
+    return;
+  }
+  assert(tag == kArenaTag && "IR node freed with a corrupted allocation tag");
+}
+
+}  // namespace autophase::support
