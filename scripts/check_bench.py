@@ -43,6 +43,8 @@ IDENTITY_KEYS = (
     "identical",
     "overhead_within_bound",
     "promoted_correctly",
+    "front_dominates_scalar",
+    "fronts_nondominated",
 )
 
 

@@ -193,4 +193,15 @@ std::uint64_t module_fingerprint(const Module& module) {
   return fnv1a(print_module(module));
 }
 
+std::uint64_t module_ir_size(const Module& module) {
+  std::uint64_t size = 0;
+  for (std::size_t i = 0; i < module.function_count(); ++i) {
+    // Same CoW read-through as print_function: sizing an unmutated rollout
+    // clone walks the source body instead of materializing a copy.
+    const Function* f = module.function(i)->reading_body();
+    for (BasicBlock* bb : f->blocks()) size += 1 + bb->instructions().size();
+  }
+  return size;
+}
+
 }  // namespace autophase::ir

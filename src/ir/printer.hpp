@@ -17,4 +17,11 @@ std::string print_function(const Function& function);
 /// the evaluation cache.
 std::uint64_t module_fingerprint(const Module& module);
 
+/// Instruction + basic-block count across every function, reading through
+/// CoW rollout bodies like the printer does (an unmutated lazy clone is
+/// sized without forcing a deep copy). This is the `ir_size` objective of
+/// multi-objective serving: the same walk the fingerprint makes, minus the
+/// text.
+std::uint64_t module_ir_size(const Module& module);
+
 }  // namespace autophase::ir

@@ -27,9 +27,13 @@ void write_provenance_record(serve::ByteWriter& w, const ProvenanceRecord& recor
   w.u64(record.predicted_cycles);
   w.u64(record.measured_cycles);
   w.f64(record.measured_area);
+  w.f64(record.weights.cycles);
+  w.f64(record.weights.area);
+  w.f64(record.weights.ir_size);
 }
 
-bool read_provenance_record(serve::ByteReader& r, ProvenanceRecord& record) {
+bool read_provenance_record(serve::ByteReader& r, ProvenanceRecord& record,
+                            std::uint32_t version) {
   record.fingerprint = r.u64();
   record.module_bytes = r.str();
   const std::uint8_t objective = r.u8();
@@ -41,6 +45,13 @@ bool read_provenance_record(serve::ByteReader& r, ProvenanceRecord& record) {
   record.predicted_cycles = r.u64();
   record.measured_cycles = r.u64();
   record.measured_area = r.f64();
+  if (version >= 2) {
+    record.weights.cycles = r.f64();
+    record.weights.area = r.f64();
+    record.weights.ir_size = r.f64();
+  } else {
+    record.weights = {};  // v1 records predate the weight vector
+  }
   if (!r.ok()) return false;
   if (objective >= serve::kNumObjectives || canary > 1) return false;
   record.objective = static_cast<serve::Objective>(objective);
@@ -80,7 +91,9 @@ Result<std::vector<ProvenanceRecord>> deserialize_records(std::string_view bytes
   }
   std::vector<ProvenanceRecord> records(static_cast<std::size_t>(count));
   for (ProvenanceRecord& record : records) {
-    if (!read_provenance_record(p, record)) return Status::error("provenance: malformed record");
+    if (!read_provenance_record(p, record, version)) {
+      return Status::error("provenance: malformed record");
+    }
   }
   if (!p.ok() || !p.at_end()) return Status::error("provenance: trailing garbage in payload");
   return records;

@@ -29,7 +29,10 @@ namespace autophase::learn {
 ///
 /// v1  fingerprint, replayable module bytes, objective, served model/version,
 ///     canary flag, sequence, baseline/predicted/measured cycles, area.
-inline constexpr std::uint32_t kProvenanceRecordVersion = 1;
+/// v2  appends the request's objective weight vector (3 x f64 bit patterns),
+///     so fine-tuning sees objective-conditioned traffic. v1 checkpoints
+///     decode with an all-zero (inactive) weight vector.
+inline constexpr std::uint32_t kProvenanceRecordVersion = 2;
 
 /// One served request. `module_bytes` is the canonical serve::serialize_module
 /// blob, so a trainer can reconstruct the exact program without access to the
@@ -47,6 +50,11 @@ struct ProvenanceRecord {
   std::uint64_t predicted_cycles = 0;  // value-net estimate
   std::uint64_t measured_cycles = 0;   // EvalService ground truth
   double measured_area = 0.0;
+  /// v2: the request's objective weight vector. All-zero (also what every v1
+  /// record decodes to) means scalar traffic; active weights tag the record
+  /// as Pareto traffic so a trainer can condition on — or filter by — the
+  /// objective mix it is fine-tuning for.
+  serve::ObjectiveWeights weights{};
 };
 
 /// Smallest possible encoded record (every string empty, empty sequence) —
@@ -54,8 +62,12 @@ struct ProvenanceRecord {
 inline constexpr std::size_t kMinRecordBytes = 70;
 
 void write_provenance_record(serve::ByteWriter& w, const ProvenanceRecord& record);
-/// False on malformed input (reader error, unknown objective).
-bool read_provenance_record(serve::ByteReader& r, ProvenanceRecord& record);
+/// False on malformed input (reader error, unknown objective). `version` is
+/// the batch's record version (from the checkpoint frame or the kProvenance
+/// reply header): v1 records end before the weight vector, which stays
+/// all-zero.
+bool read_provenance_record(serve::ByteReader& r, ProvenanceRecord& record,
+                            std::uint32_t version = kProvenanceRecordVersion);
 
 /// Standalone framed checkpoint of a record batch (magic + record version +
 /// length-prefixed payload + FNV-1a checksum, the same framing discipline as

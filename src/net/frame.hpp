@@ -33,7 +33,14 @@ inline constexpr std::uint32_t kWireMagic = 0x50575041;  // "APWP" little-endian
 ///     added; the kStats payload grew online-learning counters; a well-framed
 ///     frame of unknown type now yields kUnknownType from the parser (an
 ///     answerable protocol error) instead of killing the connection.
-inline constexpr std::uint32_t kWireVersion = 3;
+/// v4  multi-objective Pareto serving: the kCompile request payload grew an
+///     optional objective-weights trailer field and the response an optional
+///     Pareto-front field (both tagged, length-prefixed, skipped by peers
+///     that do not know them); provenance records carry the weight vector
+///     (record v2). Weightless requests/responses encode zero new bytes —
+///     bit-identical to v3 — which is why this bump is compatible in both
+///     directions for scalar traffic.
+inline constexpr std::uint32_t kWireVersion = 4;
 inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8 + 8;
 inline constexpr std::size_t kDefaultMaxPayload = 64u << 20;
 

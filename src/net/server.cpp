@@ -129,6 +129,7 @@ ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
       record.predicted_cycles = response.provenance.predicted_cycles;
       record.measured_cycles = response.provenance.measured_cycles;
       record.measured_area = response.provenance.measured_area;
+      record.weights = request.weights;
       provenance_log_->append(std::move(record));
     });
   }

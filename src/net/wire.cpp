@@ -1,6 +1,7 @@
 #include "net/wire.hpp"
 
 #include <bit>
+#include <cmath>
 
 #include "serve/module_codec.hpp"
 #include "serve/serialization.hpp"
@@ -38,6 +39,74 @@ serve::Provenance read_provenance(ByteReader& r) {
   p.measured_area = r.f64();
   p.beams_evaluated = r.i32();
   return p;
+}
+
+/// Objective-weights field body (kCompileTagWeights): weight bit patterns +
+/// the requested front width. Weights travel as raw f64 bits like every
+/// other double on this wire, so a decoded request re-encodes bit-exactly.
+std::string weights_field(const serve::ObjectiveWeights& weights, int front_width) {
+  ByteWriter field;
+  field.f64(weights.cycles);
+  field.f64(weights.area);
+  field.f64(weights.ir_size);
+  field.u32(static_cast<std::uint32_t>(front_width));
+  return field.take();
+}
+
+/// False on a corrupt field: wrong size, non-finite or negative weights, or
+/// an absurd front width. A known tag with a bad body is a hard error (the
+/// peer speaks v4 and sent garbage), unlike unknown tags which are skipped.
+bool read_weights_field(std::string_view field, serve::ObjectiveWeights& weights,
+                        int& front_width) {
+  ByteReader f(field);
+  weights.cycles = f.f64();
+  weights.area = f.f64();
+  weights.ir_size = f.f64();
+  const std::uint32_t width = f.u32();
+  if (!f.ok() || !f.at_end()) return false;
+  for (const double w : {weights.cycles, weights.area, weights.ir_size}) {
+    if (!std::isfinite(w) || w < 0.0) return false;
+  }
+  if (width == 0 || width > 4096) return false;
+  front_width = static_cast<int>(width);
+  return true;
+}
+
+/// Pareto-front field body (kCompileTagFront): hypervolume + the point set
+/// in the canonical order serve_pareto returned it in.
+std::string front_field(const serve::CompileResponse& response) {
+  ByteWriter field;
+  field.f64(response.front_hypervolume);
+  field.u32(static_cast<std::uint32_t>(response.front.size()));
+  for (const serve::ParetoPoint& p : response.front) {
+    field.i32_vec(p.sequence);
+    field.u64(p.cycles);
+    field.f64(p.area);
+    field.u64(p.ir_size);
+    field.u64(p.fingerprint);
+  }
+  return field.take();
+}
+
+bool read_front_field(std::string_view field, serve::CompileResponse& response) {
+  ByteReader f(field);
+  response.front_hypervolume = f.f64();
+  const std::uint32_t count = f.u32();
+  if (!f.ok()) return false;
+  // Guard in entries, not bytes: each point is at least 36 bytes (empty
+  // sequence), so a corrupt count fails before it can size an allocation.
+  if (count == 0 || count > f.remaining() / 36) return false;
+  response.front.reserve(count);
+  for (std::uint32_t i = 0; i < count && f.ok(); ++i) {
+    serve::ParetoPoint p;
+    p.sequence = f.i32_vec();
+    p.cycles = f.u64();
+    p.area = f.f64();
+    p.ir_size = f.u64();
+    p.fingerprint = f.u64();
+    response.front.push_back(std::move(p));
+  }
+  return f.ok() && f.at_end();
 }
 
 /// ok flag + error text; returns true when the payload continues with a body.
@@ -127,6 +196,12 @@ std::string encode_compile_request(const serve::CompileRequest& request) {
     w.u8(kCompileTagTrace);
     w.str(field.take());
   }
+  // Same discipline for the v4 objective-weights field: scalar requests emit
+  // nothing and stay byte-identical to the v3 encoding.
+  if (request.weights.active()) {
+    w.u8(kCompileTagWeights);
+    w.str(weights_field(request.weights, request.front_width));
+  }
   return w.take();
 }
 
@@ -157,6 +232,10 @@ Result<DecodedCompileRequest> decode_compile_request(std::string_view payload) {
       if (!f.ok() || !f.at_end()) {
         return Status::error("compile request: corrupt trace field");
       }
+    } else if (tag == kCompileTagWeights) {
+      if (!read_weights_field(field, out.request.weights, out.request.front_width)) {
+        return Status::error("compile request: corrupt weights field");
+      }
     }
   }
   if (!r.ok() || !r.at_end()) return Status::error("compile request: truncated payload");
@@ -184,6 +263,12 @@ std::string encode_compile_response(const Result<serve::CompileResponse>& respon
       w.u8(kCompileTagCanary);
       w.str(field.take());
     }
+    // Pareto front (v4): present exactly when the request carried active
+    // weights; scalar responses stay byte-identical to the v3 encoding.
+    if (!response.value().front.empty()) {
+      w.u8(kCompileTagFront);
+      w.str(front_field(response.value()));
+    }
   }
   return w.take();
 }
@@ -207,6 +292,10 @@ Result<serve::CompileResponse> decode_compile_response(std::string_view payload)
         return Status::error("compile response: corrupt canary field");
       }
       response.provenance.canary = flag != 0;
+    } else if (tag == kCompileTagFront) {
+      if (!read_front_field(field, response)) {
+        return Status::error("compile response: corrupt front field");
+      }
     }
   }
   if (!r.ok() || !r.at_end()) return Status::error("compile response: truncated payload");
@@ -220,6 +309,10 @@ std::string response_identity_bytes(const serve::CompileResponse& response) {
   ByteWriter w;
   write_provenance(w, response.provenance);
   w.str(serve::serialize_module(*response.module));
+  // The front is part of the response's identity — two replicas serving a
+  // Pareto request must agree on the whole nondominated set, not just the
+  // representative point. Scalar responses append nothing (pre-v4 bytes).
+  if (!response.front.empty()) w.str(front_field(response));
   return w.take();
 }
 
@@ -470,7 +563,7 @@ Result<ProvenanceBatch> decode_provenance_reply(std::string_view payload) {
   }
   batch.records.resize(static_cast<std::size_t>(n));
   for (learn::ProvenanceRecord& record : batch.records) {
-    if (!learn::read_provenance_record(r, record)) {
+    if (!learn::read_provenance_record(r, record, version)) {
       return Status::error("provenance reply: malformed record");
     }
   }

@@ -37,6 +37,20 @@ inline constexpr std::uint8_t kCompileTagTrace = 1;
 /// pre-canary encoding and old peers decode them unchanged).
 inline constexpr std::uint8_t kCompileTagCanary = 2;
 
+/// Tag of the optional objective-weights field on a compile-request payload
+/// (wire v4): 3 x f64 weight bit patterns + u32 front width. Emitted only
+/// when the weight vector is active, so scalar requests stay byte-identical
+/// to the v3 encoding; an old peer skips the tag and serves the request
+/// scalar — multi-objective serving degrades, it never errors.
+inline constexpr std::uint8_t kCompileTagWeights = 3;
+
+/// Tag of the optional Pareto-front field on a compile-response payload
+/// (wire v4): hypervolume + the nondominated point set in canonical
+/// sort_front order. Emitted only when the front is non-empty (i.e. the
+/// request carried active weights), so scalar responses stay byte-identical
+/// to the v3 encoding.
+inline constexpr std::uint8_t kCompileTagFront = 4;
+
 std::string encode_compile_request(const serve::CompileRequest& request);
 
 /// The decoded module owns the IR the embedded request points at; keep it
@@ -51,8 +65,10 @@ std::string encode_compile_response(const Result<serve::CompileResponse>& respon
 Result<serve::CompileResponse> decode_compile_response(std::string_view payload);
 
 /// Deterministic bytes of a successful response — provenance + optimized
-/// module, with transport timings (queue/serve nanos) excluded. Two nodes
-/// serving the same model version must produce identical identity bytes.
+/// module (+ the Pareto front when present), with transport timings
+/// (queue/serve nanos) excluded. Two nodes serving the same model version
+/// must produce identical identity bytes; a scalar response's identity bytes
+/// are unchanged from the pre-Pareto wire.
 std::string response_identity_bytes(const serve::CompileResponse& response);
 
 // ---- Publish / replicate ----

@@ -60,9 +60,17 @@ Measure EvalService::measure(const ir::Module& m, bool* was_sample) {
   return measure_by_fingerprint(ir::module_fingerprint(m), m, was_sample);
 }
 
+Measure EvalService::measure(const ir::Module& m, std::uint64_t fingerprint, bool* was_sample) {
+  return measure_by_fingerprint(fingerprint, m, was_sample);
+}
+
 Measure EvalService::measure_by_fingerprint(std::uint64_t fingerprint, const ir::Module& m,
                                             bool* was_sample) {
   if (was_sample) *was_sample = false;
+  // ir_size is a pure structural count with the module in hand, recomputed
+  // here instead of trusted from the cache: primed entries (artifact
+  // baselines) and pre-ir_size cache state answer with the correct value.
+  const std::uint64_t ir_size = ir::module_ir_size(m);
   Shard& shard = shard_for(fingerprint);
   std::shared_ptr<ModuleEntry> entry;
   bool owner = false;
@@ -84,7 +92,9 @@ Measure EvalService::measure_by_fingerprint(std::uint64_t fingerprint, const ir:
   if (!owner) {
     std::unique_lock<std::mutex> lock(entry->mutex);
     entry->cv.wait(lock, [&] { return entry->ready; });
-    return entry->measure;
+    Measure cached = entry->measure;
+    cached.ir_size = ir_size;
+    return cached;
   }
 
   if (was_sample) *was_sample = true;
@@ -96,13 +106,13 @@ Measure EvalService::measure_by_fingerprint(std::uint64_t fingerprint, const ir:
     }
     entry->cv.notify_all();
   };
-  Measure measure{kFailurePenaltyCycles, 0.0};
+  Measure measure{kFailurePenaltyCycles, 0.0, ir_size};
   std::uint64_t nanos = 0;
   try {
     const auto t0 = std::chrono::steady_clock::now();
     const auto est = hls::profile_cycles(m, config_.constraints, config_.interp_options);
     if (est.is_ok()) {
-      measure = {est.value().cycles, est.value().area};
+      measure = {est.value().cycles, est.value().area, ir_size};
     } else {
       AP_LOG_WARN << "evaluation failed (" << est.message() << "); assigning penalty cycles";
     }
@@ -113,7 +123,7 @@ Measure EvalService::measure_by_fingerprint(std::uint64_t fingerprint, const ir:
     // The entry MUST be published even on failure (e.g. bad_alloc inside
     // the simulator): waiters block on `ready` and a pending entry that
     // never resolves would deadlock every future caller of this module.
-    publish({kFailurePenaltyCycles, 0.0});
+    publish({kFailurePenaltyCycles, 0.0, ir_size});
     throw;
   }
   publish(measure);

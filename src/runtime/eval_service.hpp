@@ -63,9 +63,14 @@ std::uint64_t sequence_key(std::uint64_t program_fingerprint,
 /// One profiler result, cached as a unit. `area` rides along with the cycle
 /// count so objectives beyond raw cycles (e.g. the serving layer's
 /// cycles x area latency-area product) never trigger a second simulation.
+/// `ir_size` (instructions + blocks) is the third objective of Pareto
+/// serving; it is a pure function of the module, recomputed on every
+/// materialised lookup rather than trusted from the cache, so entries primed
+/// from artifact baselines (which predate ir_size) still answer correctly.
 struct Measure {
   std::uint64_t cycles = 0;
   double area = 0.0;
+  std::uint64_t ir_size = 0;
 };
 
 class EvalService {
@@ -83,6 +88,9 @@ class EvalService {
   /// Full cached measurement (cycles + area) of a materialised module; same
   /// exactly-once semantics as cycles().
   Measure measure(const ir::Module& m, bool* was_sample = nullptr);
+  /// Same, with the module fingerprint precomputed by the caller (the Pareto
+  /// decode fingerprints every candidate for its tie-breaks anyway).
+  Measure measure(const ir::Module& m, std::uint64_t fingerprint, bool* was_sample = nullptr);
 
   /// (program, sequence) evaluation through the secondary key: a sequence
   /// hit returns without cloning the program or applying a single pass.

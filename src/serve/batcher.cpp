@@ -13,7 +13,7 @@ std::vector<double> PolicyBatcher::infer(const PolicyArtifact& artifact,
 
 std::vector<std::vector<double>> PolicyBatcher::infer_many(
     const PolicyArtifact& artifact, const std::vector<std::vector<double>>& observations,
-    std::size_t* batch_rows) {
+    std::size_t* batch_rows, std::uint64_t group_key) {
   if (observations.empty()) {
     if (batch_rows != nullptr) *batch_rows = 0;
     return {};
@@ -22,6 +22,7 @@ std::vector<std::vector<double>> PolicyBatcher::infer_many(
   for (std::size_t i = 0; i < observations.size(); ++i) {
     slots[i].artifact = &artifact;
     slots[i].observation = &observations[i];
+    slots[i].group_key = group_key;
   }
   std::unique_lock<std::mutex> lock(mutex_);
   for (auto& slot : slots) pending_.push_back(&slot);
@@ -77,7 +78,8 @@ void PolicyBatcher::run_batch(std::vector<Pending*> batch) {
     if (grouped[i]) continue;
     std::vector<std::size_t> members;
     for (std::size_t j = i; j < batch.size(); ++j) {
-      if (!grouped[j] && batch[j]->artifact == batch[i]->artifact) {
+      if (!grouped[j] && batch[j]->artifact == batch[i]->artifact &&
+          batch[j]->group_key == batch[i]->group_key) {
         grouped[j] = true;
         members.push_back(j);
       }

@@ -48,10 +48,15 @@ class PolicyBatcher {
   /// requests). Result i corresponds to observations[i]. When `batch_rows` is
   /// non-null it reports the largest same-model batch any of these rows rode
   /// in — the trace attribute that shows whether a request actually shared a
-  /// matmul or ran alone.
+  /// matmul or ran alone. `group_key` partitions batches beyond the model:
+  /// rows only fold with rows of the same (artifact, group_key) — the serve
+  /// path passes weights_key(request.weights), so objective mixes never share
+  /// a batch (today that changes nothing numerically; it is the seam where
+  /// objective-conditioned value heads plug in).
   std::vector<std::vector<double>> infer_many(const PolicyArtifact& artifact,
                                               const std::vector<std::vector<double>>& observations,
-                                              std::size_t* batch_rows = nullptr);
+                                              std::size_t* batch_rows = nullptr,
+                                              std::uint64_t group_key = 0);
 
   [[nodiscard]] BatcherStats stats() const;
 
@@ -59,6 +64,7 @@ class PolicyBatcher {
   struct Pending {
     const PolicyArtifact* artifact = nullptr;
     const std::vector<double>* observation = nullptr;
+    std::uint64_t group_key = 0;  // objective-weights partition within a model
     std::vector<double> logits;
     std::size_t batch_rows = 0;  // size of the same-model batch this row rode
     bool done = false;

@@ -46,6 +46,280 @@ double predicted_improvement(double value, bool log_reward) {
   return value >= 0 ? std::expm1(value) : -std::expm1(-value);
 }
 
+/// Pareto-decode hypothesis: a Beam that additionally knows its measured
+/// objectives and fingerprint (every materialised beam is measured up front —
+/// dominance pruning needs real objective values, and the eval cache makes
+/// re-visits free).
+struct ParetoBeam {
+  std::unique_ptr<ir::Module> module;
+  std::vector<int> sequence;
+  std::vector<double> histogram;
+  double score = 0.0;  // cumulative policy log-probability (expansion order)
+  runtime::Measure measure{};
+  std::uint64_t fingerprint = 0;
+};
+
+ParetoPoint point_of(const std::vector<int>& sequence, const runtime::Measure& measure,
+                     std::uint64_t fingerprint) {
+  return {sequence, measure.cycles, measure.area, measure.ir_size, fingerprint};
+}
+
+/// The multi-objective decode (request.weights is active). Beam expansion is
+/// the scalar algorithm with beam_width == front_width — per beam its top-k
+/// actions by logit, globally the top-k candidates by cumulative
+/// log-probability — but every materialised beam is measured, the live set
+/// is dominance-pruned per step (nondominated among the step's children,
+/// bounded, deterministic tie-break by fingerprint), and the finalists form
+/// the returned front. With front_width == 1 and one active objective this
+/// degenerates exactly — same candidate, vacuous pruning — to the scalar
+/// greedy walk, which the degeneration test pins bit-for-bit.
+Result<CompileResponse> serve_pareto(const PolicyArtifact& artifact,
+                                     const CompileRequest& request, runtime::EvalService& eval,
+                                     PolicyBatcher* batcher, const std::vector<int>& actions,
+                                     bool has_terminate, std::size_t arity,
+                                     const std::vector<int>& features,
+                                     const rl::EnvConfig& obs_config, int budget) {
+  const ObjectiveWeights& weights = request.weights;
+  const std::size_t width = static_cast<std::size_t>(std::clamp(request.front_width, 1, 64));
+  const std::uint64_t group_key = weights_key(weights);
+
+  const auto t0 = Clock::now();
+  AP_SPAN(serve_span, request.trace, "serve");
+  serve_span.attr("model", artifact.name);
+  serve_span.attr("version", static_cast<std::uint64_t>(artifact.version));
+  serve_span.attr("objective", "pareto");
+  serve_span.attr("front_width", static_cast<std::uint64_t>(width));
+
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool ran_simulator = false;
+  const auto count_lookup = [&] { ran_simulator ? ++cache_misses : ++cache_hits; };
+
+  ParetoBeam root;
+  root.module = ir::clone_module_for_rollout(*request.module);
+  root.histogram.assign(arity, 0.0);
+  root.fingerprint = ir::module_fingerprint(*root.module);
+  root.measure = eval.measure(*root.module, root.fingerprint, &ran_simulator);
+  count_lookup();
+  // The unoptimised program is the hypervolume reference point, not a front
+  // member: the front reports what the decode produced, exactly like the
+  // scalar path never answers with the un-compiled module.
+  const runtime::Measure baseline = root.measure;
+  const ParetoPoint baseline_point = point_of({}, baseline, root.fingerprint);
+
+  const auto observe = [&](const ParetoBeam& beam) {
+    std::vector<double> obs =
+        rl::build_observation(*beam.module, beam.histogram, obs_config, features);
+    artifact.normalizer.apply(obs);
+    return obs;
+  };
+  const std::vector<double> root_observation = observe(root);
+  if (root_observation.size() != artifact.policy.config().input) {
+    return Status::error(strf("observation size %zu does not match policy input %zu",
+                              root_observation.size(), artifact.policy.config().input));
+  }
+
+  struct Finalist {
+    std::vector<int> sequence;
+    runtime::Measure measure;
+    std::uint64_t fingerprint = 0;
+  };
+  std::vector<Finalist> finalists;
+  std::vector<ParetoBeam> live;
+  live.push_back(std::move(root));
+
+  // The policy-greedy chain (argmax action from the greedy parent, every
+  // step) is pinned: exempt from the candidate cut and from dominance
+  // pruning. It is exactly the walk the scalar decode takes, so its endpoint
+  // always reaches the finalists — which is what guarantees every front
+  // scalarises at least as well as the scalar response to the same request
+  // (the bench gate `front_dominates_scalar`). Dominance pruning alone can't
+  // promise that: a sibling may dominate the greedy child mid-decode and
+  // still land on a worse endpoint.
+  constexpr std::size_t kNoBeam = static_cast<std::size_t>(-1);
+  std::size_t greedy = 0;  // index into `live` of the pinned beam
+  bool greedy_alive = true;
+
+  for (int step = 0; step < budget && !live.empty(); ++step) {
+    AP_SPAN(step_span, serve_span.context(), "decode_step");
+    step_span.attr("step", static_cast<std::uint64_t>(step));
+    step_span.attr("beams", static_cast<std::uint64_t>(live.size()));
+    std::vector<std::vector<double>> observations;
+    observations.reserve(live.size());
+    if (step == 0) {
+      observations.push_back(root_observation);
+    } else {
+      std::vector<const ir::Module*> front_modules;
+      std::vector<std::vector<double>> histograms;
+      front_modules.reserve(live.size());
+      histograms.reserve(live.size());
+      for (const ParetoBeam& beam : live) {
+        front_modules.push_back(beam.module.get());
+        histograms.push_back(beam.histogram);
+      }
+      observations = rl::build_observation_batch(front_modules, histograms, obs_config, features);
+      for (std::vector<double>& obs : observations) artifact.normalizer.apply(obs);
+    }
+    std::vector<std::vector<double>> logits;
+    if (batcher != nullptr) {
+      std::size_t batch_rows = 0;
+      logits = batcher->infer_many(artifact, observations, &batch_rows, group_key);
+      step_span.attr("batch_rows", static_cast<std::uint64_t>(batch_rows));
+    } else {
+      const ml::Matrix out = artifact.policy.forward_batch(observations);
+      for (std::size_t r = 0; r < out.rows(); ++r) {
+        logits.emplace_back(out.row(r), out.row(r) + out.cols());
+      }
+      step_span.attr("batch_rows", static_cast<std::uint64_t>(observations.size()));
+    }
+
+    struct Candidate {
+      std::size_t parent;
+      std::size_t action;
+      double score;
+    };
+    std::vector<Candidate> candidates;
+    std::size_t greedy_action = 0;
+    for (std::size_t b = 0; b < live.size(); ++b) {
+      std::vector<std::size_t> order(arity);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        if (logits[b][x] != logits[b][y]) return logits[b][x] > logits[b][y];
+        return x < y;
+      });
+      if (greedy_alive && b == greedy) greedy_action = order[0];
+      const std::size_t expand = std::min(width, arity);
+      for (std::size_t k = 0; k < expand; ++k) {
+        const std::size_t a = order[k];
+        candidates.push_back({b, a, live[b].score + ml::log_prob(logits[b].data(), arity, a)});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [](const Candidate& x, const Candidate& y) {
+      if (x.score != y.score) return x.score > y.score;
+      if (x.parent != y.parent) return x.parent < y.parent;
+      return x.action < y.action;
+    });
+    if (candidates.size() > width) candidates.resize(width);
+    if (greedy_alive) {
+      // Cumulative log-prob can rank the greedy child below the cut (greedy
+      // is only locally optimal); swap it in over the weakest survivor.
+      const bool present =
+          std::any_of(candidates.begin(), candidates.end(), [&](const Candidate& c) {
+            return c.parent == greedy && c.action == greedy_action;
+          });
+      if (!present) {
+        const double score =
+            live[greedy].score + ml::log_prob(logits[greedy].data(), arity, greedy_action);
+        candidates.back() = {greedy, greedy_action, score};
+      }
+    }
+
+    // Materialise + measure the survivors; terminate freezes the parent (its
+    // measurement happened when it was created, so this costs nothing).
+    std::vector<int> uses(live.size(), 0);
+    for (const Candidate& c : candidates) ++uses[c.parent];
+    std::vector<ParetoBeam> children;
+    std::size_t greedy_child = kNoBeam;  // index into `children` of the pinned child
+    for (const Candidate& c : candidates) {
+      const bool pinned = greedy_alive && c.parent == greedy && c.action == greedy_action;
+      if (has_terminate && c.action + 1 == arity) {
+        --uses[c.parent];  // keep steal accounting exact for later siblings
+        finalists.push_back(
+            {live[c.parent].sequence, live[c.parent].measure, live[c.parent].fingerprint});
+        if (pinned) greedy_alive = false;  // the chain's endpoint is now a finalist
+        continue;
+      }
+      if (pinned) greedy_child = children.size();
+      ParetoBeam child;
+      child.sequence = live[c.parent].sequence;
+      child.histogram = live[c.parent].histogram;
+      child.score = c.score;
+      child.module = --uses[c.parent] == 0 ? std::move(live[c.parent].module)
+                                           : ir::clone_module(*live[c.parent].module);
+      const int pass_index = actions[c.action];
+      passes::apply_pass(*child.module, pass_index);
+      child.histogram[c.action] += 1.0;
+      child.sequence.push_back(pass_index);
+      child.fingerprint = ir::module_fingerprint(*child.module);
+      child.measure = eval.measure(*child.module, child.fingerprint, &ran_simulator);
+      count_lookup();
+      children.push_back(std::move(child));
+    }
+
+    // The nondominated live set: dominance-prune the step's children against
+    // each other (duplicates collapse by fingerprint, width-bounded by
+    // scalarised eviction), then carry the surviving beams — in candidate
+    // order — into the next step.
+    std::vector<ParetoPoint> step_front;
+    for (const ParetoBeam& child : children) {
+      front_insert(step_front, point_of(child.sequence, child.measure, child.fingerprint),
+                   weights, width);
+    }
+    std::vector<ParetoBeam> next;
+    std::size_t next_greedy = kNoBeam;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      ParetoBeam& child = children[i];
+      const auto it =
+          std::find_if(step_front.begin(), step_front.end(), [&](const ParetoPoint& p) {
+            return p.fingerprint == child.fingerprint;
+          });
+      const bool pinned = greedy_alive && i == greedy_child;
+      if (it == step_front.end() && !pinned) continue;
+      if (it != step_front.end()) step_front.erase(it);  // one beam per surviving point
+      if (pinned) next_greedy = next.size();
+      next.push_back(std::move(child));
+    }
+    greedy = next_greedy;
+    greedy_alive = greedy_alive && greedy != kNoBeam;
+    step_span.attr("pruned", static_cast<std::uint64_t>(children.size() - next.size()));
+    live = std::move(next);
+  }
+  for (ParetoBeam& beam : live) {
+    finalists.push_back({std::move(beam.sequence), beam.measure, beam.fingerprint});
+  }
+
+  std::vector<ParetoPoint> front;
+  for (const Finalist& f : finalists) {
+    front_insert(front, point_of(f.sequence, f.measure, f.fingerprint), weights, width);
+  }
+  sort_front(front, weights);
+  serve_span.attr("finalists", static_cast<std::uint64_t>(finalists.size()));
+  serve_span.attr("front_size", static_cast<std::uint64_t>(front.size()));
+  serve_span.attr("cache_hits", cache_hits);
+  serve_span.attr("cache_misses", cache_misses);
+
+  // front[0] is the representative (best scalarised) point; its module is
+  // re-derived by replaying the sequence — passes are deterministic, so this
+  // is the module that was measured, and the clone is fully materialised.
+  const ParetoPoint& representative = front.front();
+  auto module = ir::clone_module_for_rollout(*request.module);
+  passes::apply_pass_sequence(*module, representative.sequence);
+  module->materialize_all();
+
+  std::uint64_t predicted = baseline.cycles;
+  if (artifact.value.has_value()) {
+    const double value = artifact.value->forward(row_matrix(root_observation)).at(0, 0);
+    const double improvement = predicted_improvement(value, artifact.spec.log_reward);
+    const double estimate = std::max(0.0, static_cast<double>(baseline.cycles) - improvement);
+    predicted = static_cast<std::uint64_t>(estimate);
+  }
+
+  CompileResponse response;
+  response.module = std::move(module);
+  response.provenance = {artifact.name,
+                         artifact.version,
+                         representative.sequence,
+                         baseline.cycles,
+                         predicted,
+                         representative.cycles,
+                         representative.area,
+                         static_cast<int>(finalists.size())};
+  response.front_hypervolume = hypervolume(front, baseline_point, weights);
+  response.front = std::move(front);
+  response.serve_nanos = nanos_between(t0, Clock::now());
+  return response;
+}
+
 }  // namespace
 
 const char* objective_name(Objective objective) noexcept {
@@ -110,6 +384,14 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
   if (!artifact.normalizer.identity() &&
       artifact.normalizer.mean.size() != artifact.policy.config().input) {
     return Status::error("artifact normalizer length does not match policy input");
+  }
+
+  if (request.weights.active()) {
+    // Multi-objective opt-in: the Pareto decode replaces the scalar walk
+    // below (beam_width is superseded by front_width). Weightless requests
+    // never reach it, which is the bit-identity guarantee.
+    return serve_pareto(artifact, request, eval, batcher, actions, has_terminate, arity, features,
+                        obs_config, budget);
   }
 
   const auto t0 = Clock::now();
@@ -488,6 +770,15 @@ void CompileService::finish_job(Job job) {
           ->histogram("serve_cycle_error_pct",
                       {{"model", prov.model}, {"version", strf("%u", prov.version)}})
           .record(error_pct);
+    }
+    // Pareto requests: front size + hypervolume distributions (the obs view
+    // of multi-objective serving quality; scalar requests record nothing).
+    if (!result.value().front.empty()) {
+      metrics_registry_->counter("serve_pareto_requests").inc();
+      metrics_registry_->histogram("serve_front_size")
+          .record(static_cast<double>(result.value().front.size()));
+      metrics_registry_->histogram("serve_front_hypervolume")
+          .record(result.value().front_hypervolume);
     }
   } else {
     ctr_failed_.inc();

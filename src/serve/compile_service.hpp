@@ -30,6 +30,7 @@
 #include "runtime/eval_service.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/pareto.hpp"
 #include "support/status.hpp"
 #include "support/thread_pool.hpp"
 
@@ -60,6 +61,14 @@ struct CompileRequest {
   std::string model;
   std::int64_t version = 0;  // <= 0 selects the latest
   int priority = 0;          // higher pops first; FIFO within a priority
+  /// Multi-objective opt-in: any weight > 0 switches the decode to the
+  /// Pareto path (nondominated live set, front in the response). All-zero —
+  /// the default — runs the classic scalar decode and produces bit-identical
+  /// responses to the pre-Pareto service.
+  ObjectiveWeights weights{};
+  /// Bound on the nondominated set: live beams per step and points in the
+  /// returned front. Only read when `weights` is active.
+  int front_width = 8;
   /// Tracing identity. Invalid (all-zero, the default) means untraced;
   /// submit/try_submit allocate a fresh root context when the process tracer
   /// is enabled, and a remote client's context arrives here over the wire so
@@ -88,6 +97,12 @@ struct CompileResponse {
   Provenance provenance;
   std::uint64_t queue_nanos = 0;  // time spent waiting for a worker
   std::uint64_t serve_nanos = 0;  // decode + measurement time
+  /// Pareto requests only (empty otherwise): the nondominated finalist set
+  /// in canonical sort_front order — front[0] is the representative point
+  /// the provenance/module describe. Verified nondominated by construction.
+  std::vector<ParetoPoint> front;
+  /// hypervolume(front) against the unoptimised baseline as the reference.
+  double front_hypervolume = 0.0;
 };
 
 struct LatencyQuantiles {

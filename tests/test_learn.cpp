@@ -170,6 +170,7 @@ TEST(ProvenanceCodec, RecordRoundTripsEveryField) {
   record.module_bytes = std::string("blob\x00with null", 14);
   record.objective = serve::Objective::kCyclesTimesArea;
   record.canary = true;
+  record.weights = {1.0, 0.25, 0.5};
 
   serve::ByteWriter w;
   learn::write_provenance_record(w, record);
@@ -188,6 +189,16 @@ TEST(ProvenanceCodec, RecordRoundTripsEveryField) {
   EXPECT_EQ(out.predicted_cycles, record.predicted_cycles);
   EXPECT_EQ(out.measured_cycles, record.measured_cycles);
   EXPECT_EQ(out.measured_area, record.measured_area);
+  EXPECT_EQ(out.weights, record.weights);
+
+  // The same bytes read at version 1 stop before the weight vector: the
+  // reader leaves it inactive and the trailing 24 bytes unconsumed — exactly
+  // how a v1 batch (which never wrote them) decodes.
+  serve::ByteReader v1(w.bytes());
+  learn::ProvenanceRecord old_peer;
+  ASSERT_TRUE(learn::read_provenance_record(v1, old_peer, /*version=*/1));
+  EXPECT_EQ(v1.remaining(), 24u);
+  EXPECT_FALSE(old_peer.weights.active());
 }
 
 TEST(ProvenanceCodec, MalformedBatchesAreRejectedCleanly) {
@@ -229,8 +240,12 @@ TEST(ProvenanceCodec, MalformedBatchesAreRejectedCleanly) {
   EXPECT_FALSE(learn::read_provenance_record(r, out));
 }
 
-TEST(ProvenanceGolden, V1BatchIsBitStable) {
-  // Dyadic values only (no RNG, no libm): bytes identical on every platform.
+/// The shared golden cohort: dyadic values only (no RNG, no libm), so the
+/// bytes are identical on every platform. Record 2 carries an active weight
+/// vector — meaningless to a v1 writer, which is exactly the point: the v1
+/// golden pins what old checkpoints look like (no weights on the wire), the
+/// v2 golden pins that today's writer appends them and nothing else moved.
+std::vector<learn::ProvenanceRecord> golden_records() {
   std::vector<learn::ProvenanceRecord> records;
   for (std::uint32_t n = 0; n < 3; ++n) {
     learn::ProvenanceRecord record;
@@ -245,12 +260,17 @@ TEST(ProvenanceGolden, V1BatchIsBitStable) {
     record.predicted_cycles = 2048 + n;
     record.measured_cycles = 1024 + n;
     record.measured_area = static_cast<double>((n * 13 + 1) % 23) * 0.0625 - 0.5;
+    if (n == 2) record.weights = {1.0, 0.5, 0.25};
     records.push_back(std::move(record));
   }
-  const std::string bytes = learn::serialize_records(records);
-  maybe_regenerate("provenance_v1.bin", bytes);
+  return records;
+}
 
-  const std::string golden = read_file(data_path("provenance_v1.bin"));
+TEST(ProvenanceGolden, V2BatchIsBitStable) {
+  const std::string bytes = learn::serialize_records(golden_records());
+  maybe_regenerate("provenance_v2.bin", bytes);
+
+  const std::string golden = read_file(data_path("provenance_v2.bin"));
   ASSERT_FALSE(golden.empty());
   // Today's writer must reproduce yesterday's bytes exactly.
   EXPECT_EQ(bytes, golden);
@@ -262,7 +282,35 @@ TEST(ProvenanceGolden, V1BatchIsBitStable) {
   EXPECT_EQ(decoded.value()[2].model, "agent-canary");
   EXPECT_TRUE(decoded.value()[2].canary);
   EXPECT_EQ(decoded.value()[1].sequence, (std::vector<int>{1, 11, 7}));
+  EXPECT_EQ(decoded.value()[2].weights, (serve::ObjectiveWeights{1.0, 0.5, 0.25}));
+  EXPECT_FALSE(decoded.value()[0].weights.active());
   EXPECT_EQ(learn::serialize_records(decoded.value()), golden);
+}
+
+TEST(ProvenanceGolden, V1CheckpointStillDecodesWithInactiveWeights) {
+  // provenance_v1.bin was written by the v1 codec and is deliberately never
+  // regenerated: it is the proof that last release's checkpoints stay
+  // readable. Every pre-weights field must decode unchanged, and the weight
+  // vector — which v1 never carried — must come back inactive.
+  const std::string golden = read_file(data_path("provenance_v1.bin"));
+  ASSERT_FALSE(golden.empty());
+  auto decoded = learn::deserialize_records(golden);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  ASSERT_EQ(decoded.value().size(), 3u);
+
+  const std::vector<learn::ProvenanceRecord> expected = golden_records();
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(decoded.value()[n].fingerprint, expected[n].fingerprint);
+    EXPECT_EQ(decoded.value()[n].module_bytes, expected[n].module_bytes);
+    EXPECT_EQ(decoded.value()[n].objective, expected[n].objective);
+    EXPECT_EQ(decoded.value()[n].model, expected[n].model);
+    EXPECT_EQ(decoded.value()[n].version, expected[n].version);
+    EXPECT_EQ(decoded.value()[n].canary, expected[n].canary);
+    EXPECT_EQ(decoded.value()[n].sequence, expected[n].sequence);
+    EXPECT_EQ(decoded.value()[n].measured_cycles, expected[n].measured_cycles);
+    EXPECT_EQ(decoded.value()[n].measured_area, expected[n].measured_area);
+    EXPECT_FALSE(decoded.value()[n].weights.active()) << "record " << n;
+  }
 }
 
 // ---------------------------------------------------------------------------

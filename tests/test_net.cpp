@@ -266,6 +266,182 @@ TEST(RemoteServe, ResponseBytesIdenticalToCompileSync) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pareto wire fields (v4)
+// ---------------------------------------------------------------------------
+
+TEST(WireCompile, WeightlessRequestBytesAreLegacyAndWeightsRoundTrip) {
+  auto m = progen::build_chstone_like("sha");
+  serve::CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  request.pass_budget = 3;
+
+  // A weightless request emits zero trailer fields: the weights feature
+  // leaves no trace on scalar traffic, which is the bit-identity guarantee.
+  const std::string scalar_bytes = net::encode_compile_request(request);
+  auto scalar = net::decode_compile_request(scalar_bytes);
+  ASSERT_TRUE(scalar.is_ok()) << scalar.message();
+  EXPECT_FALSE(scalar.value().request.weights.active());
+
+  request.weights = {1.0, 0.5, 0.25};
+  request.front_width = 5;
+  const std::string weighted_bytes = net::encode_compile_request(request);
+  ASSERT_GT(weighted_bytes.size(), scalar_bytes.size());
+  EXPECT_EQ(weighted_bytes.compare(0, scalar_bytes.size(), scalar_bytes), 0)
+      << "weights trailer must append, not rewrite";
+
+  auto weighted = net::decode_compile_request(weighted_bytes);
+  ASSERT_TRUE(weighted.is_ok()) << weighted.message();
+  EXPECT_EQ(weighted.value().request.weights, request.weights);
+  EXPECT_EQ(weighted.value().request.front_width, 5);
+  // Re-encoding the decoded request reproduces the bytes (f64 bit patterns).
+  weighted.value().request.module = weighted.value().module.get();
+  EXPECT_EQ(net::encode_compile_request(weighted.value().request), weighted_bytes);
+}
+
+TEST(WireCompile, CorruptWeightsFieldsRejectedAndUnknownTagsSkipped) {
+  auto m = progen::build_chstone_like("sha");
+  serve::CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  const std::string scalar_bytes = net::encode_compile_request(request);
+
+  // A known tag with a bad body is a hard error: negative weight,
+  // out-of-range front width, and a short field all bounce.
+  request.weights = {1.0, -0.5, 0.0};
+  auto negative = net::decode_compile_request(net::encode_compile_request(request));
+  ASSERT_FALSE(negative.is_ok());
+  EXPECT_NE(negative.message().find("corrupt weights"), std::string::npos)
+      << negative.message();
+
+  request.weights = {1.0, 0.0, 0.0};
+  request.front_width = 0;
+  auto zero_width = net::decode_compile_request(net::encode_compile_request(request));
+  ASSERT_FALSE(zero_width.is_ok());
+  EXPECT_NE(zero_width.message().find("corrupt weights"), std::string::npos);
+
+  serve::ByteWriter short_field;
+  short_field.u8(net::kCompileTagWeights);
+  short_field.str("abc");
+  EXPECT_FALSE(net::decode_compile_request(scalar_bytes + short_field.take()).is_ok());
+
+  // Unknown tags are skipped — a newer peer's field passes through cleanly.
+  serve::ByteWriter future_field;
+  future_field.u8(0x7F);
+  future_field.str("from the future");
+  auto skipped = net::decode_compile_request(scalar_bytes + future_field.take());
+  ASSERT_TRUE(skipped.is_ok()) << skipped.message();
+  EXPECT_FALSE(skipped.value().request.weights.active());
+}
+
+TEST(WireCompile, FrontFieldRoundTripsAndCorruptionIsRejected) {
+  serve::CompileResponse scalar;
+  scalar.module = progen::build_chstone_like("sha");
+  scalar.provenance.model = "agent";
+  scalar.provenance.version = 1;
+  scalar.provenance.sequence = {4, 9};
+  scalar.provenance.measured_cycles = 500;
+  const std::string scalar_bytes = net::encode_compile_response(std::move(scalar));
+
+  serve::CompileResponse with_front;
+  with_front.module = progen::build_chstone_like("sha");
+  with_front.provenance.model = "agent";
+  with_front.provenance.version = 1;
+  with_front.provenance.sequence = {4, 9};
+  with_front.provenance.measured_cycles = 500;
+  with_front.front = {{{4, 9}, 500, 2.0, 120, 0xBEEF}, {{7}, 650, 1.0, 90, 0xCAFE}};
+  with_front.front_hypervolume = 0.375;
+  auto scalar_decoded = net::decode_compile_response(scalar_bytes);
+  ASSERT_TRUE(scalar_decoded.is_ok()) << scalar_decoded.message();
+  const std::string identity_scalar = net::response_identity_bytes(scalar_decoded.value());
+  const std::string front_bytes = net::encode_compile_response(std::move(with_front));
+
+  // The front travels as an appended tagged field; scalar responses carry
+  // no trace of it.
+  ASSERT_GT(front_bytes.size(), scalar_bytes.size());
+  EXPECT_EQ(front_bytes.compare(0, scalar_bytes.size(), scalar_bytes), 0);
+
+  auto decoded = net::decode_compile_response(front_bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  ASSERT_EQ(decoded.value().front.size(), 2u);
+  EXPECT_EQ(decoded.value().front[0].sequence, (std::vector<int>{4, 9}));
+  EXPECT_EQ(decoded.value().front[0].cycles, 500u);
+  EXPECT_EQ(decoded.value().front[1].ir_size, 90u);
+  EXPECT_EQ(decoded.value().front[1].fingerprint, 0xCAFEu);
+  EXPECT_DOUBLE_EQ(decoded.value().front_hypervolume, 0.375);
+  // The front is part of the response identity: replicas must agree on the
+  // whole set, and a decoded front re-encodes bit-exactly.
+  EXPECT_NE(net::response_identity_bytes(decoded.value()), identity_scalar);
+  EXPECT_EQ(net::encode_compile_response(std::move(decoded).value()), front_bytes);
+
+  // A known tag with a garbage body is a hard error...
+  serve::ByteWriter garbage;
+  garbage.u8(net::kCompileTagFront);
+  garbage.str("not a front");
+  auto corrupt = net::decode_compile_response(scalar_bytes + garbage.take());
+  ASSERT_FALSE(corrupt.is_ok());
+  EXPECT_NE(corrupt.message().find("corrupt front"), std::string::npos) << corrupt.message();
+
+  // ...including a hostile point count, which bounces before any allocation.
+  serve::ByteWriter hostile_body;
+  hostile_body.f64(0.5);
+  hostile_body.u32(0x7fffffff);
+  serve::ByteWriter hostile;
+  hostile.u8(net::kCompileTagFront);
+  hostile.str(hostile_body.take());
+  EXPECT_FALSE(net::decode_compile_response(scalar_bytes + hostile.take()).is_ok());
+
+  // Unknown response tags skip, same as the request side.
+  serve::ByteWriter future_field;
+  future_field.u8(0x66);
+  future_field.str("??");
+  EXPECT_TRUE(net::decode_compile_response(scalar_bytes + future_field.take()).is_ok());
+}
+
+TEST(RemoteServe, ParetoFrontOverTheWireIsByteIdenticalToCompileSync) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness harness;
+  harness.registry->publish("agent", make_test_artifact(sha.get(), 21));
+
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  request.weights = {1.0, 0.0, 1.0};
+  request.front_width = 4;
+
+  auto remote = client.compile(request);
+  ASSERT_TRUE(remote.is_ok()) << remote.message();
+  auto local = harness.node->service().compile_sync(request);
+  ASSERT_TRUE(local.is_ok()) << local.message();
+
+  // The acceptance bar, extended to multi-objective serving: the remote
+  // front is the local front, byte for byte, and it verifies nondominated.
+  ASSERT_FALSE(remote.value().front.empty());
+  EXPECT_TRUE(serve::is_nondominated(remote.value().front, request.weights));
+  EXPECT_EQ(net::response_identity_bytes(remote.value()),
+            net::response_identity_bytes(local.value()));
+  ASSERT_EQ(remote.value().front.size(), local.value().front.size());
+  for (std::size_t i = 0; i < remote.value().front.size(); ++i) {
+    EXPECT_EQ(remote.value().front[i].sequence, local.value().front[i].sequence);
+    EXPECT_EQ(remote.value().front[i].fingerprint, local.value().front[i].fingerprint);
+  }
+  EXPECT_DOUBLE_EQ(remote.value().front_hypervolume, local.value().front_hypervolume);
+
+  // The same connection still serves scalar traffic with pre-v4 responses:
+  // no front, and identity bytes equal to the owning node's compile_sync.
+  serve::CompileRequest scalar = request;
+  scalar.weights = {};
+  auto remote_scalar = client.compile(scalar);
+  ASSERT_TRUE(remote_scalar.is_ok()) << remote_scalar.message();
+  EXPECT_TRUE(remote_scalar.value().front.empty());
+  auto local_scalar = harness.node->service().compile_sync(scalar);
+  ASSERT_TRUE(local_scalar.is_ok());
+  EXPECT_EQ(net::response_identity_bytes(remote_scalar.value()),
+            net::response_identity_bytes(local_scalar.value()));
+}
+
 TEST(RemoteServe, PipelinedBatchMatchesSyncReference) {
   auto sha = progen::build_chstone_like("sha");
   auto gsm = progen::build_chstone_like("gsm");

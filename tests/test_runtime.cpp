@@ -4,6 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "ir/clone.hpp"
+#include "ir/printer.hpp"
+#include "passes/pass.hpp"
 #include "progen/chstone_like.hpp"
 #include "rl/a3c.hpp"
 #include "rl/env.hpp"
@@ -112,6 +115,37 @@ TEST(EvalService, ShardStatsSumToAggregate) {
   EXPECT_EQ(summed.sequence_hits, total.sequence_hits);
   EXPECT_EQ(summed.eval_nanos, total.eval_nanos);
   EXPECT_EQ(total.sequence_hits, 3u);
+}
+
+TEST(EvalService, MeasureCarriesIrSizeEvenForPrimedEntries) {
+  auto m = progen::build_chstone_like("sha");
+  const std::uint64_t expected_size = ir::module_ir_size(*m);
+  ASSERT_GT(expected_size, 0u);
+
+  EvalService service;
+  const Measure measured = service.measure(*m);
+  EXPECT_EQ(measured.ir_size, expected_size);
+  // Hits agree with the miss that populated them.
+  EXPECT_EQ(service.measure(*m).ir_size, expected_size);
+
+  // Primed entries predate ir_size (artifact baselines carry cycles + area
+  // only): a materialised lookup recomputes it instead of trusting the cache.
+  auto other = progen::build_chstone_like("gsm");
+  const std::uint64_t other_fp = ir::module_fingerprint(*other);
+  EvalService primed;
+  ASSERT_TRUE(primed.prime(other_fp, {1234, 1.5, 0}));
+  bool sampled = true;
+  const Measure from_prime = primed.measure(*other, other_fp, &sampled);
+  EXPECT_FALSE(sampled);  // the primed entry answered — no simulator call
+  EXPECT_EQ(from_prime.cycles, 1234u);
+  EXPECT_EQ(from_prime.ir_size, ir::module_ir_size(*other));
+
+  // Optimising a module moves its size; the measurement tracks the module.
+  auto clone = ir::clone_module_for_rollout(*m);
+  passes::apply_pass_sequence(*clone, {38, 31, 0});
+  clone->materialize_all();
+  const Measure optimised = service.measure(*clone);
+  EXPECT_EQ(optimised.ir_size, ir::module_ir_size(*clone));
 }
 
 // ---------------------------------------------------------------------------

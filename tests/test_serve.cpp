@@ -765,5 +765,197 @@ TEST(ServeMetricsBreakdown, PerModelPerObjectiveCountsAndReservoir) {
   EXPECT_EQ(per_model_completed, metrics.completed);
 }
 
+// ---------------------------------------------------------------------------
+// Pareto fronts (multi-objective serving)
+// ---------------------------------------------------------------------------
+
+ParetoPoint pareto_point(std::uint64_t cycles, double area, std::uint64_t ir_size,
+                         std::uint64_t fingerprint) {
+  return {{}, cycles, area, ir_size, fingerprint};
+}
+
+TEST(ParetoFront, DominanceLooksAtActiveObjectivesOnly) {
+  const ObjectiveWeights cycles_only{1.0, 0.0, 0.0};
+  const ObjectiveWeights both{1.0, 0.0, 1.0};
+  const ParetoPoint fast = pareto_point(50, 9.0, 200, 1);
+  const ParetoPoint small = pareto_point(80, 1.0, 100, 2);
+
+  // With only cycles active, fewer cycles wins outright — ir_size invisible.
+  EXPECT_TRUE(dominates(fast, small, cycles_only));
+  EXPECT_FALSE(dominates(small, fast, cycles_only));
+  // With both active they trade off: neither dominates.
+  EXPECT_FALSE(dominates(fast, small, both));
+  EXPECT_FALSE(dominates(small, fast, both));
+  // Dominance is strict: a point never dominates itself.
+  EXPECT_FALSE(dominates(fast, fast, both));
+
+  // {cycles: 1} degenerates the weights to single-objective serving.
+  EXPECT_FALSE(ObjectiveWeights{}.active());
+  EXPECT_TRUE(cycles_only.active());
+  EXPECT_NE(weights_key(cycles_only), weights_key(both));
+  EXPECT_EQ(weights_key(both), weights_key({1.0, 0.0, 1.0}));
+}
+
+TEST(ParetoFront, InsertCollapsesDuplicatesPrunesDominatedAndBoundsWidth) {
+  const ObjectiveWeights weights{1.0, 0.0, 1.0};
+  std::vector<ParetoPoint> front;
+
+  EXPECT_TRUE(front_insert(front, pareto_point(100, 0.0, 100, 7), weights, 8));
+  // Dominated by the incumbent: rejected, front untouched.
+  EXPECT_FALSE(front_insert(front, pareto_point(100, 0.0, 120, 3), weights, 8));
+  ASSERT_EQ(front.size(), 1u);
+
+  // Duplicate objective vector: the smaller fingerprint survives, whichever
+  // order the two arrive in.
+  EXPECT_TRUE(front_insert(front, pareto_point(100, 0.0, 100, 4), weights, 8));
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].fingerprint, 4u);
+  EXPECT_FALSE(front_insert(front, pareto_point(100, 0.0, 100, 9), weights, 8));
+  EXPECT_EQ(front[0].fingerprint, 4u);
+
+  // A dominating point prunes every member it beats.
+  EXPECT_TRUE(front_insert(front, pareto_point(120, 0.0, 50, 5), weights, 8));
+  EXPECT_TRUE(front_insert(front, pareto_point(90, 0.0, 90, 6), weights, 8));
+  ASSERT_EQ(front.size(), 2u);  // (90, 90) pruned (100, 100)
+  EXPECT_TRUE(is_nondominated(front, weights));
+
+  // Width bound: the worst scalarised member is evicted — which can be the
+  // newly inserted point itself (front_insert then reports false).
+  EXPECT_FALSE(front_insert(front, pareto_point(60, 0.0, 400, 8), weights, 2));
+  EXPECT_EQ(front.size(), 2u);
+  EXPECT_TRUE(is_nondominated(front, weights));
+
+  // is_nondominated is the verifier, so make sure it can actually fail.
+  std::vector<ParetoPoint> bad = {pareto_point(10, 0.0, 10, 1), pareto_point(20, 0.0, 20, 2)};
+  EXPECT_FALSE(is_nondominated(bad, weights));
+  std::vector<ParetoPoint> duplicated = {pareto_point(10, 0.0, 10, 1),
+                                         pareto_point(10, 0.0, 10, 2)};
+  EXPECT_FALSE(is_nondominated(duplicated, weights));
+}
+
+TEST(ParetoFront, HypervolumeExactOnKnownFronts) {
+  const ParetoPoint reference = pareto_point(100, 0.0, 100, 0);
+  const ObjectiveWeights cycles_only{1.0, 0.0, 0.0};
+  const ObjectiveWeights both{1.0, 0.0, 1.0};
+
+  // 1D: a 50-cycle point against a 100-cycle reference covers half the range.
+  std::vector<ParetoPoint> one = {pareto_point(50, 0.0, 777, 1)};
+  EXPECT_DOUBLE_EQ(hypervolume(one, reference, cycles_only), 0.5);
+
+  // 2D staircase: normalised points (0.5, 0.75) and (0.75, 0.25) span boxes
+  // of 0.5*0.25 and 0.25*0.75 overlapping in a 0.25*0.25 corner.
+  std::vector<ParetoPoint> stairs = {pareto_point(50, 0.0, 75, 1), pareto_point(75, 0.0, 25, 2)};
+  EXPECT_DOUBLE_EQ(hypervolume(stairs, reference, both),
+                   0.5 * 0.25 + 0.25 * 0.75 - 0.25 * 0.25);
+
+  // A point that fails to strictly beat the reference contributes nothing;
+  // neither does an empty front or a degenerate reference.
+  std::vector<ParetoPoint> at_ref = {pareto_point(100, 0.0, 40, 1)};
+  EXPECT_DOUBLE_EQ(hypervolume(at_ref, reference, both), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({}, reference, both), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume(one, pareto_point(0, 0.0, 0, 0), cycles_only), 0.0);
+
+  // Adding a dominated point never changes the volume; adding a nondominated
+  // one never shrinks it.
+  std::vector<ParetoPoint> plus_dominated = stairs;
+  plus_dominated.push_back(pareto_point(80, 0.0, 80, 3));
+  EXPECT_DOUBLE_EQ(hypervolume(plus_dominated, reference, both),
+                   hypervolume(stairs, reference, both));
+  std::vector<ParetoPoint> plus_better = stairs;
+  plus_better.push_back(pareto_point(25, 0.0, 95, 4));
+  EXPECT_GT(hypervolume(plus_better, reference, both), hypervolume(stairs, reference, both));
+}
+
+TEST(ServePareto, WeightedRequestReturnsVerifiedNondominatedFront) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 31));
+  CompileService service(registry, nullptr, {.workers = 2});
+
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  request.weights = {1.0, 0.0, 1.0};  // cycles vs IR size
+  request.front_width = 6;
+  auto response = service.compile_sync(request);
+  ASSERT_TRUE(response.is_ok()) << response.message();
+  const CompileResponse& r = response.value();
+
+  ASSERT_FALSE(r.front.empty());
+  EXPECT_LE(r.front.size(), 6u);
+  EXPECT_TRUE(is_nondominated(r.front, request.weights));
+  EXPECT_GE(r.front_hypervolume, 0.0);
+  // front[0] is the representative: the provenance and the returned module
+  // describe exactly that point.
+  EXPECT_EQ(r.provenance.sequence, r.front[0].sequence);
+  EXPECT_EQ(r.provenance.measured_cycles, r.front[0].cycles);
+  ASSERT_NE(r.module, nullptr);
+  EXPECT_EQ(ir::module_fingerprint(*r.module), r.front[0].fingerprint);
+  // Every point's ir_size is a real measurement of a real module.
+  for (const ParetoPoint& p : r.front) EXPECT_GT(p.ir_size, 0u);
+  // Canonical order: scalarised score ascending.
+  for (std::size_t i = 1; i < r.front.size(); ++i) {
+    EXPECT_LE(scalar_score(r.front[i - 1], request.weights),
+              scalar_score(r.front[i], request.weights));
+  }
+
+  // Deterministic: the same request decodes the same front, point for point.
+  auto again = service.compile_sync(request);
+  ASSERT_TRUE(again.is_ok());
+  ASSERT_EQ(again.value().front.size(), r.front.size());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(again.value().front[i].sequence, r.front[i].sequence);
+    EXPECT_EQ(again.value().front[i].fingerprint, r.front[i].fingerprint);
+  }
+  EXPECT_DOUBLE_EQ(again.value().front_hypervolume, r.front_hypervolume);
+
+  // The queued worker path answers bit-identically to compile_sync.
+  auto queued = service.submit(request).get();
+  ASSERT_TRUE(queued.is_ok()) << queued.message();
+  ASSERT_EQ(queued.value().front.size(), r.front.size());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(queued.value().front[i].sequence, r.front[i].sequence);
+  }
+
+  // Pareto traffic is observable: the queued request counted itself and
+  // recorded front size + hypervolume into the scrape surface.
+  const std::string scrape = service.metrics_registry()->render_text();
+  EXPECT_NE(scrape.find("serve_pareto_requests 1"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("serve_front_size"), std::string::npos);
+  EXPECT_NE(scrape.find("serve_front_hypervolume"), std::string::npos);
+}
+
+TEST(ServePareto, WidthOneSingleObjectiveDegeneratesToScalarGreedy) {
+  auto m = progen::build_chstone_like("qsort");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 13));
+  CompileService service(registry, nullptr, {.workers = 0});
+
+  CompileRequest scalar;
+  scalar.module = m.get();
+  scalar.model = "agent";
+  scalar.beam_width = 1;
+  auto scalar_response = service.compile_sync(scalar);
+  ASSERT_TRUE(scalar_response.is_ok()) << scalar_response.message();
+  EXPECT_TRUE(scalar_response.value().front.empty());
+
+  CompileRequest pareto = scalar;
+  pareto.weights = {1.0, 0.0, 0.0};
+  pareto.front_width = 1;
+  auto pareto_response = service.compile_sync(pareto);
+  ASSERT_TRUE(pareto_response.is_ok()) << pareto_response.message();
+
+  // A front of one with only cycles active is today's argmax: the Pareto
+  // walk expands the same single candidate per step, so the sequence, the
+  // measurement, and the optimized module are all identical.
+  ASSERT_EQ(pareto_response.value().front.size(), 1u);
+  EXPECT_EQ(pareto_response.value().provenance.sequence,
+            scalar_response.value().provenance.sequence);
+  EXPECT_EQ(pareto_response.value().provenance.measured_cycles,
+            scalar_response.value().provenance.measured_cycles);
+  EXPECT_EQ(ir::module_fingerprint(*pareto_response.value().module),
+            ir::module_fingerprint(*scalar_response.value().module));
+}
+
 }  // namespace
 }  // namespace autophase::serve
