@@ -1,0 +1,150 @@
+// Membership-churn convergence cost, measured on the deterministic network
+// simulator: a fleet under 10% message loss loses one node mid-flight, and
+// the bench counts the sweeps until every survivor holds the same membership
+// digest with the corpse confirmed dead (SWIM suspicion -> confirmation via
+// piggybacked rumors), then restarts the node and counts the sweeps until it
+// refutes its own obituary and catches back up to bit-identical registries.
+// Also reported: exchanges refused against the down node — the cost of not
+// yet knowing — which must stop growing once the death is confirmed.
+//
+// The harness is net/sim_fleet.hpp, shared with tests/test_sim.cpp, so this
+// measures exactly the protocol the churn suite pins down. Virtual time
+// makes the run exactly reproducible per seed; `membership_converged` is the
+// identity key the bench gate asserts, and the process exits 1 if any fleet
+// fails to re-form.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "net/membership.hpp"
+#include "net/sim_fleet.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace autophase;
+
+struct ChurnRun {
+  std::size_t nodes = 0;
+  std::size_t confirm_sweeps = 0;  // kill -> survivors agree on the death
+  std::size_t rejoin_sweeps = 0;   // restart -> all-alive + registries identical
+  bool membership_converged = false;
+  std::uint64_t exchanges = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t refused_down = 0;  // exchanges burned against the down node
+  std::uint64_t virtual_ms = 0;
+};
+
+bool survivors_agree_dead(const net::SimFleet& fleet, const net::RemoteEndpoint& corpse) {
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    if (fleet.down(i)) continue;
+    if (fleet.nodes[i]->membership->state_of(corpse) != net::MemberState::kDead) return false;
+  }
+  return true;
+}
+
+bool survivors_agree_alive(const net::SimFleet& fleet, const net::RemoteEndpoint& target) {
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    if (fleet.down(i)) continue;
+    if (fleet.nodes[i]->membership->state_of(target) != net::MemberState::kAlive) return false;
+  }
+  return true;
+}
+
+ChurnRun run_churn(std::size_t count, std::uint64_t seed, double loss, std::size_t max_sweeps) {
+  net::SimFaultConfig faults;
+  faults.drop = loss;
+  net::SimFleet fleet(count, seed, faults);
+  // Production-default suspicion thresholds: the aggressive {1, 2} config the
+  // chaos tests use on tiny fleets confirms spurious deaths under 10% loss
+  // once the fleet is big enough — exactly the tolerance the defaults buy.
+  fleet.enable_membership();
+  fleet.nodes[0]->registry->publish("alpha", net::tiny_sim_artifact(1));
+  fleet.nodes[count / 2]->registry->publish("beta", net::tiny_sim_artifact(2));
+
+  ChurnRun run;
+  run.nodes = count;
+  if (fleet.sweeps_until_converged(max_sweeps) > max_sweeps) return run;
+
+  // Kill the last node and keep publishing: the fleet must re-form around
+  // the corpse while load still flows.
+  const std::size_t victim = count - 1;
+  const net::RemoteEndpoint corpse = fleet.nodes[victim]->endpoint;
+  fleet.kill(victim);
+  fleet.nodes[0]->registry->publish("gamma", net::tiny_sim_artifact(3));
+  for (std::size_t sweep = 1; sweep <= max_sweeps; ++sweep) {
+    fleet.gossip_sweep();
+    if (survivors_agree_dead(fleet, corpse) && fleet.membership_converged() &&
+        fleet.converged()) {
+      run.confirm_sweeps = sweep;
+      break;
+    }
+  }
+  if (run.confirm_sweeps == 0) return run;
+
+  // Restart with on-disk state: the node must refute its obituary (bumping
+  // its incarnation past the dead record) and pull everything it missed.
+  fleet.restart(victim);
+  for (std::size_t sweep = 1; sweep <= max_sweeps; ++sweep) {
+    fleet.gossip_sweep();
+    if (survivors_agree_alive(fleet, corpse) && fleet.membership_converged() &&
+        fleet.converged()) {
+      run.rejoin_sweeps = sweep;
+      break;
+    }
+  }
+  run.membership_converged = run.rejoin_sweeps > 0;
+  run.exchanges = fleet.world.counters().exchanges;
+  run.wire_bytes = fleet.world.counters().wire_bytes;
+  run.refused_down = fleet.world.counters().node_down;
+  run.virtual_ms = fleet.world.now_us() / 1000;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = autophase::bench::BenchArgs::parse(argc, argv);
+  const double loss = 0.10;
+  const std::size_t max_sweeps = 96;
+
+  autophase::TextTable table(
+      {"nodes", "confirm", "rejoin", "exchanges", "wire KiB", "refused", "virt ms"});
+  std::vector<ChurnRun> runs;
+  bool all_converged = true;
+  for (const std::size_t count : {std::size_t{5}, std::size_t{9}, std::size_t{17}}) {
+    const ChurnRun run = run_churn(count, args.seed, loss, max_sweeps);
+    all_converged = all_converged && run.membership_converged;
+    table.add_row({std::to_string(run.nodes),
+                   run.confirm_sweeps > 0 ? std::to_string(run.confirm_sweeps) : "DNF",
+                   run.rejoin_sweeps > 0 ? std::to_string(run.rejoin_sweeps) : "DNF",
+                   std::to_string(run.exchanges),
+                   autophase::strf("%.1f", static_cast<double>(run.wire_bytes) / 1024.0),
+                   std::to_string(run.refused_down), std::to_string(run.virtual_ms)});
+    runs.push_back(run);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  autophase::bench::JsonArray fleets;
+  for (const ChurnRun& run : runs) {
+    fleets.add_raw(autophase::bench::JsonObject()
+                       .field("nodes", static_cast<std::uint64_t>(run.nodes))
+                       .field("confirm_sweeps", static_cast<std::uint64_t>(run.confirm_sweeps))
+                       .field("rejoin_sweeps", static_cast<std::uint64_t>(run.rejoin_sweeps))
+                       .field("exchanges", run.exchanges)
+                       .field("wire_bytes", run.wire_bytes)
+                       .field("refused_down", run.refused_down)
+                       .field("virtual_ms", run.virtual_ms)
+                       .str());
+  }
+  autophase::bench::JsonObject out;
+  out.field("bench", "churn_convergence")
+      .field("seed", args.seed)
+      .field("loss", loss)
+      .raw("fleets", fleets.str())
+      .field("membership_converged", all_converged ? "true" : "false");
+  std::printf("%s\n", out.str().c_str());
+  return all_converged ? 0 : 1;
+}

@@ -45,6 +45,7 @@ IDENTITY_KEYS = (
     "promoted_correctly",
     "front_dominates_scalar",
     "fronts_nondominated",
+    "membership_converged",
 )
 
 

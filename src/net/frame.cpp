@@ -49,6 +49,7 @@ bool msg_type_known(std::uint8_t raw) noexcept {
     case MsgType::kMetrics:
     case MsgType::kProvenance:
     case MsgType::kCanary:
+    case MsgType::kOverloaded:
     case MsgType::kError: return true;
   }
   return false;

@@ -40,7 +40,15 @@ inline constexpr std::uint32_t kWireMagic = 0x50575041;  // "APWP" little-endian
 ///     (record v2). Weightless requests/responses encode zero new bytes —
 ///     bit-identical to v3 — which is why this bump is compatible in both
 ///     directions for scalar traffic.
-inline constexpr std::uint32_t kWireVersion = 4;
+/// v5  fleet elasticity: kOverloaded (typed shed reply echoing the request
+///     id so clients back off instead of blind-retrying) was added;
+///     kSyncRequest/kSyncOffer grew tagged trailer fields carrying SWIM
+///     membership rumors and the push half of push/pull hybrid gossip
+///     (requester inventory / responder wants); the kCompile request grew an
+///     optional deadline trailer field; the kStats payload (v6) grew shed +
+///     membership counters. Requests from nodes with membership disabled
+///     encode zero new bytes — bit-identical to v4 payloads.
+inline constexpr std::uint32_t kWireVersion = 5;
 inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8 + 8;
 inline constexpr std::size_t kDefaultMaxPayload = 64u << 20;
 
@@ -56,6 +64,7 @@ enum class MsgType : std::uint8_t {
   kMetrics = 9,      // -> Prometheus-style text exposition of the node
   kProvenance = 10,  // drain served-request provenance records (online learning)
   kCanary = 11,      // shadow-traffic split control / promotion decisions
+  kOverloaded = 12,  // typed shed reply: queue saturated, back off and retry
   kError = 15,       // server could not even frame a typed reply
 };
 

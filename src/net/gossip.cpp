@@ -52,10 +52,32 @@ std::string GossipCore::handle_sync(std::string_view payload) const {
   if (!request.is_ok()) {
     return encode_sync_offer(Status::error("sync: " + request.message()));
   }
+  // Membership piggyback, server side: absorb the requester's rumors and
+  // answer with our own. This runs even on fetch requests — every exchange
+  // is a dissemination opportunity.
   SyncOffer offer;
+  if (membership_ != nullptr) {
+    membership_->apply_all(request.value().rumors);
+    offer.rumors = membership_->rumors();
+  }
   offer.mode = request.value().mode;
   if (request.value().mode == SyncMode::kInventory) {
     offer.inventory = inventory();
+    // Hybrid push, server side: diff the requester's volunteered inventory
+    // against ours and answer with what we lack — the requester ships those
+    // via kReplicate in the same round. A converged peer wants nothing.
+    if (!request.value().push_inventory.empty()) {
+      std::unordered_map<std::string, std::uint64_t> local;
+      for (const ModelSummary& m : offer.inventory) {
+        local.emplace(m.name + "#" + std::to_string(m.version), m.blob_checksum);
+      }
+      for (const ModelSummary& m : request.value().push_inventory) {
+        const auto it = local.find(m.name + "#" + std::to_string(m.version));
+        if (it == local.end() || it->second != m.blob_checksum) {
+          offer.wants.push_back({m.name, m.version});
+        }
+      }
+    }
   } else {
     // One entry per requested key, in order; a key that vanished (a peer
     // asking about a model this node never had) answers with an empty blob —
@@ -81,18 +103,31 @@ std::string GossipCore::handle_sync(std::string_view payload) const {
 }
 
 Result<SyncReport> GossipCore::pull_from(Transport& transport, const RemoteEndpoint& peer) {
-  // Pull the peer's version vector.
+  // Pull the peer's version vector — volunteering our own inventory (the
+  // hybrid push half) and membership rumors with the same frame.
+  const std::vector<ModelSummary> local_models = inventory();
   Frame query;
   query.type = MsgType::kSyncRequest;
   query.request_id = 1;
-  query.payload = encode_sync_request({SyncMode::kInventory, {}});
+  SyncRequest inventory_query;
+  inventory_query.mode = SyncMode::kInventory;
+  if (membership_ != nullptr) inventory_query.rumors = membership_->rumors();
+  if (config_.hybrid_push) inventory_query.push_inventory = local_models;
+  query.payload = encode_sync_request(inventory_query);
   auto reply = transport.exchange(peer, query);
-  if (!reply.is_ok()) return reply.status();
+  if (!reply.is_ok()) {
+    if (membership_ != nullptr) membership_->observe_failure(peer);
+    return reply.status();
+  }
   if (reply.value().type != MsgType::kSyncOffer) {
+    if (membership_ != nullptr) membership_->observe_failure(peer);
     return Status::error("sync: mismatched reply type");
   }
   auto offer = decode_sync_offer(reply.value().payload);
-  if (!offer.is_ok()) return Status::error("sync: " + offer.message());
+  if (!offer.is_ok()) {
+    if (membership_ != nullptr) membership_->observe_failure(peer);
+    return Status::error("sync: " + offer.message());
+  }
   if (offer.value().mode != SyncMode::kInventory) {
     return Status::error("sync: expected an inventory offer");
   }
@@ -103,8 +138,15 @@ Result<SyncReport> GossipCore::pull_from(Transport& transport, const RemoteEndpo
   // than assuming it).
   SyncReport report;
   report.peer_models = offer.value().inventory.size();
+  if (membership_ != nullptr) {
+    // A decoded typed reply is a live peer: clear failure accounting before
+    // absorbing its rumors (which may include second-hand suspicion of us —
+    // absorbed as a refutation bump).
+    membership_->observe_success(peer);
+    membership_->apply_all(offer.value().rumors, &report.membership);
+  }
   std::unordered_map<std::string, std::uint64_t> local;
-  for (const ModelSummary& m : inventory()) {
+  for (const ModelSummary& m : local_models) {
     local.emplace(m.name + "#" + std::to_string(m.version), m.blob_checksum);
   }
   std::vector<std::pair<SyncKey, std::uint64_t>> missing;  // key, advertised bytes
@@ -136,7 +178,10 @@ Result<SyncReport> GossipCore::pull_from(Transport& transport, const RemoteEndpo
     }
     fetch.payload = encode_sync_request(request);
     auto fetched = transport.exchange(peer, fetch);
-    if (!fetched.is_ok()) return fetched.status();
+    if (!fetched.is_ok()) {
+      if (membership_ != nullptr) membership_->observe_failure(peer);
+      return fetched.status();
+    }
     auto blobs = decode_sync_offer(fetched.value().payload);
     if (!blobs.is_ok()) return Status::error("sync fetch: " + blobs.message());
     if (blobs.value().mode != SyncMode::kFetch) {
@@ -165,6 +210,25 @@ Result<SyncReport> GossipCore::pull_from(Transport& transport, const RemoteEndpo
       ++report.fetched;
       report.fetched_bytes += blob.size();
     }
+  }
+
+  // Hybrid push: ship what the peer said it wants from our volunteered
+  // inventory, as ordinary kReplicate pushes in the same round. Pushes are
+  // opportunistic — a failed or rejected push costs nothing but this
+  // round's shortcut; the peer's own pull still converges it.
+  for (const SyncKey& want : offer.value().wants) {
+    auto blob = registry_->export_model(want.name, want.version);
+    if (!blob.is_ok()) continue;  // vanished locally since we advertised it
+    if (blob.value().size() + 64 > config_.max_frame_payload) continue;  // unframeable
+    Frame push;
+    push.type = MsgType::kReplicate;
+    push.request_id = 1;
+    push.payload = blob.value();
+    auto ack = transport.exchange(peer, push);
+    if (!ack.is_ok()) continue;
+    if (!decode_publish_reply(ack.value().payload).is_ok()) continue;
+    ++report.pushed;
+    report.pushed_bytes += blob.value().size();
   }
   return report;
 }

@@ -34,6 +34,13 @@ struct SyncReport {
   std::size_t already_present = 0;  // identical (name, version, checksum)
   std::size_t fetched = 0;          // blobs pulled and imported
   std::uint64_t fetched_bytes = 0;
+  /// Hybrid push (v5): blobs this node shipped because the peer answered
+  /// its pushed inventory with a wants list.
+  std::size_t pushed = 0;
+  std::uint64_t pushed_bytes = 0;
+  /// What the peer's piggybacked membership rumors changed locally (empty
+  /// when neither side runs membership).
+  MembershipDelta membership;
 };
 
 struct GossipCoreConfig {
@@ -42,6 +49,12 @@ struct GossipCoreConfig {
   /// by advertised blob bytes so one kSyncOffer reply stays far below the
   /// frame payload cap even for huge artifacts.
   std::size_t sync_fetch_batch = 4;
+  /// Push/pull hybrid gossip: the puller volunteers its own inventory with
+  /// the inventory query, the peer answers with the keys it lacks, and the
+  /// puller ships them via kReplicate in the same round. Cuts one-way
+  /// dissemination latency roughly in half; converged fleets answer with no
+  /// wants, so the hybrid costs piggyback bytes and never an extra RTT.
+  bool hybrid_push = true;
 };
 
 class GossipCore {
@@ -70,6 +83,15 @@ class GossipCore {
   /// landing in the registry.
   Result<SyncReport> pull_from(Transport& transport, const RemoteEndpoint& peer);
 
+  /// Attaches a SWIM membership table (net/membership.hpp, internally
+  /// synchronized; not owned — must outlive the core). Once attached, every
+  /// pull and every served sync piggybacks rumors both ways and records
+  /// direct success/failure observations against the peer. Detached (the
+  /// default) the core encodes zero membership bytes — bit-identical to the
+  /// v4 exchange.
+  void set_membership(MembershipTable* membership) noexcept { membership_ = membership; }
+  [[nodiscard]] MembershipTable* membership() const noexcept { return membership_; }
+
   [[nodiscard]] const std::shared_ptr<serve::ModelRegistry>& registry() const noexcept {
     return registry_;
   }
@@ -77,6 +99,7 @@ class GossipCore {
  private:
   std::shared_ptr<serve::ModelRegistry> registry_;
   GossipCoreConfig config_;
+  MembershipTable* membership_ = nullptr;
 
   /// (bytes, checksum) per installed artifact. Entries are validated against
   /// the artifact snapshot they summarize: a version overwritten by an import

@@ -72,6 +72,11 @@ ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
   // A non-positive gossip period would turn the background loop into a busy
   // spin of back-to-back connects; floor it like the worker counts above.
   config_.gossip.period = std::max(config_.gossip.period, std::chrono::milliseconds(1));
+  // Remote traffic gets typed overload bounces (MsgType::kOverloaded) rather
+  // than indefinite blocking: a net worker parked in a blocking submit() is a
+  // net worker not answering pings, which is how one saturated node drags a
+  // whole fleet's failure detector into false positives.
+  config_.compile.shed_on_saturation = true;
   service_ = std::make_unique<serve::CompileService>(registry_, std::move(eval), config_.compile);
   transport_ = std::make_unique<TcpTransport>(
       TcpTransportConfig{config_.peer_timeout, config_.max_frame_payload});
@@ -95,6 +100,21 @@ ServeNode::ServeNode(std::shared_ptr<serve::ModelRegistry> registry,
     const std::int64_t last = last_sync_ns_.load(std::memory_order_relaxed);
     if (last < 0) return -1.0;
     return static_cast<double>(std::max<std::int64_t>(0, steady_now_ns() - last)) / 1e6;
+  });
+  // Membership gauges read through the pointer because the table is only
+  // created by start() (it needs the bound port for the self endpoint);
+  // scrapes before then see an empty fleet of one.
+  metrics.gauge_fn("members_alive", {}, [this] {
+    if (membership_ == nullptr) return 1.0;
+    const std::size_t suspect = membership_->suspect_count();
+    const std::size_t non_terminal = membership_->alive_count();
+    return static_cast<double>(non_terminal > suspect ? non_terminal - suspect : 0);
+  });
+  metrics.gauge_fn("members_suspect", {}, [this] {
+    return membership_ == nullptr ? 0.0 : static_cast<double>(membership_->suspect_count());
+  });
+  metrics.gauge_fn("members_dead", {}, [this] {
+    return membership_ == nullptr ? 0.0 : static_cast<double>(membership_->dead_count());
   });
   metrics.gauge_fn("trace_spans_recorded", {},
                    [] { return static_cast<double>(obs::tracer().recorded()); });
@@ -172,6 +192,14 @@ Status ServeNode::start() {
   }
 
   started_ = true;
+  if (config_.gossip.enabled) {
+    // The self endpoint needs the bound port, so the table is born here, not
+    // in the ctor. Seed it with the statically configured peers; rumors
+    // piggybacked on every sync exchange take it from there.
+    membership_ = std::make_unique<MembershipTable>(endpoint(), config_.membership);
+    for (const RemoteEndpoint& peer : peers()) membership_->add_peer(peer);
+    gossip_core_->set_membership(membership_.get());
+  }
   loop_thread_ = std::thread([this] { event_loop(); });
   if (config_.gossip.enabled) gossip_thread_ = std::thread([this] { gossip_loop(); });
   return Status::ok();
@@ -384,7 +412,7 @@ void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Fram
   bool answer = true;
   switch (frame.type) {
     case MsgType::kPing: break;  // empty payload echo
-    case MsgType::kCompile: reply.payload = handle_compile(frame); break;
+    case MsgType::kCompile: reply.payload = handle_compile(frame, reply.type); break;
     case MsgType::kPublish: reply.payload = handle_publish(frame); break;
     case MsgType::kReplicate: reply.payload = handle_replicate(frame); break;
     case MsgType::kListModels: reply.payload = handle_list(); break;
@@ -396,8 +424,9 @@ void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Fram
       reply.type = MsgType::kSyncOffer;
       reply.payload = gossip_core_->handle_sync(frame.payload);
       break;
-    case MsgType::kSyncOffer: answer = false; break;  // replies are client-side
-    case MsgType::kError: answer = false; break;      // a peer's diagnostic
+    case MsgType::kSyncOffer: answer = false; break;   // replies are client-side
+    case MsgType::kOverloaded: answer = false; break;  // reply verb, never a request
+    case MsgType::kError: answer = false; break;       // a peer's diagnostic
   }
   if (answer) conn->send(reply);
   // Flow control: this frame is done; wake the connection if the in-flight
@@ -406,7 +435,7 @@ void ServeNode::handle_frame(const std::shared_ptr<Connection>& conn, const Fram
   if (conn->in_flight.load() < config_.max_in_flight_per_connection) resume_reading(*conn);
 }
 
-std::string ServeNode::handle_compile(const Frame& frame) {
+std::string ServeNode::handle_compile(const Frame& frame, MsgType& reply_type) {
   auto decoded = decode_compile_request(frame.payload);
   if (!decoded.is_ok()) {
     return encode_compile_response(decoded.status());
@@ -414,7 +443,15 @@ std::string ServeNode::handle_compile(const Frame& frame) {
   // The decoded module lives on this stack frame until the future resolves,
   // exactly as long as the in-flight request needs it.
   auto future = service_->submit(std::move(decoded.value().request));
-  return encode_compile_response(future.get());
+  Result<serve::CompileResponse> result = future.get();
+  if (!result.is_ok() && serve::is_overloaded(result.status())) {
+    // Typed overload bounce: the shed status crosses the wire as its own verb
+    // (echoing the request id like any pipelined reply), so clients back off
+    // and rebalance without parsing error strings.
+    reply_type = MsgType::kOverloaded;
+    return encode_status_reply(result.status());
+  }
+  return encode_compile_response(std::move(result));
 }
 
 std::string ServeNode::handle_publish(const Frame& frame) {
@@ -491,8 +528,11 @@ std::string ServeNode::handle_canary(const Frame& frame) {
 // ---------------------------------------------------------------------------
 
 void ServeNode::add_peer(RemoteEndpoint peer) {
-  const std::lock_guard<std::mutex> lock(peers_mutex_);
-  peers_.push_back(std::move(peer));
+  {
+    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    peers_.push_back(peer);
+  }
+  if (membership_ != nullptr) membership_->add_peer(peer);
 }
 
 std::vector<RemoteEndpoint> ServeNode::peers() const {
@@ -564,22 +604,51 @@ void ServeNode::gossip_loop() {
       gossip_cv_.wait_for(lock, wait, stopped);
     }
     if (stopping_.load(std::memory_order_relaxed)) break;
-    const std::vector<RemoteEndpoint> peers = this->peers();
-    if (peers.empty()) continue;
+    // Candidate set: the membership table's eligible peers (alive + suspect —
+    // a suspect keeps receiving direct probes, which is exactly how a false
+    // suspicion gets refuted) when membership runs, else the static peer
+    // list. Either way, never this node itself: a self entry in peers_ would
+    // otherwise burn whole rounds pulling from ourselves.
+    std::vector<RemoteEndpoint> candidates =
+        membership_ != nullptr ? membership_->eligible_peers() : this->peers();
+    const RemoteEndpoint self = endpoint();
+    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                    [&self](const RemoteEndpoint& p) {
+                                      return p.port == self.port && p.host == self.host;
+                                    }),
+                     candidates.end());
+    if (candidates.empty()) {
+      const std::size_t registered = this->peers().size();
+      if (registered > 0) {
+        AP_CLOG(kWarn, "gossip") << "no eligible gossip peer this round (" << registered
+                                 << " registered; all self, dead, or left)";
+      }
+      continue;
+    }
     const auto pick = static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(peers.size()) - 1));
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
     // Pull, don't push: the peer's inventory diff decides what travels, so a
     // round against an already-converged peer costs one inventory exchange.
     // Failures are expected life in a fleet (peer down, partition, timeout)
     // and simply leave convergence to a later round.
-    if (auto report = sync_from(peers[pick]); !report.is_ok()) {
-      AP_CLOG(kWarn, "gossip") << "pull from " << peers[pick].host << ":" << peers[pick].port
+    if (auto report = sync_from(candidates[pick]); !report.is_ok()) {
+      AP_CLOG(kWarn, "gossip") << "pull from " << candidates[pick].host << ":"
+                               << candidates[pick].port
                                << " failed: " << report.status().message();
     } else if (report.value().fetched > 0) {
       AP_CLOG(kInfo, "gossip") << "pulled " << report.value().fetched << " blob(s) from "
-                               << peers[pick].host << ":" << peers[pick].port;
+                               << candidates[pick].host << ":" << candidates[pick].port;
     }
     gossip_rounds_.fetch_add(1, std::memory_order_relaxed);
+    if (membership_ != nullptr) {
+      // Round-based suspicion: a suspect unanswered for confirm_after_rounds
+      // gossip rounds is confirmed dead — dropped from the candidate set
+      // above and disseminated as a dead rumor on every later exchange.
+      for (const RemoteEndpoint& dead : membership_->tick_round()) {
+        AP_CLOG(kWarn, "gossip") << "membership: " << dead.host << ":" << dead.port
+                                 << " confirmed dead (suspicion timeout)";
+      }
+    }
   }
 }
 
@@ -604,6 +673,17 @@ NodeStats ServeNode::stats() const {
   if (provenance_log_ != nullptr) {
     stats.provenance_pending = provenance_log_->size();
     stats.provenance_dropped = provenance_log_->dropped();
+  }
+  if (membership_ != nullptr) {
+    // Counts are read under separate locks; clamp so a state transition
+    // between reads can never underflow the difference.
+    const std::size_t suspect = membership_->suspect_count();
+    const std::size_t non_terminal = membership_->alive_count();
+    stats.members_alive = non_terminal > suspect ? non_terminal - suspect : 0;
+    stats.members_suspect = suspect;
+    stats.members_dead = membership_->dead_count();
+  } else {
+    stats.members_alive = 1;  // a node without membership is a fleet of one
   }
   return stats;
 }

@@ -37,6 +37,7 @@
 
 #include "net/frame.hpp"
 #include "net/gossip.hpp"
+#include "net/membership.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -88,6 +89,11 @@ struct ServeNodeConfig {
   /// Background epidemic anti-entropy (off by default; operator-triggered
   /// sync_from and owner-push replication work regardless).
   GossipConfig gossip{};
+  /// SWIM-style membership knobs (suspicion thresholds). The table itself is
+  /// created by start() whenever gossip is enabled — rumors piggyback on the
+  /// anti-entropy exchange, so membership without gossip has no dissemination
+  /// path and is not offered.
+  MembershipConfig membership{};
   /// The wrapped CompileService; workers is clamped to >= 1 (a node with an
   /// undrainable queue would deadlock its own net workers).
   serve::CompileServiceConfig compile{};
@@ -135,6 +141,12 @@ class ServeNode {
   }
   /// Serving counters + gossip health (rounds, blobs pulled, last-sync age).
   [[nodiscard]] NodeStats stats() const;
+
+  /// The node's SWIM membership table — null until start(), and always null
+  /// when gossip is disabled. Internally synchronized; callers (tests,
+  /// operators wiring a RemoteCompileClient's mark_dead) may read it while
+  /// the node serves.
+  [[nodiscard]] MembershipTable* membership() noexcept { return membership_.get(); }
 
   /// Prometheus-style text exposition of this node's metrics registry —
   /// exactly what a kMetrics scrape returns. The ctor adds gossip-health
@@ -187,7 +199,9 @@ class ServeNode {
   bool pause_reading(Connection& conn);
   void resume_reading(Connection& conn);
 
-  std::string handle_compile(const Frame& frame);
+  /// `reply_type` is rewritten to kOverloaded when the service shed the
+  /// request, so the bounce crosses the wire typed instead of as a string.
+  std::string handle_compile(const Frame& frame, MsgType& reply_type);
   std::string handle_publish(const Frame& frame);
   std::string handle_replicate(const Frame& frame);
   std::string handle_list() const;
@@ -208,6 +222,9 @@ class ServeNode {
   /// The shared sync-protocol logic (inventory cache, kSyncRequest serving,
   /// pull-based diff/fetch) — the same code the simulator drives in tests.
   std::unique_ptr<GossipCore> gossip_core_;
+  /// SWIM membership (created by start() when gossip is enabled). Owned here;
+  /// the gossip core holds a raw pointer, torn down after the gossip thread.
+  std::unique_ptr<MembershipTable> membership_;
 
   TcpListener listener_;
   std::uint16_t port_ = 0;

@@ -19,6 +19,7 @@
 
 #include "ml/mlp.hpp"
 #include "net/gossip.hpp"
+#include "net/membership.hpp"
 #include "net/sim_transport.hpp"
 #include "net/wire.hpp"
 #include "serve/model_registry.hpp"
@@ -53,12 +54,15 @@ inline serve::PolicyArtifact tiny_sim_artifact(std::uint64_t variant) {
 }
 
 /// One virtual fleet member: a registry + the production gossip core, plus
-/// its transport into the simulated network.
+/// its transport into the simulated network. The membership table is present
+/// only after SimFleet::enable_membership() — detached, the node runs the
+/// exact v4 exchange (zero membership bytes on the wire).
 struct SimFleetNode {
   std::shared_ptr<serve::ModelRegistry> registry = std::make_shared<serve::ModelRegistry>();
   GossipCore core{registry};
   RemoteEndpoint endpoint;
   std::unique_ptr<Transport> transport;
+  std::unique_ptr<MembershipTable> membership;
   std::uint64_t rejected_imports = 0;  // torn/corrupt blobs bounced at import
 };
 
@@ -66,65 +70,124 @@ struct SimFleetNode {
 struct SimFleet {
   SimWorld world;
   std::vector<std::unique_ptr<SimFleetNode>> nodes;
+  bool membership_on = false;
+  MembershipConfig membership_config;
 
   SimFleet(std::size_t count, std::uint64_t seed, SimFaultConfig faults = {})
       : world(seed, faults) {
     for (std::size_t i = 0; i < count; ++i) {
       auto node = std::make_unique<SimFleetNode>();
-      SimFleetNode* raw = node.get();
-      node->endpoint = world.add_node([raw](const Frame& request) {
-        net::Frame reply;
-        reply.type = MsgType::kError;
-        reply.request_id = request.request_id;
-        switch (request.type) {
-          case MsgType::kPing:
-            reply.type = MsgType::kPing;
-            break;
-          case MsgType::kSyncRequest:
-            reply.type = MsgType::kSyncOffer;
-            reply.payload = raw->core.handle_sync(request.payload);
-            break;
-          case MsgType::kReplicate: {
-            auto key = raw->registry->import_model(request.payload);
-            reply.type = MsgType::kReplicate;
-            if (key.is_ok()) {
-              PublishReply ack;
-              ack.name = key.value().name;
-              ack.version = key.value().version;
-              reply.payload = encode_publish_reply(ack);
-            } else {
-              ++raw->rejected_imports;
-              reply.payload = encode_publish_reply(Status::error(key.message()));
-            }
-            break;
-          }
-          default:
-            reply.payload =
-                encode_status_reply(Status::error("sim node: unexpected message type"));
-            break;
-        }
-        return reply;
-      });
+      node->endpoint = world.add_node(handler_for(node.get()));
       node->transport = world.transport(node->endpoint);
       nodes.push_back(std::move(node));
     }
   }
 
-  /// One gossip sweep: every node runs one anti-entropy pull against a
-  /// uniformly random other node, in a seed-shuffled order. Pull failures
-  /// (drops, partitions, torn frames) are normal life — a later sweep
-  /// retries. This is exactly what ServeNode's background loop does, minus
-  /// wall-clock scheduling.
+  /// The server half of a virtual node (kSyncRequest -> kSyncOffer,
+  /// kReplicate -> ack), shared by the constructor and replace().
+  static SimWorld::Handler handler_for(SimFleetNode* raw) {
+    return [raw](const Frame& request) {
+      net::Frame reply;
+      reply.type = MsgType::kError;
+      reply.request_id = request.request_id;
+      switch (request.type) {
+        case MsgType::kPing:
+          reply.type = MsgType::kPing;
+          break;
+        case MsgType::kSyncRequest:
+          reply.type = MsgType::kSyncOffer;
+          reply.payload = raw->core.handle_sync(request.payload);
+          break;
+        case MsgType::kReplicate: {
+          auto key = raw->registry->import_model(request.payload);
+          reply.type = MsgType::kReplicate;
+          if (key.is_ok()) {
+            PublishReply ack;
+            ack.name = key.value().name;
+            ack.version = key.value().version;
+            reply.payload = encode_publish_reply(ack);
+          } else {
+            ++raw->rejected_imports;
+            reply.payload = encode_publish_reply(Status::error(key.message()));
+          }
+          break;
+        }
+        default:
+          reply.payload = encode_status_reply(Status::error("sim node: unexpected message type"));
+          break;
+      }
+      return reply;
+    };
+  }
+
+  /// Attaches a SWIM membership table to every node, seeded with the full
+  /// static peer list (alive at incarnation 0). From here on sweeps pick
+  /// peers from each node's *eligible* set and advance the suspicion round
+  /// clock — the churn harness proper.
+  void enable_membership(MembershipConfig config = {}) {
+    membership_on = true;
+    membership_config = config;
+    for (auto& node : nodes) wire_membership(*node);
+  }
+
+  void wire_membership(SimFleetNode& node) {
+    node.membership = std::make_unique<MembershipTable>(node.endpoint, membership_config);
+    for (const auto& peer : nodes) {
+      if (peer->endpoint.port != node.endpoint.port) node.membership->add_peer(peer->endpoint);
+    }
+    node.core.set_membership(node.membership.get());
+  }
+
+  /// Node-fault helpers by node index (the SimWorld primitives speak ports).
+  void kill(std::size_t i) { world.kill(nodes[i]->endpoint.port); }
+  void restart(std::size_t i) { world.restart(nodes[i]->endpoint.port); }
+  [[nodiscard]] bool down(std::size_t i) const { return world.node_down(nodes[i]->endpoint.port); }
+
+  /// Replaces node i with a *fresh* process at the same endpoint: empty
+  /// registry, fresh membership table at incarnation 0. The fleet holds a
+  /// dead record for this endpoint; the replacement's first contact returns
+  /// that rumor, the table refutes it by bumping past the dead incarnation,
+  /// and the kSyncRequest catch-up pulls the registry back — no operator
+  /// action, which is the whole rejoin story.
+  void replace(std::size_t i) {
+    auto fresh = std::make_unique<SimFleetNode>();
+    SimFleetNode* raw = fresh.get();
+    fresh->endpoint = nodes[i]->endpoint;
+    fresh->transport = world.transport(fresh->endpoint);
+    world.replace_handler(fresh->endpoint.port, handler_for(raw));
+    nodes[i] = std::move(fresh);
+    if (membership_on) wire_membership(*nodes[i]);
+    world.restart(nodes[i]->endpoint.port);
+  }
+
+  /// One gossip sweep: every *live* node runs one anti-entropy pull, in a
+  /// seed-shuffled order. Pull failures (drops, partitions, torn frames) are
+  /// normal life — a later sweep retries. Without membership the peer is a
+  /// uniformly random other node (the v4 harness, draw-for-draw); with it
+  /// the peer comes from the node's eligible set (never self, never
+  /// confirmed dead) and the suspicion round clock ticks after the pull —
+  /// exactly ServeNode's background loop, minus wall-clock scheduling.
   void gossip_sweep() {
     if (nodes.size() < 2) return;  // nobody to gossip with
     std::vector<std::size_t> order(nodes.size());
     std::iota(order.begin(), order.end(), 0u);
     world.rng().shuffle(order);
     for (const std::size_t i : order) {
-      std::size_t peer = static_cast<std::size_t>(
-          world.rng().uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 2));
-      if (peer >= i) ++peer;  // uniform over the other nodes
-      (void)nodes[i]->core.pull_from(*nodes[i]->transport, nodes[peer]->endpoint);
+      if (down(i)) continue;  // a crashed node runs no gossip loop
+      if (nodes[i]->membership) {
+        const std::vector<RemoteEndpoint> eligible = nodes[i]->membership->eligible_peers();
+        if (!eligible.empty()) {
+          const auto pick = static_cast<std::size_t>(
+              world.rng().uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1));
+          (void)nodes[i]->core.pull_from(*nodes[i]->transport, eligible[pick]);
+        }
+        (void)nodes[i]->membership->tick_round();
+      } else {
+        std::size_t peer = static_cast<std::size_t>(
+            world.rng().uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 2));
+        if (peer >= i) ++peer;  // uniform over the other nodes
+        (void)nodes[i]->core.pull_from(*nodes[i]->transport, nodes[peer]->endpoint);
+      }
     }
   }
 
@@ -138,15 +201,44 @@ struct SimFleet {
     return out;
   }
 
-  /// True when every registry holds the same non-empty (name, version,
-  /// checksum) set — convergence to bit-identical replicas.
+  /// True when every *live* registry holds the same non-empty (name,
+  /// version, checksum) set — convergence to bit-identical replicas across
+  /// the survivors. With nothing killed this is the whole fleet.
   [[nodiscard]] bool converged() const {
-    const std::string base = digest(0);
-    if (base.empty()) return false;
-    for (std::size_t i = 1; i < nodes.size(); ++i) {
-      if (digest(i) != base) return false;
+    std::string base;
+    bool seeded = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (down(i)) continue;
+      const std::string d = digest(i);
+      if (d.empty()) return false;
+      if (!seeded) {
+        base = d;
+        seeded = true;
+      } else if (d != base) {
+        return false;
+      }
     }
-    return true;
+    return seeded;
+  }
+
+  /// True when every live node's membership table prints the identical
+  /// digest (host:port state@incarnation lines) — the fleet agrees on who
+  /// is alive, suspect, and dead.
+  [[nodiscard]] bool membership_converged() const {
+    std::string base;
+    bool seeded = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (down(i)) continue;
+      if (!nodes[i]->membership) return false;
+      const std::string d = nodes[i]->membership->digest();
+      if (!seeded) {
+        base = d;
+        seeded = true;
+      } else if (d != base) {
+        return false;
+      }
+    }
+    return seeded;
   }
 
   /// Sweeps until converged; max_sweeps + 1 when the budget ran out.
@@ -154,6 +246,15 @@ struct SimFleet {
     for (std::size_t sweep = 1; sweep <= max_sweeps; ++sweep) {
       gossip_sweep();
       if (converged()) return sweep;
+    }
+    return max_sweeps + 1;
+  }
+
+  /// Sweeps until the live nodes agree on membership; max_sweeps + 1 on DNF.
+  std::size_t sweeps_until_membership_converged(std::size_t max_sweeps) {
+    for (std::size_t sweep = 1; sweep <= max_sweeps; ++sweep) {
+      gossip_sweep();
+      if (membership_converged()) return sweep;
     }
     return max_sweeps + 1;
   }

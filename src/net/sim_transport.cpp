@@ -32,6 +32,24 @@ void SimWorld::heal() {
   note("heal");
 }
 
+void SimWorld::kill(std::uint16_t port) {
+  down_.insert(port);
+  note(strf("kill node:%u", port));
+}
+
+void SimWorld::restart(std::uint16_t port) {
+  down_.erase(port);
+  note(strf("restart node:%u", port));
+}
+
+bool SimWorld::node_down(std::uint16_t port) const { return down_.count(port) != 0; }
+
+void SimWorld::replace_handler(std::uint16_t port, Handler handler) {
+  if (port == 0 || port > handlers_.size()) return;
+  handlers_[port - 1] = std::move(handler);
+  note(strf("replace node:%u", port));
+}
+
 bool SimWorld::severed(std::uint16_t a, std::uint16_t b) const {
   if (!partitioned_) return false;
   // A node not listed in any group is isolated (its own singleton group).
@@ -105,6 +123,16 @@ Result<Frame> SimWorld::exchange(std::uint16_t src, const RemoteEndpoint& peer,
   if (peer.host != "sim" || dst == 0 || dst > handlers_.size()) {
     note("no such node");
     return Status::error(strf("sim: no node at %s:%u", peer.host.c_str(), dst));
+  }
+  // A killed node neither sends nor answers: the caller burns its timeout,
+  // exactly like a connect to a crashed box. Frames already held on links
+  // into it stay held — they arrive stale if the node ever restarts.
+  if (node_down(src) || node_down(dst)) {
+    ++counters_.node_down;
+    now_us_ += faults_.exchange_timeout_us;
+    note(node_down(dst) ? "peer down" : "caller down");
+    return node_down(dst) ? Status::error("sim: peer down (deadline exceeded)")
+                          : Status::error("sim: caller is down");
   }
   if (severed(src, dst)) {
     ++counters_.partitioned;

@@ -13,6 +13,8 @@
 //   truncate    tear the frame mid-flight (receiver must reject cleanly)
 //   corrupt     flip one bit (framing checksum must catch it)
 //   partition   sever whole groups of nodes until heal()
+//   kill        crash one node: every exchange to or from it times out
+//               until restart() (the membership-churn primitive)
 //
 // Everything is driven by one RNG in a fixed draw order and stamped into a
 // textual event trace, so the same seed replays the same scenario byte for
@@ -25,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -58,6 +61,7 @@ struct SimCounters {
   std::uint64_t stale = 0;        // stale re-deliveries that arrived
   std::uint64_t torn = 0;         // truncated/corrupted frames rejected
   std::uint64_t partitioned = 0;  // exchanges refused by an active partition
+  std::uint64_t node_down = 0;    // exchanges refused because an end was down
   std::uint64_t wire_bytes = 0;   // bytes that traveled (either direction)
 };
 
@@ -80,6 +84,19 @@ class SimWorld {
   /// groups — or not listed at all — cannot exchange until heal().
   void partition(const std::vector<std::vector<std::uint16_t>>& groups);
   void heal();
+
+  /// Crashes the node at `port`: its handler stops answering and every
+  /// exchange to or from it burns the exchange timeout until restart().
+  /// Unlike a partition (link fault, symmetric groups), a kill is a *node*
+  /// fault — exactly what SWIM suspicion must confirm.
+  void kill(std::uint16_t port);
+  void restart(std::uint16_t port);
+  [[nodiscard]] bool node_down(std::uint16_t port) const;
+
+  /// Swaps the handler behind `port` in place (same endpoint identity) —
+  /// the "replace the box, keep the address" churn case. Frames held on
+  /// links into `port` survive the swap and arrive stale at the new node.
+  void replace_handler(std::uint16_t port, Handler handler);
 
   [[nodiscard]] std::uint64_t now_us() const noexcept { return now_us_; }
   [[nodiscard]] const SimCounters& counters() const noexcept { return counters_; }
@@ -116,6 +133,7 @@ class SimWorld {
   std::vector<Handler> handlers_;  // index = port - 1
   std::unordered_map<std::uint16_t, int> partition_group_;
   bool partitioned_ = false;
+  std::set<std::uint16_t> down_;  // killed nodes (ports), until restart()
   /// Held-back request bytes per (src, dst) link, re-delivered stale before
   /// the next exchange crossing that link.
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<std::string>> held_;

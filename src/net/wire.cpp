@@ -202,6 +202,14 @@ std::string encode_compile_request(const serve::CompileRequest& request) {
     w.u8(kCompileTagWeights);
     w.str(weights_field(request.weights, request.front_width));
   }
+  // And for the v5 deadline field: deadline-less requests emit nothing and
+  // stay byte-identical to the v4 encoding.
+  if (request.deadline_ms > 0) {
+    ByteWriter field;
+    field.u64(request.deadline_ms);
+    w.u8(kCompileTagDeadline);
+    w.str(field.take());
+  }
   return w.take();
 }
 
@@ -235,6 +243,12 @@ Result<DecodedCompileRequest> decode_compile_request(std::string_view payload) {
     } else if (tag == kCompileTagWeights) {
       if (!read_weights_field(field, out.request.weights, out.request.front_width)) {
         return Status::error("compile request: corrupt weights field");
+      }
+    } else if (tag == kCompileTagDeadline) {
+      ByteReader f(field);
+      out.request.deadline_ms = f.u64();
+      if (!f.ok() || !f.at_end() || out.request.deadline_ms == 0) {
+        return Status::error("compile request: corrupt deadline field");
       }
     }
   }
@@ -425,6 +439,10 @@ NodeStats collect_node_stats(const serve::CompileService& service) {
   // ServeNode::stats(), which owns the log.
   stats.learn_promoted = service.metrics_registry()->counter("learn_promoted").value();
   stats.learn_rolled_back = service.metrics_registry()->counter("learn_rolled_back").value();
+  // Overload-control counters (v6); the membership fields are filled by
+  // ServeNode::stats(), which owns the table — a bare service has none.
+  stats.shed_overload = service.metrics_registry()->counter("serve_shed_overload").value();
+  stats.shed_deadline = service.metrics_registry()->counter("serve_shed_deadline").value();
   return stats;
 }
 
@@ -459,6 +477,11 @@ std::string encode_node_stats(const NodeStats& stats) {
   w.u64(stats.learn_rolled_back);
   w.u64(stats.provenance_pending);
   w.u64(stats.provenance_dropped);
+  w.u64(stats.shed_overload);
+  w.u64(stats.shed_deadline);
+  w.u64(stats.members_alive);
+  w.u64(stats.members_suspect);
+  w.u64(stats.members_dead);
   return w.take();
 }
 
@@ -507,6 +530,11 @@ Result<NodeStats> decode_node_stats(std::string_view payload) {
   stats.learn_rolled_back = r.u64();
   stats.provenance_pending = r.u64();
   stats.provenance_dropped = r.u64();
+  stats.shed_overload = r.u64();
+  stats.shed_deadline = r.u64();
+  stats.members_alive = r.u64();
+  stats.members_suspect = r.u64();
+  stats.members_dead = r.u64();
   if (!r.ok() || !r.at_end()) return Status::error("node stats: truncated payload");
   return stats;
 }
@@ -615,6 +643,67 @@ Result<CanaryControl> decode_canary_control(std::string_view payload) {
 // Replication catch-up
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Field body shared by kSyncTagInventory (and the kInventory offer body's
+/// layout): u64 count + (name, version, bytes, checksum) per model.
+std::string model_summaries_field(const std::vector<ModelSummary>& models) {
+  ByteWriter field;
+  field.u64(models.size());
+  for (const ModelSummary& m : models) {
+    field.str(m.name);
+    field.u32(m.version);
+    field.u64(m.blob_bytes);
+    field.u64(m.blob_checksum);
+  }
+  return field.take();
+}
+
+bool read_model_summaries_field(std::string_view bytes, std::vector<ModelSummary>& out) {
+  ByteReader f(bytes);
+  const std::uint64_t n = f.u64();
+  if (!f.ok() || n > f.remaining() / 28) return false;
+  out.clear();
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n && f.ok(); ++i) {
+    ModelSummary m;
+    m.name = f.str();
+    m.version = f.u32();
+    m.blob_bytes = f.u64();
+    m.blob_checksum = f.u64();
+    out.push_back(std::move(m));
+  }
+  return f.ok() && f.at_end();
+}
+
+/// Field body for kSyncTagWants: u64 count + (name, version) per key.
+std::string sync_keys_field(const std::vector<SyncKey>& keys) {
+  ByteWriter field;
+  field.u64(keys.size());
+  for (const SyncKey& key : keys) {
+    field.str(key.name);
+    field.u32(key.version);
+  }
+  return field.take();
+}
+
+bool read_sync_keys_field(std::string_view bytes, std::vector<SyncKey>& out) {
+  ByteReader f(bytes);
+  const std::uint64_t n = f.u64();
+  if (!f.ok() || n > f.remaining() / 12) return false;
+  out.clear();
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n && f.ok(); ++i) {
+    SyncKey key;
+    key.name = f.str();
+    key.version = f.u32();
+    out.push_back(std::move(key));
+  }
+  return f.ok() && f.at_end();
+}
+
+}  // namespace
+
 std::string encode_sync_request(const SyncRequest& request) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(request.mode));
@@ -622,6 +711,17 @@ std::string encode_sync_request(const SyncRequest& request) {
   for (const SyncKey& key : request.keys) {
     w.str(key.name);
     w.u32(key.version);
+  }
+  // Optional tagged trailer (v5). A request from a node without membership
+  // or hybrid push emits zero trailer fields — byte-identical to the v4
+  // encoding — which is what the bit-identity tests pin.
+  if (!request.rumors.empty()) {
+    w.u8(kSyncTagRumors);
+    w.str(encode_member_rumors(request.rumors));
+  }
+  if (!request.push_inventory.empty()) {
+    w.u8(kSyncTagInventory);
+    w.str(model_summaries_field(request.push_inventory));
   }
   return w.take();
 }
@@ -643,6 +743,22 @@ Result<SyncRequest> decode_sync_request(std::string_view payload) {
     key.name = r.str();
     key.version = r.u32();
     request.keys.push_back(std::move(key));
+  }
+  // Tagged optional trailer: unknown tags are skipped, known tags with
+  // corrupt bodies are hard errors — same rules as compile payloads.
+  while (r.ok() && !r.at_end()) {
+    const std::uint8_t tag = r.u8();
+    const std::string field = r.str();
+    if (!r.ok()) break;
+    if (tag == kSyncTagRumors) {
+      if (const Status s = decode_member_rumors(field, request.rumors); !s.is_ok()) {
+        return Status::error("sync request: " + s.message());
+      }
+    } else if (tag == kSyncTagInventory) {
+      if (!read_model_summaries_field(field, request.push_inventory)) {
+        return Status::error("sync request: corrupt push inventory field");
+      }
+    }
   }
   if (!r.ok() || !r.at_end()) return Status::error("sync request: truncated payload");
   if (request.mode == SyncMode::kInventory && !request.keys.empty()) {
@@ -668,6 +784,16 @@ std::string encode_sync_offer(const Result<SyncOffer>& offer) {
   } else {
     w.u64(o.blobs.size());
     for (const std::string& blob : o.blobs) w.str(blob);
+  }
+  // Optional tagged trailer (v5), mirroring the request side: offers from
+  // membership-less nodes emit zero new bytes.
+  if (!o.rumors.empty()) {
+    w.u8(kSyncTagRumors);
+    w.str(encode_member_rumors(o.rumors));
+  }
+  if (!o.wants.empty()) {
+    w.u8(kSyncTagWants);
+    w.str(sync_keys_field(o.wants));
   }
   return w.take();
 }
@@ -698,6 +824,20 @@ Result<SyncOffer> decode_sync_offer(std::string_view payload) {
     if (!r.ok() || n > r.remaining() / 8) return Status::error("sync offer: corrupt count");
     offer.blobs.reserve(n);
     for (std::uint64_t i = 0; i < n && r.ok(); ++i) offer.blobs.push_back(r.str());
+  }
+  while (r.ok() && !r.at_end()) {
+    const std::uint8_t tag = r.u8();
+    const std::string field = r.str();
+    if (!r.ok()) break;
+    if (tag == kSyncTagRumors) {
+      if (const Status s = decode_member_rumors(field, offer.rumors); !s.is_ok()) {
+        return Status::error("sync offer: " + s.message());
+      }
+    } else if (tag == kSyncTagWants) {
+      if (!read_sync_keys_field(field, offer.wants)) {
+        return Status::error("sync offer: corrupt wants field");
+      }
+    }
   }
   if (!r.ok() || !r.at_end()) return Status::error("sync offer: truncated payload");
   return offer;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "learn/provenance.hpp"
+#include "net/membership.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/eval_service.hpp"
 #include "serve/compile_service.hpp"
@@ -50,6 +51,14 @@ inline constexpr std::uint8_t kCompileTagWeights = 3;
 /// request carried active weights), so scalar responses stay byte-identical
 /// to the v3 encoding.
 inline constexpr std::uint8_t kCompileTagFront = 4;
+
+/// Tag of the optional deadline field on a compile-request payload (wire
+/// v5): u64 relative deadline in milliseconds from receipt. Emitted only
+/// when the request carries a deadline (0 = none), so deadline-less traffic
+/// stays byte-identical to the v4 encoding; the server uses it for
+/// deadline-aware batching and sheds queue entries that can no longer make
+/// their deadline instead of burning a worker on a dead answer.
+inline constexpr std::uint8_t kCompileTagDeadline = 5;
 
 std::string encode_compile_request(const serve::CompileRequest& request);
 
@@ -116,7 +125,10 @@ Result<std::vector<ModelSummary>> decode_model_list(std::string_view payload);
 /// v5  online-learning loop counters: canary promotions / rollbacks applied
 ///     on this node, provenance records awaiting collection, and records
 ///     dropped from the bounded provenance log.
-inline constexpr std::uint32_t kNodeStatsVersion = 5;
+/// v6  fleet elasticity: overload-shed counters (queue-saturation sheds and
+///     expired-deadline sheds) and SWIM membership health (alive / suspect /
+///     confirmed-dead member counts as this node sees the fleet).
+inline constexpr std::uint32_t kNodeStatsVersion = 6;
 
 /// last_sync_age_ms value meaning "this node has never completed a pull".
 inline constexpr std::uint64_t kNeverSynced = ~0ull;
@@ -158,6 +170,16 @@ struct NodeStats {
   std::uint64_t learn_rolled_back = 0;
   std::uint64_t provenance_pending = 0;
   std::uint64_t provenance_dropped = 0;
+  /// Overload control (v6): requests shed because the bounded queue
+  /// saturated (answered with a typed kOverloaded reply) and queue entries
+  /// shed at dequeue because their deadline had already expired.
+  std::uint64_t shed_overload = 0;
+  std::uint64_t shed_deadline = 0;
+  /// SWIM membership health (v6): the fleet as this node's table sees it.
+  /// All-zero on nodes running without membership (the feature is opt-in).
+  std::uint64_t members_alive = 0;
+  std::uint64_t members_suspect = 0;
+  std::uint64_t members_dead = 0;
 };
 NodeStats collect_node_stats(const serve::CompileService& service);
 std::string encode_node_stats(const NodeStats& stats);
@@ -182,9 +204,31 @@ struct SyncKey {
   std::uint32_t version = 0;
 };
 
+/// Tagged trailer fields (wire v5) on sync payloads — same optional-trailer
+/// discipline as compile payloads: zero fields when the features are off
+/// (bit-identical to the v4 encoding), unknown tags skipped, a known tag
+/// with a corrupt body a hard error, tag values never reused.
+///
+/// kSyncTagRumors rides both directions and carries SWIM membership rumors
+/// (encode_member_rumors), which is how membership disseminates with no
+/// extra round trips. kSyncTagInventory on the *request* is the push half
+/// of push/pull hybrid gossip: the requester volunteers its own inventory
+/// with the pull, and the responder answers with kSyncTagWants — the keys
+/// it is missing — which the requester then ships via ordinary kReplicate
+/// pushes in the same round. A converged fleet answers with no wants, so
+/// hybrid gossip costs bytes, never an extra RTT.
+inline constexpr std::uint8_t kSyncTagRumors = 1;
+inline constexpr std::uint8_t kSyncTagInventory = 2;
+inline constexpr std::uint8_t kSyncTagWants = 3;
+
 struct SyncRequest {
   SyncMode mode = SyncMode::kInventory;
   std::vector<SyncKey> keys;  // fetch mode: which blobs to ship
+  /// Optional piggyback (v5): the requester's membership rumors and — in
+  /// inventory mode — its own model inventory (the push half). Both encode
+  /// zero bytes when empty.
+  std::vector<MemberRumor> rumors;
+  std::vector<ModelSummary> push_inventory;
 };
 std::string encode_sync_request(const SyncRequest& request);
 Result<SyncRequest> decode_sync_request(std::string_view payload);
@@ -197,6 +241,10 @@ struct SyncOffer {
   /// entries than requested keys means the reply was truncated to fit the
   /// frame payload cap — re-request the unconsumed tail.
   std::vector<std::string> blobs;
+  /// Optional piggyback (v5): the responder's membership rumors, and the
+  /// keys it wants from the requester's pushed inventory (hybrid push).
+  std::vector<MemberRumor> rumors;
+  std::vector<SyncKey> wants;
 };
 std::string encode_sync_offer(const Result<SyncOffer>& offer);
 Result<SyncOffer> decode_sync_offer(std::string_view payload);

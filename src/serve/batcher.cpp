@@ -13,7 +13,8 @@ std::vector<double> PolicyBatcher::infer(const PolicyArtifact& artifact,
 
 std::vector<std::vector<double>> PolicyBatcher::infer_many(
     const PolicyArtifact& artifact, const std::vector<std::vector<double>>& observations,
-    std::size_t* batch_rows, std::uint64_t group_key) {
+    std::size_t* batch_rows, std::uint64_t group_key,
+    std::chrono::steady_clock::time_point deadline_at) {
   if (observations.empty()) {
     if (batch_rows != nullptr) *batch_rows = 0;
     return {};
@@ -23,6 +24,7 @@ std::vector<std::vector<double>> PolicyBatcher::infer_many(
     slots[i].artifact = &artifact;
     slots[i].observation = &observations[i];
     slots[i].group_key = group_key;
+    slots[i].deadline_at = deadline_at;
   }
   std::unique_lock<std::mutex> lock(mutex_);
   for (auto& slot : slots) pending_.push_back(&slot);
@@ -40,9 +42,25 @@ std::vector<std::vector<double>> PolicyBatcher::infer_many(
     // then hand leadership to whoever still waits.
     leader_active_ = true;
     if (config_.window.count() > 0 && pending_.size() < config_.max_batch) {
-      const auto deadline = std::chrono::steady_clock::now() + config_.window;
-      cv_.wait_until(lock, deadline,
-                     [this] { return pending_.size() >= config_.max_batch; });
+      // Deadline-aware fold window: wait for co-riders until the configured
+      // window ends OR the earliest pending deadline arrives, whichever is
+      // first. Under deadline pressure the window shrinks to zero and the
+      // batch launches immediately — smaller matmuls beat missed deadlines.
+      const auto now = std::chrono::steady_clock::now();
+      auto wake_at = now + config_.window;
+      bool clamped = false;
+      for (const Pending* p : pending_) {
+        if (p->deadline_at != std::chrono::steady_clock::time_point{} &&
+            p->deadline_at < wake_at) {
+          wake_at = std::max(p->deadline_at, now);
+          clamped = true;
+        }
+      }
+      if (clamped) ++stats_.window_clamps;
+      if (wake_at > now) {
+        cv_.wait_until(lock, wake_at,
+                       [this] { return pending_.size() >= config_.max_batch; });
+      }
     }
     while (!pending_.empty() && !mine_done()) {
       const std::size_t take = std::min(pending_.size(), config_.max_batch);

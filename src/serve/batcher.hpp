@@ -30,6 +30,9 @@ struct BatcherStats {
   std::uint64_t batches = 0;        // forward_batch calls
   std::uint64_t rows = 0;           // observations inferred
   std::size_t max_batch_rows = 0;   // largest single batch
+  /// Deadline-aware batching: times the leader's fold window was cut short
+  /// because a pending request's deadline was nearer than the window end.
+  std::uint64_t window_clamps = 0;
 };
 
 class PolicyBatcher {
@@ -52,11 +55,14 @@ class PolicyBatcher {
   /// rows only fold with rows of the same (artifact, group_key) — the serve
   /// path passes weights_key(request.weights), so objective mixes never share
   /// a batch (today that changes nothing numerically; it is the seam where
-  /// objective-conditioned value heads plug in).
-  std::vector<std::vector<double>> infer_many(const PolicyArtifact& artifact,
-                                              const std::vector<std::vector<double>>& observations,
-                                              std::size_t* batch_rows = nullptr,
-                                              std::uint64_t group_key = 0);
+  /// objective-conditioned value heads plug in). `deadline_at` (time_point{}
+  /// = none) makes the batching deadline-aware: a leader never holds the
+  /// fold window open past the earliest pending deadline, so co-riding can
+  /// cost a request throughput headroom but never its deadline.
+  std::vector<std::vector<double>> infer_many(
+      const PolicyArtifact& artifact, const std::vector<std::vector<double>>& observations,
+      std::size_t* batch_rows = nullptr, std::uint64_t group_key = 0,
+      std::chrono::steady_clock::time_point deadline_at = {});
 
   [[nodiscard]] BatcherStats stats() const;
 
@@ -65,6 +71,7 @@ class PolicyBatcher {
     const PolicyArtifact* artifact = nullptr;
     const std::vector<double>* observation = nullptr;
     std::uint64_t group_key = 0;  // objective-weights partition within a model
+    std::chrono::steady_clock::time_point deadline_at{};  // {} = no deadline
     std::vector<double> logits;
     std::size_t batch_rows = 0;  // size of the same-model batch this row rode
     bool done = false;

@@ -163,7 +163,8 @@ Result<CompileResponse> serve_pareto(const PolicyArtifact& artifact,
     std::vector<std::vector<double>> logits;
     if (batcher != nullptr) {
       std::size_t batch_rows = 0;
-      logits = batcher->infer_many(artifact, observations, &batch_rows, group_key);
+      logits = batcher->infer_many(artifact, observations, &batch_rows, group_key,
+                                   request.deadline_at);
       step_span.attr("batch_rows", static_cast<std::uint64_t>(batch_rows));
     } else {
       const ml::Matrix out = artifact.policy.forward_batch(observations);
@@ -449,7 +450,8 @@ Result<CompileResponse> serve_compile(const PolicyArtifact& artifact,
     std::vector<std::vector<double>> logits;
     if (batcher != nullptr) {
       std::size_t batch_rows = 0;
-      logits = batcher->infer_many(artifact, observations, &batch_rows);
+      logits = batcher->infer_many(artifact, observations, &batch_rows, 0,
+                                   request.deadline_at);
       step_span.attr("batch_rows", static_cast<std::uint64_t>(batch_rows));
     } else {
       const ml::Matrix out = artifact.policy.forward_batch(observations);
@@ -596,6 +598,10 @@ WarmupReport warm_up(const PolicyArtifact& artifact, runtime::EvalService& eval)
   return report;
 }
 
+bool is_overloaded(const Status& status) noexcept {
+  return !status.is_ok() && status.message().rfind("overloaded: ", 0) == 0;
+}
+
 // ---------------------------------------------------------------------------
 // CompileService
 // ---------------------------------------------------------------------------
@@ -613,6 +619,8 @@ CompileService::CompileService(std::shared_ptr<ModelRegistry> registry,
       ctr_failed_(metrics_registry_->counter("serve_requests_failed")),
       ctr_rejected_(metrics_registry_->counter("serve_requests_rejected")),
       ctr_cancelled_(metrics_registry_->counter("serve_requests_cancelled")),
+      ctr_shed_overload_(metrics_registry_->counter("serve_shed_overload")),
+      ctr_shed_deadline_(metrics_registry_->counter("serve_shed_deadline")),
       gauge_queue_depth_(metrics_registry_->gauge("serve_queue_depth")),
       gauge_max_queue_depth_(metrics_registry_->gauge("serve_queue_depth_max")),
       hist_latency_ms_(metrics_registry_->histogram("serve_latency_ms")),
@@ -652,6 +660,9 @@ CompileService::CompileService(std::shared_ptr<ModelRegistry> registry,
   });
   metrics_registry_->gauge_fn("batcher_max_batch_rows", {}, [this] {
     return static_cast<double>(batcher_.stats().max_batch_rows);
+  });
+  metrics_registry_->gauge_fn("batcher_window_clamps", {}, [this] {
+    return static_cast<double>(batcher_.stats().window_clamps);
   });
   for (std::size_t i = 0; i < config_.workers; ++i) {
     pool_.submit([this] { worker_loop(); });
@@ -698,6 +709,18 @@ void CompileService::worker_loop() {
       gauge_queue_depth_.set(static_cast<double>(queue_.size()));
     }
     space_cv_.notify_one();
+    if (job.request.deadline_at != std::chrono::steady_clock::time_point{} &&
+        Clock::now() >= job.request.deadline_at) {
+      // The deadline passed while the job queued: nobody is waiting for this
+      // answer any more, so shed it instead of burning a worker on it.
+      // Counters first: a caller woken by the future must already see the
+      // shed reflected in metrics().
+      ctr_shed_deadline_.inc();
+      ctr_failed_.inc();
+      job.promise.set_value(
+          Status::error("overloaded: deadline expired while queued; retry with more headroom"));
+      continue;
+    }
     finish_job(std::move(job));
   }
 }
@@ -874,6 +897,12 @@ Result<CompileResponse> CompileService::run_request(const CompileRequest& reques
 }
 
 Result<CompileResponse> CompileService::compile_sync(const CompileRequest& request) {
+  if (request.deadline_ms > 0 &&
+      request.deadline_at == std::chrono::steady_clock::time_point{}) {
+    CompileRequest stamped = request;
+    stamped.deadline_at = Clock::now() + std::chrono::milliseconds(request.deadline_ms);
+    return run_request(stamped, nullptr);
+  }
   return run_request(request, nullptr);
 }
 
@@ -898,6 +927,13 @@ CompileService::ResponseFuture CompileService::enqueue_locked(
     CompileRequest request, std::unique_lock<std::mutex>& lock) {
   Job job;
   job.request = std::move(request);
+  if (job.request.deadline_ms > 0 &&
+      job.request.deadline_at == std::chrono::steady_clock::time_point{}) {
+    // Admission stamps the relative wire deadline into an absolute one; a
+    // deadline_at already set (a local caller that stamped its own) is kept.
+    job.request.deadline_at =
+        Clock::now() + std::chrono::milliseconds(job.request.deadline_ms);
+  }
   job.sequence = next_sequence_++;
   job.enqueued = Clock::now();
   job.depth_at_entry = queue_.size();  // jobs ahead of this one (span attr)
@@ -912,12 +948,52 @@ CompileService::ResponseFuture CompileService::enqueue_locked(
   return future;
 }
 
+CompileService::ResponseFuture CompileService::shed_locked(
+    CompileRequest request, std::unique_lock<std::mutex>& lock) {
+  // Victim selection: the cheapest-to-retry queued job — lowest priority,
+  // youngest within it. It has waited least, so retrying it elsewhere wastes
+  // the least already-spent queue time; a retry of the oldest job would also
+  // be the most likely to shed again.
+  std::size_t victim = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (victim == queue_.size() ||
+        queue_[i].request.priority < queue_[victim].request.priority ||
+        (queue_[i].request.priority == queue_[victim].request.priority &&
+         queue_[i].sequence > queue_[victim].sequence)) {
+      victim = i;
+    }
+  }
+  if (victim < queue_.size() && request.priority > queue_[victim].request.priority) {
+    Job shed = std::move(queue_[victim]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+    std::make_heap(queue_.begin(), queue_.end(), JobOrder{});
+    ResponseFuture future = enqueue_locked(std::move(request), lock);  // releases lock
+    ctr_shed_overload_.inc();
+    ctr_failed_.inc();
+    shed.promise.set_value(Status::error(
+        "overloaded: shed from a saturated queue by a higher-priority request; retry"));
+    return future;
+  }
+  lock.unlock();
+  ctr_shed_overload_.inc();
+  ctr_rejected_.inc();
+  std::promise<Result<CompileResponse>> bounced;
+  bounced.set_value(Status::error(
+      strf("overloaded: queue at capacity %zu; retry on another node",
+           config_.queue_capacity)));
+  return bounced.get_future();
+}
+
 CompileService::ResponseFuture CompileService::submit(CompileRequest request) {
   // Requests get their trace identity at the door (a no-op invalid context
   // when tracing is off); a context already present — a remote client's,
   // arrived over the wire — is kept so the trace stitches across nodes.
   if (!request.trace.valid()) request.trace = obs::tracer().begin_trace();
   std::unique_lock<std::mutex> lock(mutex_);
+  if (config_.shed_on_saturation && !stopping_ &&
+      queue_.size() >= config_.queue_capacity) {
+    return shed_locked(std::move(request), lock);
+  }
   // Backpressure: a full queue blocks the submitter instead of growing.
   space_cv_.wait(lock,
                  [this] { return stopping_ || queue_.size() < config_.queue_capacity; });
@@ -955,6 +1031,8 @@ ServeMetrics CompileService::metrics() const {
   m.failed = ctr_failed_.value();
   m.rejected = ctr_rejected_.value();
   m.cancelled = ctr_cancelled_.value();
+  m.shed_overload = ctr_shed_overload_.value();
+  m.shed_deadline = ctr_shed_deadline_.value();
   m.max_queue_depth = static_cast<std::size_t>(gauge_max_queue_depth_.value());
   m.latency_hist = hist_latency_ms_.snapshot();
   m.latency = latency_view(m.latency_hist);

@@ -69,6 +69,17 @@ struct CompileRequest {
   /// Bound on the nondominated set: live beams per step and points in the
   /// returned front. Only read when `weights` is active.
   int front_width = 8;
+  /// Request deadline in milliseconds from admission; 0 = none. Travels on
+  /// the wire as kCompileTagDeadline (relative, so clock skew between client
+  /// and server never matters); the admitting service stamps `deadline_at`
+  /// from it. A queued job whose deadline passes is shed with an
+  /// "overloaded: " status instead of burning a worker, and the batcher never
+  /// holds its fold window open past a pending deadline.
+  std::uint64_t deadline_ms = 0;
+  /// Local bookkeeping: the absolute deadline, stamped at admission
+  /// (submit/try_submit/compile_sync) from `deadline_ms`. Never serialized.
+  /// {} = no deadline.
+  std::chrono::steady_clock::time_point deadline_at{};
   /// Tracing identity. Invalid (all-zero, the default) means untraced;
   /// submit/try_submit allocate a fresh root context when the process tracer
   /// is enabled, and a remote client's context arrives here over the wire so
@@ -134,6 +145,11 @@ struct ServeMetrics {
   std::size_t failed = 0;     // resolved with an error status
   std::size_t rejected = 0;   // bounced by backpressure / shutdown
   std::size_t cancelled = 0;  // queued work dropped by a cancelling shutdown
+  /// Overload-control sheds: queue-saturation evictions/bounces and
+  /// deadline-expired-while-queued drops (each also counts under
+  /// failed/rejected as appropriate — these split out the *why*).
+  std::size_t shed_overload = 0;
+  std::size_t shed_deadline = 0;
   std::size_t queue_depth = 0;
   std::size_t max_queue_depth = 0;
   double wall_seconds = 0.0;
@@ -162,6 +178,15 @@ struct CompileServiceConfig {
   /// On shutdown/destruction: finish queued requests (true) or cancel them
   /// with an error response (false).
   bool drain_on_shutdown = true;
+  /// Overload control: when the queue is saturated, shed instead of blocking
+  /// the submitter. The victim is the cheapest-to-retry queued job (lowest
+  /// priority, youngest within it) when the incoming request outranks it;
+  /// otherwise the incoming request itself bounces. Either way the loser's
+  /// future resolves immediately with an "overloaded: " status
+  /// (is_overloaded()) — no hang, no stranded promise. Off by default so
+  /// embedded users keep classic blocking backpressure; ServeNode enables it
+  /// and turns the status into a typed kOverloaded wire reply.
+  bool shed_on_saturation = false;
 };
 
 /// Shadow-canary traffic split for one served model name: route `fraction`
@@ -180,6 +205,13 @@ struct TrafficSplit {
 /// operators can compute the exact canary set for a workload instead of
 /// asserting statistically.
 [[nodiscard]] bool shadow_selected(std::uint64_t fingerprint, double fraction) noexcept;
+
+/// True when `status` is a load-shed rejection ("overloaded: " message
+/// prefix): nothing is wrong with the request itself — back off and retry,
+/// ideally on another node. RemoteCompileClient uses this to apply endpoint
+/// backoff without poisoning the pooled connection, and ServeNode maps it to
+/// the typed kOverloaded wire reply.
+[[nodiscard]] bool is_overloaded(const Status& status) noexcept;
 
 /// Decodes and measures one request against a resolved artifact — the shared
 /// core of the worker path and compile_sync. `batcher` is optional; without
@@ -296,6 +328,10 @@ class CompileService {
   /// heap, and handles wakeups + depth bookkeeping. Consumes `lock` (held on
   /// entry, released before notifying).
   ResponseFuture enqueue_locked(CompileRequest request, std::unique_lock<std::mutex>& lock);
+  /// Saturated-queue shed path (config.shed_on_saturation): evicts the
+  /// cheapest-to-retry queued job when `request` outranks it, else bounces
+  /// `request`. Consumes `lock` like enqueue_locked.
+  ResponseFuture shed_locked(CompileRequest request, std::unique_lock<std::mutex>& lock);
   void finish_job(Job job);
 
   std::shared_ptr<ModelRegistry> registry_;
@@ -327,6 +363,8 @@ class CompileService {
   obs::Counter& ctr_failed_;
   obs::Counter& ctr_rejected_;
   obs::Counter& ctr_cancelled_;
+  obs::Counter& ctr_shed_overload_;  // jobs shed because the queue saturated
+  obs::Counter& ctr_shed_deadline_;  // jobs shed because their deadline passed queued
   obs::Gauge& gauge_queue_depth_;
   obs::Gauge& gauge_max_queue_depth_;
   obs::Histogram& hist_latency_ms_;

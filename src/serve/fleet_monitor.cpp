@@ -24,6 +24,21 @@ std::string fleet_summary(const FleetStats& stats) {
       static_cast<unsigned long long>(stats.eval_primed),
       static_cast<unsigned long long>(stats.models_min),
       static_cast<unsigned long long>(stats.models_max));
+  if (stats.nodes_unreachable > 0) {
+    summary += strf(" unreachable=%zu per-reachable=%.1f", stats.nodes_unreachable,
+                    stats.completed_per_reachable);
+  }
+  if (stats.shed_overload > 0 || stats.shed_deadline > 0) {
+    summary += strf(" shed overload=%llu deadline=%llu",
+                    static_cast<unsigned long long>(stats.shed_overload),
+                    static_cast<unsigned long long>(stats.shed_deadline));
+  }
+  if (stats.members_suspect_max > 0 || stats.members_dead_max > 0) {
+    summary += strf(" membership alive>=%llu suspect<=%llu dead<=%llu",
+                    static_cast<unsigned long long>(stats.members_alive_min),
+                    static_cast<unsigned long long>(stats.members_suspect_max),
+                    static_cast<unsigned long long>(stats.members_dead_max));
+  }
   if (stats.gossip_rounds > 0 || stats.last_sync_age_ms_max != net::kNeverSynced) {
     summary += strf(" gossip rounds=%llu fetched=%llu stalest-sync=%s",
                     static_cast<unsigned long long>(stats.gossip_rounds),
@@ -85,6 +100,13 @@ FleetStats FleetMonitor::poll() {
     merged.failed += s.failed;
     merged.rejected += s.rejected;
     merged.queue_depth += s.queue_depth;
+    merged.shed_overload += s.shed_overload;
+    merged.shed_deadline += s.shed_deadline;
+    merged.members_alive_min = first_reachable
+                                   ? s.members_alive
+                                   : std::min(merged.members_alive_min, s.members_alive);
+    merged.members_suspect_max = std::max(merged.members_suspect_max, s.members_suspect);
+    merged.members_dead_max = std::max(merged.members_dead_max, s.members_dead);
     merged.eval_hits += s.eval_hits;
     merged.eval_misses += s.eval_misses;
     merged.eval_sequence_hits += s.eval_sequence_hits;
@@ -121,6 +143,13 @@ FleetStats FleetMonitor::poll() {
     }
   }
 
+  merged.nodes_unreachable = merged.nodes - merged.reachable;
+  // Rates are over *responding* nodes: dividing by the configured count
+  // would make a half-dead fleet look half as loaded instead of half gone.
+  merged.completed_per_reachable =
+      merged.reachable == 0
+          ? 0.0
+          : static_cast<double>(merged.completed) / static_cast<double>(merged.reachable);
   merged.latency_samples = static_cast<std::size_t>(merged.latency_hist.count);
   merged.latency = latency_view(merged.latency_hist);
   merged.per_model.reserve(per_model.size());

@@ -39,12 +39,22 @@ struct FleetStats {
   std::uint64_t snapshot_version = 0;
   std::size_t nodes = 0;
   std::size_t reachable = 0;
+  /// nodes - reachable, split out so operators never re-derive it. Per-node
+  /// *rates* divide by `reachable`, never by the configured fleet size — a
+  /// half-dead fleet must not report a halved per-node load as healthy.
+  std::size_t nodes_unreachable = 0;
 
   // Summed serving counters across reachable nodes.
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t rejected = 0;
   std::uint64_t queue_depth = 0;
+  /// Overload-control sheds (v6 kStats), summed across reachable nodes:
+  /// queue-saturation sheds and deadline-expired-while-queued sheds.
+  std::uint64_t shed_overload = 0;
+  std::uint64_t shed_deadline = 0;
+  /// completed / reachable — mean serving load per *responding* node.
+  double completed_per_reachable = 0.0;
 
   // Summed EvalService counters (the fleet's "Samples" economy).
   std::uint64_t eval_hits = 0;
@@ -66,6 +76,14 @@ struct FleetStats {
   std::uint64_t gossip_rounds = 0;
   std::uint64_t gossip_fetched = 0;
   std::uint64_t last_sync_age_ms_max = net::kNeverSynced;
+
+  /// Membership consensus across reachable nodes (v6 kStats): the minimum
+  /// alive count (the most pessimistic node's view) and the maximum
+  /// suspect/dead counts. A converged healthy fleet reports
+  /// members_alive_min == fleet size and zeros for the other two.
+  std::uint64_t members_alive_min = 0;
+  std::uint64_t members_suspect_max = 0;
+  std::uint64_t members_dead_max = 0;
 
   /// Online-learning loop health, summed across reachable nodes: promotion
   /// decisions recorded (kCanary controls) and the provenance backlog a

@@ -24,10 +24,13 @@ RemoteCompileClient::RemoteCompileClient(std::vector<net::RemoteEndpoint> nodes,
     : nodes_(std::move(nodes)),
       config_(config),
       idle_(nodes_.size()),
+      health_(nodes_.size()),
       ctr_requests_(metrics_.counter("client_requests")),
       ctr_failures_(metrics_.counter("client_failures")),
       ctr_timeouts_(metrics_.counter("client_timeouts")),
-      ctr_connects_(metrics_.counter("client_connects")) {
+      ctr_connects_(metrics_.counter("client_connects")),
+      ctr_rerouted_(metrics_.counter("client_rerouted")),
+      ctr_overloaded_(metrics_.counter("client_overloaded")) {
   // Ring points are derived from the endpoint identity, so every client
   // instance routes identically — cache affinity survives client restarts.
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -49,6 +52,85 @@ std::size_t RemoteCompileClient::route_fingerprint(std::uint64_t fingerprint) co
 
 std::size_t RemoteCompileClient::route(const ir::Module& module) const {
   return route_fingerprint(ir::module_fingerprint(module));
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint health
+// ---------------------------------------------------------------------------
+
+bool RemoteCompileClient::suppressed_locked(
+    std::size_t node, std::chrono::steady_clock::time_point now) const {
+  const EndpointHealth& h = health_[node];
+  return h.dead || h.backoff_until > now;
+}
+
+bool RemoteCompileClient::suppressed(std::size_t node) const {
+  if (node >= health_.size()) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_locked(node, std::chrono::steady_clock::now());
+}
+
+std::size_t RemoteCompileClient::pick_node(std::uint64_t fingerprint) {
+  if (ring_.empty() || nodes_.empty()) return 0;
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(fingerprint, std::size_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  const std::size_t primary = it->second;
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    const std::size_t node = it->second;
+    if (!suppressed_locked(node, now)) {
+      if (node != primary) ctr_rerouted_.inc();
+      return node;
+    }
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return primary;  // everything suppressed; the primary is the best bad bet
+}
+
+void RemoteCompileClient::note_result(std::size_t node, bool ok, bool overloaded) {
+  if (node >= health_.size()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  EndpointHealth& h = health_[node];
+  if (ok) {
+    h.consecutive_failures = 0;
+    h.backoff_until = {};
+    return;
+  }
+  ++h.consecutive_failures;
+  // An overload bounce is the node's own word that it needs relief — back
+  // off after one; plain failures need backoff_after_failures in a row
+  // before the endpoint loses its ring keys.
+  const std::size_t threshold =
+      overloaded ? 1 : std::max<std::size_t>(1, config_.backoff_after_failures);
+  if (h.consecutive_failures < threshold) return;
+  const std::size_t excess = h.consecutive_failures - threshold;
+  auto backoff = config_.backoff_initial;
+  for (std::size_t i = 0; i < excess && backoff < config_.backoff_max; ++i) backoff *= 2;
+  h.backoff_until = std::chrono::steady_clock::now() + std::min(backoff, config_.backoff_max);
+}
+
+void RemoteCompileClient::mark_dead(const net::RemoteEndpoint& endpoint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].port != endpoint.port || nodes_[n].host != endpoint.host) continue;
+    health_[n].dead = true;
+    // Pooled connections to a confirmed-dead node are poison; drop them so a
+    // readmitted node starts on fresh sockets.
+    idle_[n].clear();
+  }
+}
+
+void RemoteCompileClient::mark_alive(const net::RemoteEndpoint& endpoint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].port != endpoint.port || nodes_[n].host != endpoint.host) continue;
+    health_[n].dead = false;
+    health_[n].consecutive_failures = 0;
+    health_[n].backoff_until = {};
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -92,6 +174,7 @@ std::uint64_t RemoteCompileClient::next_request_id() {
 void RemoteCompileClient::count_failure(const Status& status) {
   ctr_failures_.inc();
   if (is_timeout(status)) ctr_timeouts_.inc();
+  if (is_overloaded(status)) ctr_overloaded_.inc();
 }
 
 RemoteClientStats RemoteCompileClient::stats() const {
@@ -100,6 +183,8 @@ RemoteClientStats RemoteCompileClient::stats() const {
   s.failures = ctr_failures_.value();
   s.timeouts = ctr_timeouts_.value();
   s.connects = ctr_connects_.value();
+  s.rerouted = ctr_rerouted_.value();
+  s.overloaded = ctr_overloaded_.value();
   return s;
 }
 
@@ -133,6 +218,13 @@ Result<CompileResponse> RemoteCompileClient::roundtrip(Lease& lease,
   frame.payload = net::encode_compile_request(request);
   auto reply = exchange(lease, frame, deadline);
   if (!reply.is_ok()) return reply.status();
+  if (reply.value().type == net::MsgType::kOverloaded) {
+    // A typed shed bounce: the stream is still on a frame boundary, so the
+    // connection stays pooled — only the endpoint's routing weight suffers.
+    *transport_ok = true;
+    const Status shed = net::decode_status_reply(reply.value().payload);
+    return shed.is_ok() ? Status::error("overloaded: shed (no detail carried)") : shed;
+  }
   if (reply.value().type != net::MsgType::kCompile) {
     return Status::error("remote client: mismatched reply type");
   }
@@ -153,7 +245,7 @@ Result<CompileResponse> RemoteCompileClient::compile(const CompileRequest& reque
                                                      std::chrono::milliseconds deadline_ms) {
   if (request.module == nullptr) return Status::error("compile request has no module");
   ctr_requests_.inc();
-  const std::size_t node = route(*request.module);
+  const std::size_t node = pick_node(ir::module_fingerprint(*request.module));
   // Client-side root span. The traced copy carries this span's context over
   // the wire (the tagged trailer on the compile payload), so the server's
   // "request" span parents under it and client + owning-node spans share one
@@ -168,7 +260,10 @@ Result<CompileResponse> RemoteCompileClient::compile(const CompileRequest& reque
   for (int attempt = 0;; ++attempt) {
     auto lease = acquire(node, /*force_fresh=*/attempt > 0);
     if (!lease.is_ok()) {
+      // A refused/timed-out connect is the strongest endpoint-failure signal
+      // there is — it must feed the backoff like any in-flight failure.
       count_failure(lease.status());
+      note_result(node, false, false);
       return lease.status();
     }
     const bool was_fresh = lease.value().fresh;
@@ -187,7 +282,16 @@ Result<CompileResponse> RemoteCompileClient::compile(const CompileRequest& reque
         !is_timeout(response.status())) {
       continue;
     }
-    if (!response.is_ok()) count_failure(response.status());
+    // Endpoint failure accounting (satellite of the elastic-fleet work): a
+    // deadline expiry used to poison only the pooled connection while the
+    // endpoint kept its full ring weight — now every final outcome feeds the
+    // backoff that decides whether this node keeps its keys.
+    if (!response.is_ok()) {
+      count_failure(response.status());
+      note_result(node, false, is_overloaded(response.status()));
+    } else {
+      note_result(node, true, false);
+    }
     return response;
   }
 }
@@ -206,7 +310,7 @@ std::vector<Result<CompileResponse>> RemoteCompileClient::compile_batch(
       results[i] = Status::error("compile request has no module");
       continue;
     }
-    by_node[route(*requests[i].module)].push_back(i);
+    by_node[pick_node(ir::module_fingerprint(*requests[i].module))].push_back(i);
   }
   ctr_requests_.inc(requests.size());
 
@@ -234,6 +338,15 @@ std::vector<Result<CompileResponse>> RemoteCompileClient::compile_batch(
       if (received == 0 && !healthy && !was_fresh && attempt == 0 && !timed_out) continue;
       break;
     }
+    // Per-endpoint accounting on the batch's final outcome: any success
+    // clears the streak; a fully-failed share counts one failure (overloaded
+    // when any bounce in it was).
+    const bool any_ok = std::any_of(batch.begin(), batch.end(),
+                                    [&](std::size_t i) { return results[i].is_ok(); });
+    const bool any_overloaded = std::any_of(batch.begin(), batch.end(), [&](std::size_t i) {
+      return !results[i].is_ok() && is_overloaded(results[i].status());
+    });
+    note_result(node, any_ok, any_overloaded);
   }
   // Failures are tallied once, on final outcomes (a stale-connection retry
   // that succeeded is not a failure).
@@ -294,7 +407,15 @@ std::size_t RemoteCompileClient::run_node_batch(Lease& lease,
     }
     const auto it = in_flight.find(reply.value().request_id);
     if (it == in_flight.end()) continue;  // stale tail from a prior lease
-    results[it->second] = net::decode_compile_response(reply.value().payload);
+    if (reply.value().type == net::MsgType::kOverloaded) {
+      // Typed shed bounce for exactly this id; the rest of the pipeline is
+      // unaffected and the stream stays on a frame boundary.
+      const Status shed = net::decode_status_reply(reply.value().payload);
+      results[it->second] =
+          shed.is_ok() ? Status::error("overloaded: shed (no detail carried)") : shed;
+    } else {
+      results[it->second] = net::decode_compile_response(reply.value().payload);
+    }
     in_flight.erase(it);
     ++received;
     deadline = net::deadline_in(config_.request_deadline);  // progress made

@@ -31,15 +31,26 @@ struct RemoteClientConfig {
   /// Ring points per node. More points = smoother key spread.
   std::size_t virtual_nodes = 64;
   std::size_t max_frame_payload = net::kDefaultMaxPayload;
+  /// Failure-aware routing: consecutive failures (timeouts included) against
+  /// an endpoint before it is backoff-suppressed. While suppressed, the ring
+  /// walk routes its keys to the next live point — automatic rebalancing —
+  /// and re-admits it when the backoff expires (exponential, doubling per
+  /// further failure, capped at backoff_max). A typed kOverloaded bounce
+  /// suppresses after a single occurrence: the node said so itself.
+  std::size_t backoff_after_failures = 3;
+  std::chrono::milliseconds backoff_initial{250};
+  std::chrono::milliseconds backoff_max{30'000};
 };
 
 /// Snapshot view over the client's obs counters (the counters are the
 /// source of truth; this struct is the stable read-back shape).
 struct RemoteClientStats {
   std::uint64_t requests = 0;
-  std::uint64_t failures = 0;  // transport or remote errors
-  std::uint64_t timeouts = 0;  // deadline expiries (also counted as failures)
-  std::uint64_t connects = 0;  // fresh TCP connections established
+  std::uint64_t failures = 0;    // transport or remote errors
+  std::uint64_t timeouts = 0;    // deadline expiries (also counted as failures)
+  std::uint64_t connects = 0;    // fresh TCP connections established
+  std::uint64_t rerouted = 0;    // requests routed past a suppressed endpoint
+  std::uint64_t overloaded = 0;  // typed kOverloaded bounces received
 };
 
 class RemoteCompileClient {
@@ -85,9 +96,20 @@ class RemoteCompileClient {
   /// the remote twin of ServeNode::metrics_text().
   Result<std::string> node_metrics(std::size_t node);
 
-  /// Ring lookup: which node a program's requests are routed to.
+  /// Ring lookup: which node a program's requests are routed to. Pure ring
+  /// semantics (the key's primary), ignoring endpoint health — the compile
+  /// path additionally walks past suppressed endpoints (see pick_node).
   [[nodiscard]] std::size_t route(const ir::Module& module) const;
   [[nodiscard]] std::size_t route_fingerprint(std::uint64_t fingerprint) const;
+
+  /// Membership feed: a confirmed-dead endpoint is dropped from routing (its
+  /// ring keys rebalance to the next live point) and its pooled connections
+  /// are discarded; mark_alive re-admits a rejoined node and clears its
+  /// failure accounting. Endpoints not in this client's fleet are ignored.
+  void mark_dead(const net::RemoteEndpoint& endpoint);
+  void mark_alive(const net::RemoteEndpoint& endpoint);
+  /// Is `node` currently skipped by the ring walk (dead or inside backoff)?
+  [[nodiscard]] bool suppressed(std::size_t node) const;
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   /// The fleet this client talks to, in node-index order (FleetMonitor
   /// labels its per-node reports with these).
@@ -135,13 +157,34 @@ class RemoteCompileClient {
   std::uint64_t next_request_id();
   void count_failure(const Status& status);
 
+  /// Health-aware routing: the key's primary unless suppressed, else the
+  /// next live node clockwise on the ring (every node suppressed falls back
+  /// to the primary — a request must route somewhere, and the primary is the
+  /// one whose cache affinity we want back).
+  [[nodiscard]] std::size_t pick_node(std::uint64_t fingerprint);
+  /// Per-endpoint failure accounting: success resets; failure counts toward
+  /// backoff suppression (immediately for a typed overload bounce).
+  void note_result(std::size_t node, bool ok, bool overloaded);
+  [[nodiscard]] bool suppressed_locked(std::size_t node,
+                                       std::chrono::steady_clock::time_point now) const;
+
   std::vector<net::RemoteEndpoint> nodes_;
   RemoteClientConfig config_;
   /// Consistent-hash ring: (point, node index), sorted by point.
   std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
 
+  /// Per-endpoint health (guarded by mutex_). `dead` is the membership
+  /// verdict — only mark_alive readmits; `backoff_until` is this client's own
+  /// exponential suppression from direct failures/overload bounces.
+  struct EndpointHealth {
+    std::size_t consecutive_failures = 0;
+    std::chrono::steady_clock::time_point backoff_until{};
+    bool dead = false;
+  };
+
   mutable std::mutex mutex_;
   std::vector<std::vector<net::TcpStream>> idle_;  // per node
+  std::vector<EndpointHealth> health_;             // per node
   std::uint64_t next_id_ = 1;
 
   /// Client-side counters live on an obs registry (scrape-able, lock-free to
@@ -151,6 +194,8 @@ class RemoteCompileClient {
   obs::Counter& ctr_failures_;
   obs::Counter& ctr_timeouts_;
   obs::Counter& ctr_connects_;
+  obs::Counter& ctr_rerouted_;
+  obs::Counter& ctr_overloaded_;
 };
 
 }  // namespace autophase::serve

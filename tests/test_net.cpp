@@ -602,6 +602,115 @@ TEST(RemoteServe, ClientDeadlineExpiresCleanly) {
   EXPECT_EQ(client.stats().timeouts, 1u);
 }
 
+TEST(RemoteServe, SaturatedNodeBouncesTypedOverloadedAcrossTheWire) {
+  auto sha = progen::build_chstone_like("sha");
+  // Queue capacity zero: every request sheds at admission — a pure bounce
+  // node, deterministic with no worker race.
+  net::ServeNodeConfig config;
+  config.compile.queue_capacity = 0;
+  NodeHarness harness(config);
+  serve::RemoteCompileClient client({harness.node->endpoint()});
+
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  auto response = client.compile(request);
+  ASSERT_FALSE(response.is_ok());
+  // The bounce crossed the wire as a typed kOverloaded reply carrying our
+  // request id (the pipelined client matched it back to this call) and
+  // surfaces as the typed "overloaded: " status — never a hang.
+  EXPECT_TRUE(serve::is_overloaded(response.status())) << response.message();
+  EXPECT_EQ(client.stats().overloaded, 1u);
+  EXPECT_EQ(harness.node->stats().shed_overload, 1u);
+  // One typed bounce suppresses the endpoint — the node said so itself.
+  EXPECT_TRUE(client.suppressed(0));
+
+  // The bounce did not poison the transport: a retry (which falls back to
+  // the primary — there is nowhere else to route) reuses the connection.
+  auto again = client.compile(request);
+  ASSERT_FALSE(again.is_ok());
+  EXPECT_TRUE(serve::is_overloaded(again.status()));
+  EXPECT_EQ(client.stats().connects, 1u);
+}
+
+TEST(RemoteServe, RepeatedFailuresSuppressAnEndpointAndRerouteItsKeys) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness live;
+  live.registry->publish("agent", make_test_artifact(sha.get(), 3));
+
+  // A port nobody listens on: connects fail fast with ECONNREFUSED.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = net::TcpListener::bind_loopback(0);
+    ASSERT_TRUE(listener.is_ok());
+    dead_port = listener.value().port();
+  }
+
+  serve::RemoteClientConfig config;
+  config.backoff_after_failures = 2;
+  config.connect_timeout = 500ms;
+  serve::RemoteCompileClient client({live.node->endpoint(), {"127.0.0.1", dead_port}}, config);
+
+  // Find a module whose ring primary is the dead node.
+  std::unique_ptr<ir::Module> doomed;
+  for (std::uint64_t seed = 1; seed <= 32 && doomed == nullptr; ++seed) {
+    auto m = progen::generate_filtered_program(seed * 104'729);
+    if (client.route(*m) == 1) doomed = std::move(m);
+  }
+  ASSERT_NE(doomed, nullptr) << "no module routed to node 1 in 32 tries";
+
+  serve::CompileRequest request;
+  request.module = doomed.get();
+  request.model = "agent";
+
+  // Failures accumulate against the endpoint until the backoff suppresses
+  // it; until then the request keeps failing at its primary.
+  for (std::size_t attempt = 0; attempt < config.backoff_after_failures; ++attempt) {
+    EXPECT_FALSE(client.compile(request).is_ok());
+  }
+  EXPECT_TRUE(client.suppressed(1)) << "failure accounting never tripped the backoff";
+
+  // Ring semantics stay pure — route() still names the primary — but the
+  // compile path walks past the suppressed endpoint and the request now
+  // lands on the live node.
+  EXPECT_EQ(client.route(*doomed), 1u);
+  auto rerouted = client.compile(request);
+  ASSERT_TRUE(rerouted.is_ok()) << rerouted.message();
+  EXPECT_GE(client.stats().rerouted, 1u);
+
+  // A membership verdict readmits it wholesale: mark_alive clears the
+  // accounting and the ring walk stops skipping.
+  client.mark_alive({"127.0.0.1", dead_port});
+  EXPECT_FALSE(client.suppressed(1));
+}
+
+TEST(RemoteServe, ConfirmedDeadEndpointIsDroppedUntilMarkedAlive) {
+  auto sha = progen::build_chstone_like("sha");
+  NodeHarness live;
+  live.registry->publish("agent", make_test_artifact(sha.get(), 3));
+  NodeHarness other;
+  other.registry->publish("agent", make_test_artifact(sha.get(), 3));
+
+  serve::RemoteCompileClient client({live.node->endpoint(), other.node->endpoint()});
+
+  // The membership feed says node 1 is confirmed dead: its ring keys must
+  // rebalance immediately — no failure accounting, no backoff window.
+  client.mark_dead(other.node->endpoint());
+  EXPECT_TRUE(client.suppressed(1));
+  serve::CompileRequest request;
+  request.module = sha.get();
+  request.model = "agent";
+  for (int i = 0; i < 4; ++i) {
+    auto response = client.compile(request);
+    EXPECT_TRUE(response.is_ok()) << response.message();
+  }
+  // Only a membership verdict readmits: mark_alive restores full weight.
+  client.mark_alive(other.node->endpoint());
+  EXPECT_FALSE(client.suppressed(1));
+  auto response = client.compile(request);
+  EXPECT_TRUE(response.is_ok()) << response.message();
+}
+
 TEST(RemoteServe, ServerSurvivesGarbageAndAbandonedConnections) {
   auto sha = progen::build_chstone_like("sha");
   NodeHarness harness;

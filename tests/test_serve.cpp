@@ -453,6 +453,114 @@ TEST(ServeCompile, BackpressureBouncesOverflowDeterministically) {
   EXPECT_FALSE(service.submit(request).get().is_ok());
 }
 
+// ---------------------------------------------------------------------------
+// Overload control: saturation shedding + queued-deadline expiry
+// ---------------------------------------------------------------------------
+
+TEST(ServeOverload, SaturationShedsTheCheapestJobForAHigherPriorityArrival) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 3));
+  // Zero workers: nothing drains, so occupancy and victim choice are fully
+  // deterministic.
+  CompileService service(registry, nullptr,
+                         {.workers = 0, .queue_capacity = 2, .shed_on_saturation = true});
+
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  auto oldest = service.submit(request);  // priority 0, oldest — survives
+  auto victim = service.submit(request);  // priority 0, youngest — the victim
+  EXPECT_EQ(service.queue_depth(), 2u);
+
+  // A higher-priority arrival on a saturated queue sheds the cheapest job to
+  // retry and takes its slot; the submitter never blocks.
+  CompileRequest urgent = request;
+  urgent.priority = 5;
+  auto kept = service.submit(urgent);
+
+  ASSERT_EQ(victim.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+      << "the shed future must resolve immediately, never hang";
+  auto shed = victim.get();
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_TRUE(is_overloaded(shed.status())) << shed.message();
+  EXPECT_EQ(service.queue_depth(), 2u);  // slot handed over, not grown
+  EXPECT_EQ(service.metrics().shed_overload, 1u);
+
+  // The survivors resolve on shutdown — no stranded promise anywhere.
+  service.shutdown();
+  for (auto* f : {&oldest, &kept}) {
+    auto response = f->get();
+    EXPECT_FALSE(response.is_ok());
+    EXPECT_NE(response.message().find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(ServeOverload, LowerPriorityArrivalBouncesWithATypedOverloadStatus) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 3));
+  CompileService service(registry, nullptr,
+                         {.workers = 0, .queue_capacity = 1, .shed_on_saturation = true});
+
+  CompileRequest request;
+  request.module = m.get();
+  request.model = "agent";
+  request.priority = 5;
+  auto queued = service.submit(request);
+  EXPECT_EQ(service.queue_depth(), 1u);
+
+  // An arrival that outranks nothing queued bounces itself — immediately,
+  // with the typed "overloaded: " status, never the blocking wait.
+  CompileRequest low = request;
+  low.priority = 0;
+  auto bounced = service.submit(low);
+  ASSERT_EQ(bounced.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  auto response = bounced.get();
+  ASSERT_FALSE(response.is_ok());
+  EXPECT_TRUE(is_overloaded(response.status())) << response.message();
+  EXPECT_NE(response.message().find("queue at capacity"), std::string::npos);
+  EXPECT_EQ(service.queue_depth(), 1u);
+  EXPECT_EQ(service.metrics().shed_overload, 1u);
+  EXPECT_EQ(service.metrics().rejected, 1u);
+
+  service.shutdown();
+  EXPECT_FALSE(queued.get().is_ok());
+}
+
+TEST(ServeOverload, DeadlineExpiredWhileQueuedIsShedAtDequeueNotServed) {
+  auto m = progen::build_chstone_like("sha");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish("agent", make_test_artifact(m.get(), tiny_env_config(), 3));
+  CompileService service(registry, nullptr, {.workers = 1, .queue_capacity = 8});
+
+  // A deadline already in the past at admission: the worker must shed it at
+  // dequeue (typed overload status) instead of burning the decode on an
+  // answer nobody is waiting for.
+  CompileRequest expired;
+  expired.module = m.get();
+  expired.model = "agent";
+  expired.deadline_at = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto shed = service.submit(expired).get();
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_TRUE(is_overloaded(shed.status())) << shed.message();
+  EXPECT_NE(shed.message().find("deadline expired"), std::string::npos);
+  EXPECT_EQ(service.metrics().shed_deadline, 1u);
+
+  // The worker is alive and well afterwards: a normal request (and one with
+  // generous headroom, exercising the admission stamp) both complete.
+  CompileRequest normal;
+  normal.module = m.get();
+  normal.model = "agent";
+  auto ok = service.submit(normal).get();
+  EXPECT_TRUE(ok.is_ok()) << ok.message();
+  CompileRequest roomy = normal;
+  roomy.deadline_ms = 60'000;
+  auto ok2 = service.submit(roomy).get();
+  EXPECT_TRUE(ok2.is_ok()) << ok2.message();
+  EXPECT_EQ(service.metrics().shed_deadline, 1u);  // headroom was honoured
+}
+
 TEST(ServeCompile, DrainingShutdownCompletesQueuedWork) {
   auto m = progen::build_chstone_like("sha");
   auto registry = std::make_shared<ModelRegistry>();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/membership.hpp"
 #include "net/sim_fleet.hpp"
 #include "net/sim_transport.hpp"
 #include "net/wire.hpp"
@@ -291,6 +292,279 @@ TEST_F(SimGossip, NodeChurnDuringCanaryRolloutNeverResurrectsARolledBackCanary) 
     }
   }
   EXPECT_GT(fleet.world.counters().partitioned, 0u) << "the crash never refused an exchange";
+}
+
+// ---------------------------------------------------------------------------
+// SWIM membership: precedence, refutation, codec
+// ---------------------------------------------------------------------------
+
+TEST(Membership, RumorPrecedenceFollowsSwim) {
+  net::MembershipTable table({"sim", 1});
+  const net::RemoteEndpoint peer{"sim", 2};
+  table.add_peer(peer);
+  ASSERT_EQ(table.state_of(peer), net::MemberState::kAlive);
+
+  // Suspicion is news at the same incarnation; a same-incarnation alive
+  // rumor is stale health and must NOT clear it.
+  table.apply({peer, 0, net::MemberState::kSuspect});
+  EXPECT_EQ(table.state_of(peer), net::MemberState::kSuspect);
+  table.apply({peer, 0, net::MemberState::kAlive});
+  EXPECT_EQ(table.state_of(peer), net::MemberState::kSuspect);
+
+  // The suspected node refutes by re-asserting alive at a higher incarnation.
+  table.apply({peer, 1, net::MemberState::kAlive});
+  EXPECT_EQ(table.state_of(peer), net::MemberState::kAlive);
+
+  // Dead absorbs everything at its incarnation...
+  table.apply({peer, 1, net::MemberState::kDead});
+  table.apply({peer, 1, net::MemberState::kAlive});
+  table.apply({peer, 1, net::MemberState::kSuspect});
+  EXPECT_EQ(table.state_of(peer), net::MemberState::kDead);
+
+  // ...and only a strictly higher-incarnation alive (a restarted process
+  // announcing itself) resurrects it.
+  net::MembershipDelta delta;
+  table.apply({peer, 2, net::MemberState::kAlive}, &delta);
+  EXPECT_EQ(table.state_of(peer), net::MemberState::kAlive);
+  ASSERT_EQ(delta.newly_alive.size(), 1u);
+  EXPECT_EQ(delta.newly_alive[0].port, peer.port);
+}
+
+TEST(Membership, SelfObituaryIsRefutedOnSight) {
+  net::MembershipTable table({"sim", 1});
+  net::MembershipDelta delta;
+  table.apply({{"sim", 1}, 5, net::MemberState::kDead}, &delta);
+  EXPECT_TRUE(delta.refuted_self);
+  // The bump outranks the obituary, so the refutation wins as it spreads.
+  EXPECT_GT(table.self_incarnation(), 5u);
+  EXPECT_EQ(table.state_of({"sim", 1}), net::MemberState::kAlive);
+}
+
+TEST(Membership, RumorCodecRoundTripsAndBoundsHostileCounts) {
+  std::vector<net::MemberRumor> rumors = {
+      {{"sim", 1}, 3, net::MemberState::kAlive},
+      {{"sim", 2}, 0, net::MemberState::kSuspect},
+      {{"hostname.example", 40'000}, 9, net::MemberState::kDead},
+  };
+  std::vector<net::MemberRumor> decoded;
+  ASSERT_TRUE(net::decode_member_rumors(net::encode_member_rumors(rumors), decoded).is_ok());
+  ASSERT_EQ(decoded.size(), rumors.size());
+  for (std::size_t i = 0; i < rumors.size(); ++i) {
+    EXPECT_EQ(decoded[i].endpoint.host, rumors[i].endpoint.host) << i;
+    EXPECT_EQ(decoded[i].endpoint.port, rumors[i].endpoint.port) << i;
+    EXPECT_EQ(decoded[i].incarnation, rumors[i].incarnation) << i;
+    EXPECT_EQ(decoded[i].state, rumors[i].state) << i;
+  }
+
+  // A hostile count far beyond the remaining bytes must fail before any
+  // allocation, not OOM the decoder.
+  std::vector<net::MemberRumor> bombed;
+  EXPECT_FALSE(net::decode_member_rumors(std::string(8, '\xff'), bombed).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Node churn: kill / restart / replace under load
+// ---------------------------------------------------------------------------
+
+bool survivors_agree_dead(const SimFleet& fleet, const net::RemoteEndpoint& endpoint) {
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    if (fleet.down(i)) continue;
+    if (fleet.nodes[i]->membership->state_of(endpoint) != net::MemberState::kDead) return false;
+  }
+  return true;
+}
+
+bool survivors_agree_alive(const SimFleet& fleet, const net::RemoteEndpoint& endpoint) {
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    if (fleet.down(i)) continue;
+    if (fleet.nodes[i]->membership->state_of(endpoint) != net::MemberState::kAlive) return false;
+  }
+  return true;
+}
+
+TEST_F(SimGossip, KilledNodeIsConfirmedDeadAndNeverProbedAgain) {
+  net::SimFaultConfig faults;
+  faults.drop = 0.10;
+  SimFleet fleet(6, /*seed=*/11, faults);
+  fleet.enable_membership({.suspect_after_failures = 1, .confirm_after_rounds = 2});
+  fleet.nodes[0]->registry->publish("agent", tiny_sim_artifact(1));
+  ASSERT_LE(fleet.sweeps_until_converged(48), 48u);
+
+  // Kill node 5 and keep load flowing: a new publish must still reach every
+  // survivor while the fleet re-forms around the corpse.
+  const net::RemoteEndpoint corpse = fleet.nodes[5]->endpoint;
+  fleet.kill(5);
+  fleet.nodes[1]->registry->publish("beta", tiny_sim_artifact(2));
+
+  std::size_t sweep = 1;
+  for (; sweep <= 96; ++sweep) {
+    fleet.gossip_sweep();
+    if (survivors_agree_dead(fleet, corpse) && fleet.membership_converged() &&
+        fleet.converged()) {
+      break;
+    }
+  }
+  ASSERT_LE(sweep, 96u) << "survivors never converged on the kill";
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(fleet.nodes[i]->registry->size(), 2u) << "node " << i << " missed the churn publish";
+  }
+
+  // Zero requests to a confirmed-dead peer: once every survivor holds the
+  // dead record, the eligible set excludes the corpse, so further sweeps
+  // burn no timeouts against it.
+  const std::uint64_t refused = fleet.world.counters().node_down;
+  EXPECT_GT(refused, 0u) << "suspicion was never fed by a failed probe";
+  for (int extra = 0; extra < 12; ++extra) fleet.gossip_sweep();
+  EXPECT_EQ(fleet.world.counters().node_down, refused)
+      << "a survivor kept routing gossip at a confirmed-dead peer";
+}
+
+TEST_F(SimGossip, RestartedNodeRefutesItsObituaryAndCatchesUp) {
+  net::SimFaultConfig faults;
+  faults.drop = 0.05;
+  SimFleet fleet(5, /*seed=*/21, faults);
+  fleet.enable_membership({.suspect_after_failures = 1, .confirm_after_rounds = 2});
+  fleet.nodes[0]->registry->publish("agent", tiny_sim_artifact(1));
+  ASSERT_LE(fleet.sweeps_until_converged(48), 48u);
+
+  const net::RemoteEndpoint target = fleet.nodes[4]->endpoint;
+  fleet.kill(4);
+  std::size_t sweep = 1;
+  for (; sweep <= 96; ++sweep) {
+    fleet.gossip_sweep();
+    if (survivors_agree_dead(fleet, target) && fleet.membership_converged()) break;
+  }
+  ASSERT_LE(sweep, 96u) << "survivors never confirmed the death";
+
+  // A publish lands while the node is down — the catch-up payload.
+  fleet.nodes[0]->registry->publish("beta", tiny_sim_artifact(2));
+
+  // Restart with on-disk state intact. The fleet holds its obituary; the
+  // node's first contact returns that rumor, the table bumps past it, and
+  // the alive re-assertion cancels the obituary as it spreads — while the
+  // ordinary kSyncRequest pulls fetch everything it missed.
+  fleet.restart(4);
+  for (sweep = 1; sweep <= 96; ++sweep) {
+    fleet.gossip_sweep();
+    if (survivors_agree_alive(fleet, target) && fleet.membership_converged() &&
+        fleet.converged()) {
+      break;
+    }
+  }
+  ASSERT_LE(sweep, 96u) << "restarted node never rejoined";
+  EXPECT_GE(fleet.nodes[4]->membership->self_incarnation(), 1u)
+      << "rejoin must bump the incarnation past the obituary";
+  EXPECT_NE(fleet.nodes[4]->registry->get("beta", 1), nullptr)
+      << "restarted node never caught up on the missed publish";
+}
+
+TEST_F(SimGossip, ReplacedNodeRejoinsEmptyAndRebuildsViaAntiEntropy) {
+  SimFleet fleet(5, /*seed=*/33);
+  fleet.enable_membership({.suspect_after_failures = 1, .confirm_after_rounds = 2});
+  fleet.nodes[0]->registry->publish("agent", tiny_sim_artifact(1));
+  fleet.nodes[1]->registry->publish("beta", tiny_sim_artifact(2));
+  ASSERT_LE(fleet.sweeps_until_converged(48), 48u);
+
+  const net::RemoteEndpoint target = fleet.nodes[2]->endpoint;
+  fleet.kill(2);
+  std::size_t sweep = 1;
+  for (; sweep <= 96; ++sweep) {
+    fleet.gossip_sweep();
+    if (survivors_agree_dead(fleet, target) && fleet.membership_converged()) break;
+  }
+  ASSERT_LE(sweep, 96u) << "survivors never confirmed the death";
+
+  // Fresh process at the same endpoint: empty registry, membership at
+  // incarnation 0 — strictly weaker than the fleet's dead record, so only
+  // the refutation bump can resurrect it.
+  fleet.replace(2);
+  for (sweep = 1; sweep <= 96; ++sweep) {
+    fleet.gossip_sweep();
+    if (survivors_agree_alive(fleet, target) && fleet.membership_converged() &&
+        fleet.converged()) {
+      break;
+    }
+  }
+  ASSERT_LE(sweep, 96u) << "replacement never rejoined";
+  EXPECT_EQ(fleet.nodes[2]->registry->size(), 2u) << "replacement never rebuilt the registry";
+  EXPECT_GE(fleet.nodes[2]->membership->self_incarnation(), 1u);
+}
+
+TEST_F(SimGossip, TransientPartitionSuspectsThenRefutesWithoutConfirmingDeath) {
+  SimFleet fleet(5, /*seed=*/31);
+  // Quick to suspect, slow to confirm: the refutation must win the race.
+  fleet.enable_membership({.suspect_after_failures = 1, .confirm_after_rounds = 16});
+  fleet.nodes[0]->registry->publish("agent", tiny_sim_artifact(1));
+  ASSERT_LE(fleet.sweeps_until_converged(48), 48u);
+
+  const auto port = [&](std::size_t i) { return fleet.nodes[i]->endpoint.port; };
+  const net::RemoteEndpoint target = fleet.nodes[4]->endpoint;
+
+  // Node 4 goes unreachable briefly (a GC pause, not a crash).
+  fleet.world.partition({{port(0), port(1), port(2), port(3)}});
+  for (int s = 0; s < 6; ++s) fleet.gossip_sweep();
+  bool suspected = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    suspected |= fleet.nodes[i]->membership->state_of(target) == net::MemberState::kSuspect;
+  }
+  EXPECT_TRUE(suspected) << "six sweeps of failed probes never raised a suspicion";
+
+  // Heal: the suspected node sees its own suspect rumor, bumps, re-asserts
+  // alive — and nobody ever confirms a death along the way.
+  fleet.world.heal();
+  std::size_t sweep = 1;
+  for (; sweep <= 48; ++sweep) {
+    fleet.gossip_sweep();
+    for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+      ASSERT_EQ(fleet.nodes[i]->membership->dead_count(), 0u)
+          << "node " << i << " confirmed a death during a transient suspicion";
+    }
+    if (survivors_agree_alive(fleet, target) && fleet.membership_converged()) break;
+  }
+  ASSERT_LE(sweep, 48u) << "suspicion was never refuted";
+  EXPECT_GE(fleet.nodes[4]->membership->self_incarnation(), 1u)
+      << "refutation must bump the incarnation";
+}
+
+/// The kill-restart churn story as a pure function of the seed: membership
+/// history replays byte for byte, like every other simulator scenario.
+struct ChurnResult {
+  std::string trace;
+  std::string membership;
+  std::string digests;
+};
+
+ChurnResult run_churn_scenario(std::uint64_t seed) {
+  net::SimFaultConfig faults;
+  faults.drop = 0.10;
+  faults.duplicate = 0.05;
+  SimFleet fleet(5, seed, faults);
+  fleet.enable_membership({.suspect_after_failures = 1, .confirm_after_rounds = 2});
+  fleet.nodes[0]->registry->publish("agent", tiny_sim_artifact(1));
+  (void)fleet.sweeps_until_converged(48);
+  fleet.kill(3);
+  for (int s = 0; s < 24; ++s) fleet.gossip_sweep();
+  fleet.restart(3);
+  for (int s = 0; s < 24; ++s) fleet.gossip_sweep();
+  ChurnResult result;
+  result.trace = fleet.world.trace();
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    result.membership += fleet.nodes[i]->membership->digest();
+    result.digests += fleet.digest(i);
+  }
+  return result;
+}
+
+TEST_F(SimGossip, ChurnScenarioReplaysByteIdentically) {
+  const ChurnResult a = run_churn_scenario(5);
+  const ChurnResult b = run_churn_scenario(5);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.membership, b.membership);
+  EXPECT_EQ(a.digests, b.digests);
+  EXPECT_FALSE(a.membership.empty());
+
+  const ChurnResult c = run_churn_scenario(6);
+  EXPECT_NE(a.trace, c.trace);
 }
 
 // ---------------------------------------------------------------------------
